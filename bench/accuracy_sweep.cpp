@@ -1,0 +1,53 @@
+#include "accuracy_sweep.h"
+
+#include <cstdio>
+
+#include "core/accuracy.h"
+#include "core/pruner.h"
+#include "sz/sz.h"
+
+namespace deepsz::bench {
+
+std::vector<LayerSweep> accuracy_sweep(const std::string& key,
+                                       const std::vector<double>& bounds,
+                                       double* baseline_out) {
+  auto pm = pretrained_pruned(key);
+  auto layers = core::extract_pruned_layers(pm.net);
+  core::CachedHeadOracle oracle(pm.net, pm.test.images, pm.test.labels);
+  const double baseline = oracle.top1();
+  if (baseline_out) *baseline_out = baseline;
+
+  std::vector<LayerSweep> sweeps;
+  for (const auto& layer : layers) {
+    LayerSweep sweep;
+    sweep.layer = layer.name;
+    for (double eb : bounds) {
+      sz::SzParams params;
+      params.error_bound = eb;
+      auto decoded = sz::decompress(sz::compress(layer.data, params));
+      core::load_layers_into_network({layer.with_data(std::move(decoded))},
+                                     pm.net);
+      sweep.points.push_back({eb, oracle.top1()});
+    }
+    core::load_layers_into_network({layer}, pm.net);  // restore
+    sweeps.push_back(std::move(sweep));
+  }
+  return sweeps;
+}
+
+void print_sweep(const std::string& net_name, double baseline,
+                 const std::vector<LayerSweep>& sweeps) {
+  std::printf("\n-- %s (pruned baseline top-1 %s) --\n", net_name.c_str(),
+              fmt_pct(baseline).c_str());
+  std::vector<std::string> header = {"error bound"};
+  for (const auto& s : sweeps) header.push_back(s.layer + " top-1");
+  print_row(header, 14);
+  if (sweeps.empty()) return;
+  for (std::size_t i = 0; i < sweeps[0].points.size(); ++i) {
+    std::vector<std::string> row = {fmt(sweeps[0].points[i].eb, 5)};
+    for (const auto& s : sweeps) row.push_back(fmt_pct(s.points[i].top1));
+    print_row(row, 14);
+  }
+}
+
+}  // namespace deepsz::bench

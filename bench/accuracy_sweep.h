@@ -1,0 +1,35 @@
+// Shared accuracy-vs-error-bound sweep used by the Figure 3 / Figure 5
+// harnesses: for each fc-layer in turn, reconstruct only that layer at each
+// bound and measure top-1 accuracy with the feature-caching oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace deepsz::bench {
+
+struct SweepPoint {
+  double eb;
+  double top1;
+};
+
+struct LayerSweep {
+  std::string layer;
+  std::vector<SweepPoint> points;
+};
+
+/// Sweeps `bounds` over every pruned fc-layer of the cached pruned model for
+/// `key`; returns one curve per layer plus the pruned baseline via
+/// `baseline_out`.
+std::vector<LayerSweep> accuracy_sweep(const std::string& key,
+                                       const std::vector<double>& bounds,
+                                       double* baseline_out);
+
+/// Prints the sweep as a fixed-width table (one row per bound, one column
+/// per layer).
+void print_sweep(const std::string& net_name, double baseline,
+                 const std::vector<LayerSweep>& sweeps);
+
+}  // namespace deepsz::bench

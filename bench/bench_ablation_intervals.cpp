@@ -1,0 +1,54 @@
+// Ablation: SZ quantization interval count (the linear-scaling quantizer's
+// bin budget). Fewer bins shrink the Huffman alphabet but push residuals into
+// the unpredictable (verbatim-float) path; more bins cost table overhead.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sz/sz.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title(
+      "Ablation: quantization interval count (AlexNet fc6, paper-scale)",
+      "ratio and unpredictable-value share per bin budget and error bound");
+
+  const auto& spec = modelzoo::paper_spec("alexnet");
+  auto layer = bench::paper_scale_layer("alexnet", spec.fc[0]);
+
+  bench::print_row({"eb", "bins", "ratio", "unpredictable"}, 16);
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    for (std::uint32_t bins : {64u, 256u, 1024u, 65536u}) {
+      sz::SzParams params;
+      params.error_bound = eb;
+      params.quant_bins = bins;
+      auto stream = sz::compress(layer.data, params);
+      auto info = sz::inspect(stream);
+      double ratio = static_cast<double>(layer.data.size() * 4) /
+                     static_cast<double>(stream.size());
+      bench::print_row(
+          {bench::fmt(eb, 4), std::to_string(bins), bench::fmt(ratio, 2),
+           bench::fmt_pct(static_cast<double>(info.unpredictable) /
+                          static_cast<double>(layer.data.size()))},
+          16);
+    }
+  }
+
+  bench::print_title(
+      "Ablation: SZ lossless backend (AlexNet fc6 data array)",
+      "backend applied to the whole SZ stream; store = no backend");
+  bench::print_row({"eb", "store", "gzip", "zstd", "blosc"}, 12);
+  for (double eb : {1e-2, 1e-3}) {
+    std::vector<std::string> row = {bench::fmt(eb, 3)};
+    for (auto backend :
+         {lossless::CodecId::kStore, lossless::CodecId::kGzipLike,
+          lossless::CodecId::kZstdLike, lossless::CodecId::kBloscLike}) {
+      sz::SzParams params;
+      params.error_bound = eb;
+      params.backend = backend;
+      row.push_back(bench::fmt(sz::compression_ratio(layer.data, params), 2));
+    }
+    bench::print_row(row, 12);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: SZ predictor choice (Lorenzo-1 / Lorenzo-2 / regression /
+// adaptive best-fit) on pruned fc data arrays — the design decision behind
+// SZ 2.0's adaptive predictor that DeepSZ inherits. Also reports the sparse
+// data-array path against compressing the dense pruned matrix (the Section
+// 3.2 representation decision; see EXPERIMENTS.md for the measured deviation
+// from the paper's accuracy-collapse account).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lossless/codec.h"
+#include "sz/sz.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title("Ablation: SZ predictor mode on fc data arrays",
+                     "AlexNet paper-scale layers, eb = layer's chosen bound");
+
+  bench::print_row({"layer", "lorenzo1", "lorenzo2", "regression", "adaptive"},
+                   13);
+  const auto& spec = modelzoo::paper_spec("alexnet");
+  for (const auto& fc : spec.fc) {
+    auto layer = bench::paper_scale_layer("alexnet", fc);
+    std::vector<std::string> row = {fc.layer};
+    for (auto mode :
+         {sz::PredictorMode::kLorenzo1Only, sz::PredictorMode::kLorenzo2Only,
+          sz::PredictorMode::kRegressionOnly, sz::PredictorMode::kAdaptive}) {
+      sz::SzParams params;
+      params.error_bound = fc.chosen_eb;
+      params.predictor = mode;
+      row.push_back(bench::fmt(sz::compression_ratio(layer.data, params), 2));
+    }
+    bench::print_row(row, 13);
+  }
+
+  bench::print_title(
+      "Ablation: sparse data-array path vs dense-matrix path",
+      "compressed bytes at the chosen bound (lower is better); the sparse "
+      "representation is the paper's Section 3.2 choice");
+  bench::print_row({"layer", "data+index bytes", "dense-SZ bytes", "advantage"},
+                   18);
+  for (const auto& fc : spec.fc) {
+    auto layer = bench::paper_scale_layer("alexnet", fc);
+    sz::SzParams params;
+    params.error_bound = fc.chosen_eb;
+    auto data_stream = sz::compress(layer.data, params);
+    auto index_stream =
+        lossless::compress(lossless::CodecId::kZstdLike, layer.index);
+    auto dense = layer.to_dense();
+    auto dense_stream = sz::compress(dense, params);
+    std::size_t sparse_bytes = data_stream.size() + index_stream.size();
+    bench::print_row(
+        {fc.layer, bench::fmt_bytes(sparse_bytes),
+         bench::fmt_bytes(dense_stream.size()),
+         bench::fmt(static_cast<double>(dense_stream.size()) / sparse_bytes,
+                    2) +
+             "x"},
+        18);
+  }
+  return 0;
+}

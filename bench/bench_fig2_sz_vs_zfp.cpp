@@ -1,0 +1,40 @@
+// Figure 2: compression ratios of SZ vs ZFP on the fc-layer data arrays of
+// AlexNet and VGG-16 at absolute error bounds 1e-2, 1e-3, 1e-4.
+//
+// Data arrays are the paper-scale pruned layers with synthesized trained-like
+// weights (see DESIGN.md §3). The claim to reproduce: SZ consistently beats
+// ZFP on these 1-D arrays at every bound.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sz/sz.h"
+#include "zfp/zfp1d.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title("Figure 2: SZ vs ZFP compression ratio on fc data arrays",
+                     "paper-scale layers, synthesized weights; paper shows SZ "
+                     "above ZFP everywhere");
+  const double bounds[] = {1e-2, 1e-3, 1e-4};
+
+  for (const char* key : {"vgg16", "alexnet"}) {
+    const auto& spec = modelzoo::paper_spec(key);
+    std::printf("\n-- %s --\n", spec.name.c_str());
+    bench::print_row({"layer", "eb", "SZ ratio", "ZFP ratio", "SZ/ZFP"}, 12);
+    for (const auto& fc : spec.fc) {
+      auto layer = bench::paper_scale_layer(key, fc);
+      for (double eb : bounds) {
+        sz::SzParams params;
+        params.error_bound = eb;
+        double sz_ratio = sz::compression_ratio(layer.data, params);
+        double zfp_ratio = zfp::compression_ratio(layer.data, eb);
+        bench::print_row({fc.layer, bench::fmt(eb, 4), bench::fmt(sz_ratio, 2),
+                          bench::fmt(zfp_ratio, 2),
+                          bench::fmt(sz_ratio / zfp_ratio, 2)},
+                         12);
+      }
+    }
+  }
+  return 0;
+}

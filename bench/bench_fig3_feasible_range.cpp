@@ -1,0 +1,48 @@
+// Figure 3: inference accuracy vs error bound for the fc-layers of AlexNet,
+// with the feasible error-bound range that Algorithm 1 derives from the
+// distortion criterion (0.1%) and the expected accuracy loss.
+//
+// Run on the CPU-trainable AlexNet-mini (see DESIGN.md §3); the paper's
+// claim, in shape: accuracy is flat at small bounds, then falls off a cliff,
+// and each layer has its own cliff position.
+#include <cstdio>
+
+#include "accuracy_sweep.h"
+#include "core/accuracy.h"
+#include "core/assessment.h"
+#include "core/pruner.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title(
+      "Figure 3: accuracy vs error bound and feasible ranges (AlexNet)",
+      "AlexNet-mini on synthetic ImageNet-20; paper: flat plateau then sharp "
+      "drop per layer");
+
+  const std::vector<double> bounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                      2e-2, 3e-2, 5e-2, 1e-1};
+  double baseline = 0.0;
+  auto sweeps = bench::accuracy_sweep("alexnet", bounds, &baseline);
+  bench::print_sweep("AlexNet", baseline, sweeps);
+
+  // The feasible ranges Algorithm 1 would select.
+  auto pm = bench::pretrained_pruned("alexnet");
+  auto layers = core::extract_pruned_layers(pm.net);
+  core::CachedHeadOracle oracle(pm.net, pm.test.images, pm.test.labels);
+  core::AssessmentConfig cfg;
+  cfg.expected_acc_loss = bench::assessment_budget(
+      modelzoo::paper_spec("alexnet"), pm.test.size());
+  auto assessments = core::assess_error_bounds(pm.net, layers, oracle, cfg);
+
+  std::printf("\nAlgorithm 1 feasible ranges (eps* = %.2f%%):\n",
+              cfg.expected_acc_loss * 100);
+  bench::print_row({"layer", "range lo", "range hi", "points tested"}, 16);
+  for (const auto& la : assessments) {
+    bench::print_row({la.layer, bench::fmt(la.feasible_lo, 5),
+                      bench::fmt(la.feasible_hi, 5),
+                      std::to_string(la.points.size())},
+                     16);
+  }
+  return 0;
+}

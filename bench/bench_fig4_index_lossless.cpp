@@ -1,0 +1,44 @@
+// Figure 4: compression ratios of the gzip-class, Zstandard-class and
+// Blosc-class codecs on the index arrays of AlexNet and VGG-16 fc-layers.
+//
+// Claim to reproduce: Zstandard-class wins on every layer (it is DeepSZ's
+// default index codec), gzip-class is close, Blosc-class trails.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lossless/codec.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title(
+      "Figure 4: lossless codecs on fc index arrays",
+      "paper-scale index arrays; paper: Zstandard best on every layer");
+
+  for (const char* key : {"vgg16", "alexnet"}) {
+    const auto& spec = modelzoo::paper_spec(key);
+    std::printf("\n-- %s --\n", spec.name.c_str());
+    bench::print_row({"layer", "raw size", "gzip", "zstd", "blosc", "winner"},
+                     12);
+    for (const auto& fc : spec.fc) {
+      auto layer = bench::paper_scale_layer(key, fc);
+      std::vector<std::string> row = {fc.layer,
+                                      bench::fmt_bytes(layer.index.size())};
+      double best = 0.0;
+      std::string winner;
+      for (auto codec : lossless::all_codecs()) {
+        auto frame = lossless::compress(codec, layer.index);
+        double ratio = static_cast<double>(layer.index.size()) /
+                       static_cast<double>(frame.size());
+        row.push_back(bench::fmt(ratio, 3));
+        if (ratio > best) {
+          best = ratio;
+          winner = lossless::codec_name(codec);
+        }
+      }
+      row.push_back(winner);
+      bench::print_row(row, 12);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 5 (a-d): inference accuracy vs error bound for every fc-layer of
+// LeNet-300-100, LeNet-5, AlexNet and VGG-16.
+//
+// LeNets run at full paper scale on synthetic MNIST; AlexNet/VGG run as the
+// CPU-trainable mini variants on synthetic ImageNet-20 (DESIGN.md §3). Shape
+// to reproduce: every curve is flat up to a layer-specific threshold, then
+// drops sharply; bounds of order 1e-1 destroy accuracy; 1e-4 is lossless.
+#include "accuracy_sweep.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title("Figure 5: accuracy vs error bound per fc-layer",
+                     "four networks; paper panels (a)-(d)");
+  const std::vector<double> bounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                      3e-2, 1e-1, 3e-1};
+  for (const char* key : {"lenet300", "lenet5", "alexnet", "vgg16"}) {
+    double baseline = 0.0;
+    auto sweeps = bench::accuracy_sweep(key, bounds, &baseline);
+    bench::print_sweep(modelzoo::paper_spec(key).name, baseline, sweeps);
+  }
+  return 0;
+}

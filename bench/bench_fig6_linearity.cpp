@@ -1,0 +1,83 @@
+// Figure 6: approximate linearity of accuracy loss — the expected loss (sum
+// of per-layer degradations measured in isolation) against the actual loss
+// when all fc-layers are reconstructed together, over random error-bound
+// combinations.
+//
+// Claim to reproduce: points hug the y = x diagonal while the loss stays
+// below ~2%, which is what justifies Algorithm 2's additive model.
+#include <cstdio>
+
+#include <map>
+
+#include "bench_util.h"
+#include "core/accuracy.h"
+#include "core/pruner.h"
+#include "sz/sz.h"
+#include "util/rng.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title(
+      "Figure 6: expected vs actual accuracy loss",
+      "random per-layer error-bound combinations on AlexNet-mini and "
+      "LeNet-300-100; paper: near-linear below 2%");
+
+  util::Pcg32 rng(0xF16);
+  const std::vector<double> candidate_ebs = {1e-3, 3e-3, 5e-3, 1e-2,
+                                             2e-2, 3e-2, 5e-2};
+
+  for (const char* key : {"lenet300", "alexnet"}) {
+    auto pm = bench::pretrained_pruned(key);
+    auto layers = core::extract_pruned_layers(pm.net);
+    core::CachedHeadOracle oracle(pm.net, pm.test.images, pm.test.labels);
+    const double baseline = oracle.top1();
+
+    // Per-layer isolated degradations for every candidate bound.
+    std::map<std::string, std::vector<double>> drops;
+    std::map<std::string, std::vector<std::vector<float>>> decoded;
+    for (const auto& layer : layers) {
+      for (double eb : candidate_ebs) {
+        sz::SzParams params;
+        params.error_bound = eb;
+        auto data = sz::decompress(sz::compress(layer.data, params));
+        core::load_layers_into_network({layer.with_data(data)}, pm.net);
+        drops[layer.name].push_back(baseline - oracle.top1());
+        decoded[layer.name].push_back(std::move(data));
+      }
+      core::load_layers_into_network({layer}, pm.net);
+    }
+
+    std::printf("\n-- %s (baseline %s) --\n",
+                modelzoo::paper_spec(key).name.c_str(),
+                bench::fmt_pct(baseline).c_str());
+    bench::print_row({"combo (eb per layer)", "expected loss", "actual loss",
+                      "|diff|"},
+                     22);
+    double max_abs_diff = 0.0;
+    for (int combo = 0; combo < 16; ++combo) {
+      double expected = 0.0;
+      std::vector<sparse::PrunedLayer> reconstructed;
+      std::string combo_desc;
+      for (const auto& layer : layers) {
+        auto pick = rng.bounded(static_cast<std::uint32_t>(candidate_ebs.size()));
+        expected += std::max(0.0, drops[layer.name][pick]);
+        reconstructed.push_back(
+            layer.with_data(decoded[layer.name][pick]));
+        combo_desc += (combo_desc.empty() ? "" : "/") +
+                      bench::fmt(candidate_ebs[pick], 3);
+      }
+      core::load_layers_into_network(reconstructed, pm.net);
+      double actual = baseline - oracle.top1();
+      core::load_layers_into_network(layers, pm.net);
+      max_abs_diff = std::max(max_abs_diff, std::abs(actual - expected));
+      bench::print_row({combo_desc, bench::fmt_pct(expected),
+                        bench::fmt_pct(std::max(0.0, actual)),
+                        bench::fmt_pct(std::abs(actual - expected))},
+                       22);
+    }
+    std::printf("max |actual - expected| = %s\n",
+                bench::fmt_pct(max_abs_diff).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Micro-benchmarks: lossless codec throughput and ratio on index-array-like
+// data (the workload of DeepSZ's step 4). google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lossless/codec.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<std::uint8_t> index_like(std::size_t n) {
+  deepsz::util::Pcg32 rng(77);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    double u = rng.uniform();
+    if (u < 0.8) {
+      b = static_cast<std::uint8_t>(8 + rng.bounded(8));
+    } else if (u < 0.99) {
+      b = static_cast<std::uint8_t>(1 + rng.bounded(64));
+    } else {
+      b = 255;
+    }
+  }
+  return out;
+}
+
+void BM_Compress(benchmark::State& state, deepsz::lossless::CodecId codec) {
+  auto data = index_like(4 << 20);
+  std::size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto frame = deepsz::lossless::compress(codec, data);
+    out_bytes = frame.size();
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) / static_cast<double>(out_bytes);
+}
+
+void BM_Decompress(benchmark::State& state, deepsz::lossless::CodecId codec) {
+  auto data = index_like(4 << 20);
+  auto frame = deepsz::lossless::compress(codec, data);
+  for (auto _ : state) {
+    auto back = deepsz::lossless::decompress(frame);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size());
+}
+
+BENCHMARK_CAPTURE(BM_Compress, gzip, deepsz::lossless::CodecId::kGzipLike);
+BENCHMARK_CAPTURE(BM_Compress, zstd, deepsz::lossless::CodecId::kZstdLike);
+BENCHMARK_CAPTURE(BM_Compress, blosc, deepsz::lossless::CodecId::kBloscLike);
+BENCHMARK_CAPTURE(BM_Decompress, gzip, deepsz::lossless::CodecId::kGzipLike);
+BENCHMARK_CAPTURE(BM_Decompress, zstd, deepsz::lossless::CodecId::kZstdLike);
+BENCHMARK_CAPTURE(BM_Decompress, blosc, deepsz::lossless::CodecId::kBloscLike);
+
+}  // namespace
+
+BENCHMARK_MAIN();

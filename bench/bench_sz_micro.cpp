@@ -1,0 +1,87 @@
+// Micro-benchmarks: SZ and ZFP compression / decompression throughput on
+// pruned-weight-like data, across error bounds. google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sz/sz.h"
+#include "util/rng.h"
+#include "zfp/zfp1d.h"
+
+namespace {
+
+std::vector<float> weights_like(std::size_t n) {
+  deepsz::util::Pcg32 rng(1234);
+  std::vector<float> x(n);
+  for (auto& v : x) {
+    float w = 0;
+    while (std::abs(w) < 0.01f) {
+      w = static_cast<float>(rng.laplace(0.03));
+    }
+    v = std::clamp(w, -0.3f, 0.3f);
+  }
+  return x;
+}
+
+void BM_SzCompress(benchmark::State& state) {
+  auto data = weights_like(1 << 20);
+  deepsz::sz::SzParams params;
+  params.error_bound = 1.0 / static_cast<double>(state.range(0));
+  std::size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto stream = deepsz::sz::compress(data, params);
+    out_bytes = stream.size();
+    benchmark::DoNotOptimize(stream);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * sizeof(float));
+  state.counters["ratio"] =
+      static_cast<double>(data.size() * 4) / static_cast<double>(out_bytes);
+}
+BENCHMARK(BM_SzCompress)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SzDecompress(benchmark::State& state) {
+  auto data = weights_like(1 << 20);
+  deepsz::sz::SzParams params;
+  params.error_bound = 1.0 / static_cast<double>(state.range(0));
+  auto stream = deepsz::sz::compress(data, params);
+  for (auto _ : state) {
+    auto back = deepsz::sz::decompress(stream);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * sizeof(float));
+}
+BENCHMARK(BM_SzDecompress)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ZfpCompress(benchmark::State& state) {
+  auto data = weights_like(1 << 20);
+  double tol = 1.0 / static_cast<double>(state.range(0));
+  std::size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto stream = deepsz::zfp::compress(data, tol);
+    out_bytes = stream.size();
+    benchmark::DoNotOptimize(stream);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * sizeof(float));
+  state.counters["ratio"] =
+      static_cast<double>(data.size() * 4) / static_cast<double>(out_bytes);
+}
+BENCHMARK(BM_ZfpCompress)->Arg(100)->Arg(1000);
+
+void BM_ZfpDecompress(benchmark::State& state) {
+  auto data = weights_like(1 << 20);
+  auto stream = deepsz::zfp::compress(data, 1e-3);
+  for (auto _ : state) {
+    auto back = deepsz::zfp::decompress(stream);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          data.size() * sizeof(float));
+}
+BENCHMARK(BM_ZfpDecompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Table 4: per-layer and overall compression ratios of Deep Compression,
+// Weightless and DeepSZ on the same pruned layers.
+//
+// All three methods consume identical paper-scale pruned layers. Deep
+// Compression uses its 5-bit codebook; Weightless uses its Bloomier filter;
+// DeepSZ uses the paper's chosen error bounds plus the Zstandard-class index
+// codec. Claim to reproduce: DeepSZ wins overall on every network.
+#include <cstdio>
+
+#include "baselines/deep_compression.h"
+#include "baselines/weightless.h"
+#include "bench_util.h"
+#include "core/model_codec.h"
+
+using namespace deepsz;
+
+int main() {
+  bench::print_title(
+      "Table 4: compression ratios of the three methods (paper values in "
+      "parentheses; '-' = unreported)",
+      "identical pruned layers per method; Weightless skipped above 20M "
+      "dense weights to bound runtime. NOTE: the paper's low Weightless "
+      "OVERALL ratios count the other layers uncompressed (it encodes only "
+      "the largest layer); our implementation encodes every layer");
+
+  for (const char* key : {"lenet300", "lenet5", "alexnet", "vgg16"}) {
+    const auto& spec = modelzoo::paper_spec(key);
+    auto layers = bench::paper_scale_layers(key);
+    std::printf("\n-- %s --\n", spec.name.c_str());
+    bench::print_row({"layer", "DeepComp", "(paper)", "Weightless", "(paper)",
+                      "DeepSZ", "(paper)"},
+                     12);
+
+    std::size_t dense_total = 0, dc_total = 0, wl_total = 0, dsz_total = 0;
+    bool wl_complete = true;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const auto& layer = layers[i];
+      const auto& fc = spec.fc[i];
+      dense_total += layer.dense_bytes();
+
+      auto dc = baselines::dc_encode(layer);
+      dc_total += dc.blob.size();
+      double dc_ratio =
+          static_cast<double>(layer.dense_bytes()) / dc.blob.size();
+
+      // Weightless decodes by querying every dense position; cap the layer
+      // size so the suite stays fast (fc6 of AlexNet/VGG-16 exceed it).
+      double wl_ratio = 0.0;
+      std::string wl_cell = "-";
+      if (layer.dense_count() <= 20'000'000) {
+        auto wl = baselines::weightless_encode(layer);
+        wl_total += wl.blob.size();
+        wl_ratio = static_cast<double>(layer.dense_bytes()) / wl.blob.size();
+        wl_cell = bench::fmt(wl_ratio, 1) + "x";
+      } else {
+        wl_complete = false;
+      }
+
+      auto model = core::encode_model({layer}, {{layer.name, fc.chosen_eb}},
+                                      sz::SzParams{});
+      dsz_total += model.compressed_payload_bytes();
+      double dsz_ratio = model.compression_ratio();
+
+      auto paper_cell = [](double v) {
+        return v > 0 ? "(" + bench::fmt(v, 1) + "x)" : "(-)";
+      };
+      bench::print_row({fc.layer, bench::fmt(dc_ratio, 1) + "x",
+                        paper_cell(fc.paper_cr_deepcomp), wl_cell,
+                        paper_cell(fc.paper_cr_weightless),
+                        bench::fmt(dsz_ratio, 1) + "x",
+                        paper_cell(fc.paper_cr_deepsz)},
+                       12);
+    }
+    auto overall = [&](std::size_t total) {
+      return total ? bench::fmt(static_cast<double>(dense_total) / total, 1) + "x"
+                   : std::string("-");
+    };
+    bench::print_row(
+        {"overall", overall(dc_total),
+         "(" + bench::fmt(spec.paper_overall_cr_deepcomp, 1) + "x)",
+         wl_complete ? overall(wl_total) : "-",
+         spec.paper_overall_cr_weightless > 0
+             ? "(" + bench::fmt(spec.paper_overall_cr_weightless, 1) + "x)"
+             : "(-)",
+         overall(dsz_total),
+         "(" + bench::fmt(spec.paper_overall_cr_deepsz, 1) + "x)"},
+        12);
+  }
+  return 0;
+}

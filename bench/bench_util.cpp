@@ -1,0 +1,163 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "data/weight_synthesis.h"
+#include "sparse/pruning.h"
+#include "util/byte_io.h"
+#include "util/log.h"
+
+namespace deepsz::bench {
+
+void print_title(const std::string& title, const std::string& note) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!note.empty()) {
+    std::printf("   %s\n", note.c_str());
+  }
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const auto& c : cells) {
+    std::printf("%-*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  if (bytes >= 10ull * 1024 * 1024) {
+    return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) + " MB";
+  }
+  if (bytes >= 10ull * 1024) {
+    return fmt(static_cast<double>(bytes) / 1024.0, 1) + " KB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string fmt_pct(double frac, int precision) {
+  return fmt(frac * 100.0, precision) + "%";
+}
+
+namespace {
+
+std::string layer_cache_path(const std::string& net_key,
+                             const modelzoo::PaperFcSpec& spec) {
+  return modelzoo::cache_dir() + "/layer_" + net_key + "_" + spec.layer +
+         "_v1.bin";
+}
+
+void save_layer(const std::string& path, const sparse::PrunedLayer& layer) {
+  std::vector<std::uint8_t> buf;
+  util::put_string(buf, layer.name);
+  util::put_le<std::int64_t>(buf, layer.rows);
+  util::put_le<std::int64_t>(buf, layer.cols);
+  util::put_le<std::uint64_t>(buf, layer.data.size());
+  for (float v : layer.data) util::put_le<float>(buf, v);
+  for (auto b : layer.index) buf.push_back(b);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return;
+  std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+}
+
+bool load_layer(const std::string& path, sparse::PrunedLayer* layer) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  bool ok = std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return false;
+  try {
+    util::ByteReader r(buf);
+    layer->name = r.get_string();
+    layer->rows = r.get<std::int64_t>();
+    layer->cols = r.get<std::int64_t>();
+    auto n = static_cast<std::size_t>(r.get<std::uint64_t>());
+    layer->data.resize(n);
+    for (auto& v : layer->data) v = r.get<float>();
+    auto rest = r.get_bytes(n);
+    layer->index.assign(rest.begin(), rest.end());
+    return r.done();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+sparse::PrunedLayer paper_scale_layer(const std::string& net_key,
+                                      const modelzoo::PaperFcSpec& spec) {
+  const std::string path = layer_cache_path(net_key, spec);
+  sparse::PrunedLayer layer;
+  if (load_layer(path, &layer)) return layer;
+
+  // Seed derived from the layer identity keeps every bench in agreement.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  for (char c : net_key + "/" + spec.layer) seed = seed * 131 + c;
+  layer = data::synthesize_pruned_layer(spec.layer, spec.rows, spec.cols,
+                                        spec.keep_ratio, seed);
+  save_layer(path, layer);
+  return layer;
+}
+
+std::vector<sparse::PrunedLayer> paper_scale_layers(
+    const std::string& net_key) {
+  const auto& spec = modelzoo::paper_spec(net_key);
+  std::vector<sparse::PrunedLayer> layers;
+  for (const auto& fc : spec.fc) {
+    layers.push_back(paper_scale_layer(net_key, fc));
+  }
+  return layers;
+}
+
+double assessment_budget(const modelzoo::PaperNetSpec& spec,
+                         std::int64_t test_n) {
+  const double paper = spec.expected_acc_loss / 100.0;
+  const double quantum_floor = 6.0 / static_cast<double>(std::max<std::int64_t>(1, test_n));
+  return std::max(paper, quantum_floor);
+}
+
+PrunedModel pretrained_pruned(const std::string& key) {
+  auto m = modelzoo::pretrained(key);
+  PrunedModel pm;
+  pm.net = std::move(m.net);
+  pm.train = std::move(m.train);
+  pm.test = std::move(m.test);
+
+  const auto& spec = modelzoo::paper_spec(key);
+  const std::string path = modelzoo::cache_dir() + "/" + key + "_pruned_v1.weights";
+  if (std::filesystem::exists(path)) {
+    pm.net.load(path);
+    // Reinstall masks from the zero pattern.
+    for (auto* d : pm.net.dense_layers()) {
+      bool in_spec = false;
+      for (const auto& fc : spec.fc) in_spec |= fc.layer == d->name();
+      if (!in_spec) continue;
+      std::vector<float> weights(d->weight().flat().begin(),
+                                 d->weight().flat().end());
+      d->set_mask(sparse::nonzero_mask(weights));
+    }
+  } else {
+    core::PruneConfig cfg;
+    for (const auto& fc : spec.fc) cfg.keep_ratio[fc.layer] = fc.keep_ratio;
+    cfg.retrain_epochs = 2;
+    core::prune_and_retrain(pm.net, pm.train.images, pm.train.labels, cfg);
+    pm.net.save(path);
+  }
+  pm.base_pruned = nn::evaluate(pm.net, pm.test.images, pm.test.labels);
+  return pm;
+}
+
+}  // namespace deepsz::bench

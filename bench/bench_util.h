@@ -1,0 +1,55 @@
+// Shared machinery for the experiment harnesses: fixed-width table printing,
+// cached paper-scale layer synthesis, and cached pruned+retrained networks.
+//
+// Every bench binary regenerates one table or figure of the paper and prints
+// the paper's reported values alongside our measurements. Caching lives under
+// modelzoo::cache_dir() so the whole suite is fast after the first run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pruner.h"
+#include "modelzoo/paper_specs.h"
+#include "modelzoo/pretrained.h"
+#include "sparse/pruned_layer.h"
+
+namespace deepsz::bench {
+
+/// Prints a header line like "== Figure 2: ... ==" plus a provenance note.
+void print_title(const std::string& title, const std::string& note = {});
+
+/// Simple fixed-width row printer: print_row({"fc6", "54.4", "52.1"}, 12).
+void print_row(const std::vector<std::string>& cells, int width = 14);
+
+/// Formats helpers.
+std::string fmt(double v, int precision = 2);
+std::string fmt_bytes(std::size_t bytes);
+std::string fmt_pct(double frac, int precision = 2);  // 0.57 -> "57.00%"
+
+/// A paper-scale pruned fc-layer (synthesized trained-like weights pruned at
+/// the paper's ratio), cached on disk after first synthesis.
+sparse::PrunedLayer paper_scale_layer(const std::string& net_key,
+                                      const modelzoo::PaperFcSpec& spec);
+
+/// All paper-scale fc-layers of one network.
+std::vector<sparse::PrunedLayer> paper_scale_layers(const std::string& net_key);
+
+/// A trained network pruned at the paper's ratios and mask-retrained, with
+/// weights cached. The returned network has masks installed.
+struct PrunedModel {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+  nn::Accuracy base_pruned;  // accuracy after prune+retrain
+};
+PrunedModel pretrained_pruned(const std::string& key);
+
+/// Expected-accuracy-loss budget for Algorithms 1+2 on a finite test set:
+/// the paper's budget (0.2% / 0.4%, calibrated to 10k-50k test images)
+/// floored at a few accuracy quanta of our synthetic test set — a budget
+/// below the measurement resolution is unsatisfiable noise.
+double assessment_budget(const modelzoo::PaperNetSpec& spec,
+                         std::int64_t test_n);
+
+}  // namespace deepsz::bench

@@ -1,0 +1,66 @@
+// The two DeepSZ operating modes (Section 3.4):
+//
+//   expected-accuracy mode — "give me the smallest model that loses at most
+//       X% accuracy" (sweeps X and shows the ratio frontier);
+//   expected-ratio mode — "give me the most accurate model no larger than
+//       1/R of the original" (sweeps R and shows the accuracy frontier).
+//
+// The flexibility to pick either side of the trade-off is one of DeepSZ's
+// advantages over Deep Compression and Weightless (Section 4.2/4.3).
+#include <cstdio>
+
+#include "core/accuracy.h"
+#include "core/assessment.h"
+#include "core/optimizer.h"
+#include "core/pruner.h"
+#include "modelzoo/pretrained.h"
+
+int main() {
+  using namespace deepsz;
+  auto m = modelzoo::pretrained("lenet300");
+
+  // Prune once at the paper's ratios; both sweeps reuse the assessment.
+  core::PruneConfig prune_cfg;
+  prune_cfg.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.09}, {"ip3", 0.26}};
+  prune_cfg.retrain_epochs = 2;
+  core::prune_and_retrain(m.net, m.train.images, m.train.labels, prune_cfg);
+  auto layers = core::extract_pruned_layers(m.net);
+  std::size_t dense_bytes = 0;
+  for (const auto& l : layers) dense_bytes += l.dense_bytes();
+
+  core::CachedHeadOracle oracle(m.net, m.test.images, m.test.labels);
+  core::AssessmentConfig cfg;
+  cfg.expected_acc_loss = 0.02;  // assess far enough for every sweep point
+  auto assessments = core::assess_error_bounds(m.net, layers, oracle, cfg);
+
+  std::printf("LeNet-300-100, fc-layers %.0f KB dense\n\n", dense_bytes / 1024.0);
+  std::printf("expected-accuracy mode (maximize ratio under a loss budget):\n");
+  std::printf("  %-14s %-16s %-14s\n", "loss budget", "SZ data bytes",
+              "per-layer eb");
+  for (double budget : {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02}) {
+    auto res = core::optimize_for_accuracy(assessments, budget);
+    std::string ebs;
+    for (const auto& c : res.choices) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0e ", c.eb);
+      ebs += buf;
+    }
+    std::printf("  %-14.2f%% %-16zu %-14s\n", budget * 100, res.total_bytes,
+                ebs.c_str());
+  }
+
+  std::printf("\nexpected-ratio mode (maximize accuracy under a size budget):\n");
+  std::printf("  %-14s %-16s %-16s\n", "target ratio", "SZ data bytes",
+              "expected loss");
+  for (double ratio : {20.0, 40.0, 60.0, 80.0}) {
+    auto budget = static_cast<std::size_t>(dense_bytes / ratio);
+    try {
+      auto res = core::optimize_for_size(assessments, budget);
+      std::printf("  %-14.0fx %-16zu %.3f%%\n", ratio, res.total_bytes,
+                  res.expected_total_drop * 100);
+    } catch (const std::exception&) {
+      std::printf("  %-14.0fx infeasible at the assessed bounds\n", ratio);
+    }
+  }
+  return 0;
+}

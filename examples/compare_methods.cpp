@@ -1,0 +1,86 @@
+// Head-to-head on one network: DeepSZ vs Deep Compression vs Weightless,
+// applied to the same pruned LeNet-5, reporting compressed size and the
+// accuracy each method retains without retraining — the trade-off at the
+// heart of the paper's Tables 4 and 5.
+#include <cstdio>
+
+#include "baselines/deep_compression.h"
+#include "baselines/weightless.h"
+#include "core/accuracy.h"
+#include "core/assessment.h"
+#include "core/model_codec.h"
+#include "core/optimizer.h"
+#include "core/pruner.h"
+#include "modelzoo/pretrained.h"
+
+int main() {
+  using namespace deepsz;
+  auto m = modelzoo::pretrained("lenet5");
+
+  core::PruneConfig prune_cfg;
+  prune_cfg.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.19}};
+  prune_cfg.retrain_epochs = 2;
+  core::prune_and_retrain(m.net, m.train.images, m.train.labels, prune_cfg);
+  auto layers = core::extract_pruned_layers(m.net);
+  core::CachedHeadOracle oracle(m.net, m.test.images, m.test.labels);
+  const double baseline = oracle.top1();
+
+  std::size_t dense_bytes = 0;
+  for (const auto& l : layers) dense_bytes += l.dense_bytes();
+  std::printf("pruned LeNet-5: top-1 %.2f%%, fc dense %.0f KB\n\n",
+              baseline * 100, dense_bytes / 1024.0);
+  std::printf("%-16s %-14s %-12s %-12s\n", "method", "compressed", "ratio",
+              "top-1 after");
+
+  // DeepSZ: assessment + optimization + container.
+  {
+    core::AssessmentConfig cfg;
+    cfg.expected_acc_loss = 0.002;
+    auto assessments = core::assess_error_bounds(m.net, layers, oracle, cfg);
+    auto chosen = core::optimize_for_accuracy(assessments, 0.002);
+    std::map<std::string, double> ebs;
+    for (const auto& c : chosen.choices) ebs[c.layer] = c.eb;
+    auto model = core::encode_model(layers, ebs, sz::SzParams{});
+    auto decoded = core::decode_model(model.bytes, false);
+    core::load_layers_into_network(decoded.layers, m.net);
+    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "DeepSZ",
+                model.compressed_payload_bytes() / 1024.0,
+                model.compression_ratio(), oracle.top1() * 100);
+    core::load_layers_into_network(layers, m.net);
+  }
+
+  // Deep Compression at its paper setting (5-bit codebook).
+  {
+    std::size_t total = 0;
+    std::vector<sparse::PrunedLayer> decoded;
+    for (const auto& l : layers) {
+      auto enc = baselines::dc_encode(l);
+      total += enc.blob.size();
+      decoded.push_back(baselines::dc_decode(enc.blob));
+    }
+    core::load_layers_into_network(decoded, m.net);
+    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "DeepCompression",
+                total / 1024.0, static_cast<double>(dense_bytes) / total,
+                oracle.top1() * 100);
+    core::load_layers_into_network(layers, m.net);
+  }
+
+  // Weightless (4-bit clusters + Bloomier filter).
+  {
+    std::size_t total = 0;
+    std::vector<sparse::PrunedLayer> decoded;
+    for (const auto& l : layers) {
+      auto enc = baselines::weightless_encode(l);
+      total += enc.blob.size();
+      auto dense = baselines::weightless_decode(enc.blob);
+      decoded.push_back(
+          sparse::PrunedLayer::from_dense(dense, l.rows, l.cols, l.name));
+    }
+    core::load_layers_into_network(decoded, m.net);
+    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "Weightless",
+                total / 1024.0, static_cast<double>(dense_bytes) / total,
+                oracle.top1() * 100);
+    core::load_layers_into_network(layers, m.net);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: compress a trained network with DeepSZ in ~30 lines.
+//
+//   1. train (or load) a network;
+//   2. call core::run_deepsz with per-layer pruning ratios and an expected
+//      accuracy loss;
+//   3. ship report.model.bytes; decode on the edge device with
+//      core::load_compressed_model.
+//
+// Uses full-scale LeNet-300-100 on the synthetic MNIST substitute. The first
+// run trains and caches the network (~20 s); later runs are instant.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "modelzoo/pretrained.h"
+#include "modelzoo/zoo.h"
+
+int main() {
+  using namespace deepsz;
+
+  // A trained network plus its train/test data (cached after first use).
+  auto m = modelzoo::pretrained("lenet300");
+  std::printf("trained LeNet-300-100: top-1 %.2f%%\n", m.base.top1 * 100);
+
+  // Configure the four-step pipeline: pruning ratios per fc-layer (paper
+  // Table 2a) and the user-expected accuracy loss (0.2%).
+  core::DeepSzOptions opts;
+  opts.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.09}, {"ip3", 0.26}};
+  opts.retrain_epochs = 2;
+  opts.expected_acc_loss = 0.002;
+
+  auto report = core::run_deepsz(m.net, m.train.images, m.train.labels,
+                                 m.test.images, m.test.labels, opts);
+
+  std::printf("\nfc-layers: %.1f KB dense -> %.1f KB compressed (%.1fx)\n",
+              report.dense_fc_bytes / 1024.0,
+              report.model.compressed_payload_bytes() / 1024.0,
+              report.compression_ratio);
+  std::printf("top-1: %.2f%% original, %.2f%% after decode (budget %.1f%%)\n",
+              report.acc_original.top1 * 100, report.acc_decoded.top1 * 100,
+              opts.expected_acc_loss * 100);
+  for (const auto& c : report.chosen.choices) {
+    std::printf("  layer %-4s error bound %.0e -> %zu bytes\n",
+                c.layer.c_str(), c.eb, c.data_bytes);
+  }
+
+  // The compressed model is a self-contained byte blob (weights + biases):
+  // decode it into a freshly built network of the same architecture.
+  auto fresh = modelzoo::make_by_key("lenet300");
+  auto timing = core::load_compressed_model(report.model.bytes, fresh);
+  std::printf("decode: %.1f ms (lossless %.1f + SZ %.1f + rebuild %.1f)\n",
+              timing.total_ms(), timing.lossless_ms, timing.sz_ms,
+              timing.reconstruct_ms);
+  auto acc = nn::evaluate(fresh, m.test.images, m.test.labels);
+  std::printf("decoded network top-1: %.2f%%\n", acc.top1 * 100);
+  return 0;
+}

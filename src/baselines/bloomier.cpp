@@ -1,0 +1,185 @@
+#include "baselines/bloomier.h"
+
+#include <stdexcept>
+
+#include "util/byte_io.h"
+
+namespace deepsz::baselines {
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void BloomierFilter::slots_for_key(std::uint64_t key,
+                                   std::uint64_t* slots) const {
+  // Four distinct slots via rehash-until-unique (m_ >= 4 always holds).
+  std::uint64_t h = mix64(key ^ seed_);
+  for (int i = 0; i < kHashes; ++i) {
+    for (;;) {
+      h = mix64(h + 0x632be59bd9b4e019ull * (i + 1));
+      std::uint64_t s = h % m_;
+      bool dup = false;
+      for (int j = 0; j < i; ++j) dup |= (slots[j] == s);
+      if (!dup) {
+        slots[i] = s;
+        break;
+      }
+    }
+  }
+}
+
+std::uint32_t BloomierFilter::mask_for_key(std::uint64_t key) const {
+  return static_cast<std::uint32_t>(mix64(key ^ (seed_ * 0x5851f42d4c957f2dull)));
+}
+
+std::uint64_t BloomierFilter::get_slot(std::uint64_t idx) const {
+  const std::uint64_t bit = idx * static_cast<std::uint64_t>(t_);
+  const std::uint64_t word = bit >> 6;
+  const int off = static_cast<int>(bit & 63);
+  std::uint64_t v = table_[word] >> off;
+  if (off + t_ > 64) {
+    v |= table_[word + 1] << (64 - off);
+  }
+  return v & ((t_ == 64) ? ~0ull : ((1ull << t_) - 1));
+}
+
+void BloomierFilter::set_slot(std::uint64_t idx, std::uint32_t value) {
+  const std::uint64_t bit = idx * static_cast<std::uint64_t>(t_);
+  const std::uint64_t word = bit >> 6;
+  const int off = static_cast<int>(bit & 63);
+  const std::uint64_t mask = (t_ == 64) ? ~0ull : ((1ull << t_) - 1);
+  const std::uint64_t v = static_cast<std::uint64_t>(value) & mask;
+  table_[word] = (table_[word] & ~(mask << off)) | (v << off);
+  if (off + t_ > 64) {
+    const int spill = off + t_ - 64;
+    const std::uint64_t hi_mask = (1ull << spill) - 1;
+    table_[word + 1] = (table_[word + 1] & ~hi_mask) | (v >> (64 - off));
+  }
+}
+
+BloomierFilter BloomierFilter::build(
+    std::span<const std::pair<std::uint64_t, std::uint32_t>> entries,
+    int value_bits, double slots_per_key, int max_retries) {
+  if (value_bits < 1 || value_bits > 32) {
+    throw std::invalid_argument("BloomierFilter: value_bits out of [1, 32]");
+  }
+  const std::size_t n = entries.size();
+
+  double c = slots_per_key;
+  for (int attempt = 0; attempt < max_retries; ++attempt, c *= 1.05) {
+    BloomierFilter f;
+    f.t_ = value_bits;
+    f.m_ = std::max<std::uint64_t>(
+        kHashes + 1, static_cast<std::uint64_t>(c * static_cast<double>(n)) + 1);
+    f.seed_ = mix64(0xB10031e5 + attempt * 0x9e37ull);
+
+    // Incidence structure: per-slot degree and xor of incident key indices.
+    std::vector<std::uint32_t> degree(f.m_, 0);
+    std::vector<std::uint64_t> key_xor(f.m_, 0);
+    std::vector<std::uint64_t> slots(n * kHashes);
+    for (std::size_t i = 0; i < n; ++i) {
+      f.slots_for_key(entries[i].first, &slots[i * kHashes]);
+      for (int j = 0; j < kHashes; ++j) {
+        std::uint64_t s = slots[i * kHashes + j];
+        ++degree[s];
+        key_xor[s] ^= i;
+      }
+    }
+
+    // Peel: process slots of degree 1; each reveals one key.
+    std::vector<std::uint64_t> stack;
+    for (std::uint64_t s = 0; s < f.m_; ++s) {
+      if (degree[s] == 1) stack.push_back(s);
+    }
+    // (key index, slot that freed it) in peel order.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
+    order.reserve(n);
+    std::vector<bool> peeled(n, false);
+    while (!stack.empty()) {
+      std::uint64_t s = stack.back();
+      stack.pop_back();
+      if (degree[s] != 1) continue;
+      std::uint64_t key_idx = key_xor[s];
+      if (peeled[key_idx]) continue;
+      peeled[key_idx] = true;
+      order.emplace_back(key_idx, s);
+      for (int j = 0; j < kHashes; ++j) {
+        std::uint64_t sj = slots[key_idx * kHashes + j];
+        --degree[sj];
+        key_xor[sj] ^= key_idx;
+        if (degree[sj] == 1) stack.push_back(sj);
+      }
+    }
+    if (order.size() != n) continue;  // peeling failed; retry
+
+    // Assign in reverse peel order: the freeing slot is still unset.
+    const std::uint64_t words = (f.m_ * static_cast<std::uint64_t>(f.t_) + 63) / 64 + 1;
+    f.table_.assign(words, 0);
+    const std::uint32_t vmask =
+        (f.t_ == 32) ? 0xffffffffu : ((1u << f.t_) - 1u);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      auto [key_idx, free_slot] = *it;
+      std::uint32_t acc =
+          entries[key_idx].second ^ f.mask_for_key(entries[key_idx].first);
+      for (int j = 0; j < kHashes; ++j) {
+        std::uint64_t sj = slots[key_idx * kHashes + j];
+        if (sj != free_slot) {
+          acc ^= static_cast<std::uint32_t>(f.get_slot(sj));
+        }
+      }
+      f.set_slot(free_slot, acc & vmask);
+    }
+    return f;
+  }
+  throw std::runtime_error("BloomierFilter: construction failed after retries");
+}
+
+std::uint32_t BloomierFilter::query(std::uint64_t key) const {
+  std::uint64_t slots[kHashes];
+  slots_for_key(key, slots);
+  std::uint32_t acc = mask_for_key(key);
+  for (int j = 0; j < kHashes; ++j) {
+    acc ^= static_cast<std::uint32_t>(get_slot(slots[j]));
+  }
+  const std::uint32_t vmask = (t_ == 32) ? 0xffffffffu : ((1u << t_) - 1u);
+  return acc & vmask;
+}
+
+std::size_t BloomierFilter::size_bytes() const {
+  // Packed slot bits + (m, t, seed) header.
+  return (m_ * static_cast<std::uint64_t>(t_) + 7) / 8 + 20;
+}
+
+std::vector<std::uint8_t> BloomierFilter::serialize() const {
+  std::vector<std::uint8_t> out;
+  util::put_le<std::uint64_t>(out, m_);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(t_));
+  util::put_le<std::uint64_t>(out, seed_);
+  util::put_le<std::uint64_t>(out, table_.size());
+  for (auto w : table_) util::put_le<std::uint64_t>(out, w);
+  return out;
+}
+
+BloomierFilter BloomierFilter::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  BloomierFilter f;
+  f.m_ = r.get<std::uint64_t>();
+  f.t_ = static_cast<int>(r.get<std::uint32_t>());
+  f.seed_ = r.get<std::uint64_t>();
+  auto words = static_cast<std::size_t>(r.get<std::uint64_t>());
+  f.table_.resize(words);
+  for (auto& w : f.table_) w = r.get<std::uint64_t>();
+  if (f.t_ < 1 || f.t_ > 32) {
+    throw std::runtime_error("BloomierFilter: corrupt header");
+  }
+  return f;
+}
+
+}  // namespace deepsz::baselines

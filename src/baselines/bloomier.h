@@ -1,0 +1,62 @@
+// Bloomier filter (Chazelle et al., SODA'04): an immutable map key -> t-bit
+// value that answers exactly for every inserted key and arbitrarily for
+// non-keys, in ~1.3 * t bits per key. This is the data structure behind the
+// Weightless baseline (Reagen et al., ICML'18).
+//
+// Construction: each key touches r=4 table slots (plus a t-bit key mask);
+// the incidence hypergraph is peeled (repeatedly removing keys that own a
+// slot of degree 1); assignment then walks the peel order backwards setting
+// the free slot so the XOR of the key's slots and mask equals its value.
+// Peeling can fail for an unlucky seed; build() retries with fresh seeds and
+// a slightly larger table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace deepsz::baselines {
+
+/// Immutable key -> value map with exact answers for inserted keys.
+class BloomierFilter {
+ public:
+  /// Number of hash functions (slots per key).
+  static constexpr int kHashes = 4;
+
+  /// Builds a filter over (key, value) pairs with `value_bits`-wide values.
+  /// `slots_per_key` controls table size (must exceed the r=4 peeling
+  /// threshold ~1.30); `max_retries` reseeds/grows on peel failure.
+  /// Throws std::runtime_error if construction keeps failing.
+  static BloomierFilter build(
+      std::span<const std::pair<std::uint64_t, std::uint32_t>> entries,
+      int value_bits, double slots_per_key = 1.35, int max_retries = 32);
+
+  /// Value for `key`: exact if `key` was inserted, arbitrary otherwise.
+  std::uint32_t query(std::uint64_t key) const;
+
+  /// Serialized/table size in bytes (packed t-bit slots + header).
+  std::size_t size_bytes() const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static BloomierFilter deserialize(std::span<const std::uint8_t> bytes);
+
+  std::uint64_t num_slots() const { return m_; }
+  int value_bits() const { return t_; }
+
+ private:
+  BloomierFilter() = default;
+
+  void slots_for_key(std::uint64_t key, std::uint64_t* slots) const;
+  std::uint32_t mask_for_key(std::uint64_t key) const;
+
+  std::uint64_t get_slot(std::uint64_t idx) const;
+  void set_slot(std::uint64_t idx, std::uint32_t value);
+
+  std::uint64_t m_ = 0;       // table slots
+  int t_ = 0;                 // bits per slot
+  std::uint64_t seed_ = 0;    // hash seed that peeled successfully
+  std::vector<std::uint64_t> table_;  // packed t-bit slots
+};
+
+}  // namespace deepsz::baselines

@@ -1,0 +1,107 @@
+#include "baselines/deep_compression.h"
+
+#include <stdexcept>
+
+#include "baselines/kmeans.h"
+#include "lossless/entropy.h"
+#include "util/bitstream.h"
+#include "util/byte_io.h"
+
+namespace deepsz::baselines {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43504344;  // "DCPC"
+
+std::vector<std::uint8_t> huffman_encode_stream(
+    std::span<const std::uint32_t> symbols, std::size_t alphabet) {
+  std::vector<std::uint64_t> freq(alphabet, 0);
+  for (auto s : symbols) ++freq[s];
+  lossless::HuffmanEncoder enc;
+  enc.init(freq);
+  util::BitWriter bw;
+  enc.write_table(bw);
+  for (auto s : symbols) enc.encode(bw, s);
+  return bw.finish();
+}
+
+std::vector<std::uint32_t> huffman_decode_stream(
+    std::span<const std::uint8_t> bytes, std::size_t count) {
+  util::BitReader br(bytes);
+  lossless::HuffmanDecoder dec;
+  dec.read_table(br);
+  std::vector<std::uint32_t> out(count);
+  for (auto& s : out) s = dec.decode(br);
+  return out;
+}
+
+}  // namespace
+
+DeepCompressionEncoded dc_encode(const sparse::PrunedLayer& layer,
+                                 const DeepCompressionParams& params) {
+  if (params.bits < 1 || params.bits > 16) {
+    throw std::invalid_argument("dc_encode: bits out of [1, 16]");
+  }
+  const std::uint32_t k = 1u << params.bits;
+
+  // Cluster the stored values (fillers carry 0.0 and cluster near zero,
+  // exactly as Deep Compression treats its padded representation).
+  auto km = kmeans_1d(layer.data, k, params.kmeans_iters);
+
+  auto index_stream = huffman_encode_stream(km.assignments, k);
+  std::vector<std::uint32_t> deltas(layer.index.begin(), layer.index.end());
+  auto position_stream = huffman_encode_stream(deltas, 256);
+
+  DeepCompressionEncoded enc;
+  enc.codebook_bytes = km.centroids.size() * sizeof(float);
+  enc.index_stream_bytes = index_stream.size();
+  enc.position_stream_bytes = position_stream.size();
+  enc.quantization_mse = km.mse;
+
+  auto& out = enc.blob;
+  util::put_le<std::uint32_t>(out, kMagic);
+  util::put_string(out, layer.name);
+  util::put_le<std::int64_t>(out, layer.rows);
+  util::put_le<std::int64_t>(out, layer.cols);
+  util::put_le<std::uint32_t>(out, k);
+  util::put_le<std::uint64_t>(out, layer.data.size());
+  for (float c : km.centroids) util::put_le<float>(out, c);
+  util::put_le<std::uint64_t>(out, index_stream.size());
+  util::put_bytes(out, index_stream);
+  util::put_le<std::uint64_t>(out, position_stream.size());
+  util::put_bytes(out, position_stream);
+  return enc;
+}
+
+sparse::PrunedLayer dc_decode(std::span<const std::uint8_t> blob) {
+  util::ByteReader r(blob);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("dc_decode: bad magic");
+  }
+  sparse::PrunedLayer layer;
+  layer.name = r.get_string();
+  layer.rows = r.get<std::int64_t>();
+  layer.cols = r.get<std::int64_t>();
+  auto k = r.get<std::uint32_t>();
+  auto n = static_cast<std::size_t>(r.get<std::uint64_t>());
+  std::vector<float> centroids(k);
+  for (auto& c : centroids) c = r.get<float>();
+
+  auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto index_bytes = r.get_bytes(index_len);
+  auto assignments = huffman_decode_stream(index_bytes, n);
+
+  auto pos_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto pos_bytes = r.get_bytes(pos_len);
+  auto deltas = huffman_decode_stream(pos_bytes, n);
+
+  layer.data.resize(n);
+  layer.index.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assignments[i] >= k) throw std::runtime_error("dc_decode: bad index");
+    layer.data[i] = centroids[assignments[i]];
+    layer.index[i] = static_cast<std::uint8_t>(deltas[i]);
+  }
+  return layer;
+}
+
+}  // namespace deepsz::baselines

@@ -1,0 +1,39 @@
+// Deep Compression baseline (Han, Mao & Dally, ICLR'16) as the paper
+// describes and compares against it: magnitude pruning (shared with DeepSZ),
+// k-bit k-means codebook quantization of the nonzero weights, and Huffman
+// coding of both the codebook indices and the sparse position deltas.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/pruned_layer.h"
+
+namespace deepsz::baselines {
+
+/// Deep Compression encoder parameters.
+struct DeepCompressionParams {
+  /// Bits per quantized weight (codebook holds 2^bits centroids). The paper
+  /// uses 5 for fc-layers; Table 5 matches it to DeepSZ's bits/weight.
+  int bits = 5;
+  int kmeans_iters = 30;
+};
+
+/// Encoded layer blob plus bookkeeping for the experiment tables.
+struct DeepCompressionEncoded {
+  std::vector<std::uint8_t> blob;  // self-contained stream
+  std::size_t codebook_bytes = 0;
+  std::size_t index_stream_bytes = 0;   // Huffman-coded cluster indices
+  std::size_t position_stream_bytes = 0;  // Huffman-coded position deltas
+  double quantization_mse = 0.0;
+};
+
+/// Encodes a pruned layer.
+DeepCompressionEncoded dc_encode(const sparse::PrunedLayer& layer,
+                                 const DeepCompressionParams& params = {});
+
+/// Decodes back to the two-array sparse format (values become centroids).
+sparse::PrunedLayer dc_decode(std::span<const std::uint8_t> blob);
+
+}  // namespace deepsz::baselines

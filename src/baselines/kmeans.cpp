@@ -1,0 +1,79 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deepsz::baselines {
+
+KmeansResult kmeans_1d(std::span<const float> values, std::uint32_t k,
+                       int max_iters) {
+  if (k == 0) throw std::invalid_argument("kmeans_1d: k must be positive");
+  KmeansResult res;
+  res.assignments.assign(values.size(), 0);
+  if (values.empty()) {
+    res.centroids.assign(k, 0.0f);
+    return res;
+  }
+
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it, mx = *mx_it;
+  res.centroids.resize(k);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    // Linear init across [min, max].
+    res.centroids[c] = static_cast<float>(
+        mn + (mx - mn) * (k == 1 ? 0.5 : static_cast<double>(c) / (k - 1)));
+  }
+
+  // In 1-D with sorted centroids, the nearest centroid is found by binary
+  // search against midpoints.
+  std::vector<double> sums(k);
+  std::vector<std::uint64_t> counts(k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::sort(res.centroids.begin(), res.centroids.end());
+    std::vector<float> midpoints(k > 1 ? k - 1 : 0);
+    for (std::uint32_t c = 0; c + 1 < k; ++c) {
+      midpoints[c] = 0.5f * (res.centroids[c] + res.centroids[c + 1]);
+    }
+    bool changed = false;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      auto it = std::upper_bound(midpoints.begin(), midpoints.end(), values[i]);
+      auto c = static_cast<std::uint32_t>(it - midpoints.begin());
+      if (res.assignments[i] != c) {
+        res.assignments[i] = c;
+        changed = true;
+      }
+      sums[c] += values[i];
+      ++counts[c];
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        res.centroids[c] = static_cast<float>(sums[c] / counts[c]);
+      }
+    }
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  // Final assignment pass against the final centroids + MSE.
+  std::sort(res.centroids.begin(), res.centroids.end());
+  std::vector<float> midpoints(k > 1 ? k - 1 : 0);
+  for (std::uint32_t c = 0; c + 1 < k; ++c) {
+    midpoints[c] = 0.5f * (res.centroids[c] + res.centroids[c + 1]);
+  }
+  double sq = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    auto it = std::upper_bound(midpoints.begin(), midpoints.end(), values[i]);
+    auto c = static_cast<std::uint32_t>(it - midpoints.begin());
+    res.assignments[i] = c;
+    double d = values[i] - res.centroids[c];
+    sq += d * d;
+  }
+  res.mse = sq / static_cast<double>(values.size());
+  return res;
+}
+
+}  // namespace deepsz::baselines

@@ -1,0 +1,27 @@
+// 1-D k-means (Lloyd's algorithm with linear initialization) used by both
+// baselines: Deep Compression's codebook quantization and Weightless's value
+// clustering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepsz::baselines {
+
+/// Result of clustering scalar values into k centroids.
+struct KmeansResult {
+  std::vector<float> centroids;          // k values, sorted ascending
+  std::vector<std::uint32_t> assignments;  // per-input centroid index
+  double mse = 0.0;                        // final quantization MSE
+  int iterations = 0;                      // Lloyd iterations executed
+};
+
+/// Clusters `values` into `k` centroids. Initialization is linear between
+/// min and max (Han et al.'s choice for Deep Compression, which preserves
+/// large — rare but important — weights). Runs Lloyd updates until
+/// assignments stabilize or `max_iters` is hit.
+KmeansResult kmeans_1d(std::span<const float> values, std::uint32_t k,
+                       int max_iters = 30);
+
+}  // namespace deepsz::baselines

@@ -1,0 +1,91 @@
+#include "baselines/weightless.h"
+
+#include <stdexcept>
+
+#include "baselines/bloomier.h"
+#include "baselines/kmeans.h"
+#include "util/byte_io.h"
+
+namespace deepsz::baselines {
+namespace {
+constexpr std::uint32_t kMagic = 0x534c5457;  // "WTLS"
+}
+
+WeightlessEncoded weightless_encode(const sparse::PrunedLayer& layer,
+                                    const WeightlessParams& params) {
+  if (params.cluster_bits < 1 || params.cluster_bits > 16) {
+    throw std::invalid_argument("weightless_encode: cluster_bits out of range");
+  }
+  // Recover the dense positions and values of true nonzeros (skip fillers).
+  std::vector<std::uint64_t> positions;
+  std::vector<float> values;
+  positions.reserve(layer.data.size());
+  values.reserve(layer.data.size());
+  std::int64_t pos = -1;
+  for (std::size_t i = 0; i < layer.data.size(); ++i) {
+    pos += layer.index[i];
+    if (layer.data[i] != 0.0f) {
+      positions.push_back(static_cast<std::uint64_t>(pos));
+      values.push_back(layer.data[i]);
+    }
+  }
+
+  const std::uint32_t n_clusters = (1u << params.cluster_bits) - 1;
+  auto km = kmeans_1d(values, n_clusters);
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    entries[i] = {positions[i], km.assignments[i] + 1};  // 0 reserved: null
+  }
+  const int t = params.cluster_bits + params.guard_bits;
+  auto filter =
+      BloomierFilter::build(entries, t, params.slots_per_key);
+
+  WeightlessEncoded enc;
+  enc.filter_bytes = filter.size_bytes();
+  enc.codebook_bytes = km.centroids.size() * sizeof(float);
+  enc.quantization_mse = km.mse;
+
+  auto& out = enc.blob;
+  util::put_le<std::uint32_t>(out, kMagic);
+  util::put_string(out, layer.name);
+  util::put_le<std::int64_t>(out, layer.rows);
+  util::put_le<std::int64_t>(out, layer.cols);
+  util::put_le<std::uint32_t>(out, n_clusters);
+  for (float c : km.centroids) util::put_le<float>(out, c);
+  auto fbytes = filter.serialize();
+  util::put_le<std::uint64_t>(out, fbytes.size());
+  util::put_bytes(out, fbytes);
+  return enc;
+}
+
+std::vector<float> weightless_decode(std::span<const std::uint8_t> blob,
+                                     std::int64_t* rows_out,
+                                     std::int64_t* cols_out) {
+  util::ByteReader r(blob);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("weightless_decode: bad magic");
+  }
+  r.get_string();  // layer name (unused here)
+  auto rows = r.get<std::int64_t>();
+  auto cols = r.get<std::int64_t>();
+  auto n_clusters = r.get<std::uint32_t>();
+  std::vector<float> centroids(n_clusters);
+  for (auto& c : centroids) c = r.get<float>();
+  auto flen = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto filter = BloomierFilter::deserialize(r.get_bytes(flen));
+
+  // The Weightless decode path: query every dense position.
+  std::vector<float> dense(static_cast<std::size_t>(rows * cols), 0.0f);
+  for (std::uint64_t p = 0; p < dense.size(); ++p) {
+    std::uint32_t v = filter.query(p);
+    if (v >= 1 && v <= n_clusters) {
+      dense[p] = centroids[v - 1];
+    }
+  }
+  if (rows_out) *rows_out = rows;
+  if (cols_out) *cols_out = cols;
+  return dense;
+}
+
+}  // namespace deepsz::baselines

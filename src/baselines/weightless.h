@@ -1,0 +1,45 @@
+// Weightless baseline (Reagen et al., ICML'18): lossy weight encoding via a
+// Bloomier filter.
+//
+// Nonzero weights are clustered to 2^cluster_bits - 1 centroids; the filter
+// maps dense position -> (cluster index + 1), with extra guard bits widening
+// the slot so that querying a pruned (absent) position returns the reserved
+// null value with probability ~1 - 2^-(guard+cluster slack). Decoding queries
+// every dense position — the O(n_dense) cost the paper's Figure 7b shows —
+// and false positives surface as small weight noise, the lossiness the
+// Weightless paper accepts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/pruned_layer.h"
+
+namespace deepsz::baselines {
+
+/// Weightless encoder parameters.
+struct WeightlessParams {
+  int cluster_bits = 4;  // centroids = 2^cluster_bits - 1 (0 is "null")
+  int guard_bits = 4;    // widens slots to reduce false-positive weights
+  double slots_per_key = 1.35;
+};
+
+/// Encoded layer plus bookkeeping.
+struct WeightlessEncoded {
+  std::vector<std::uint8_t> blob;
+  std::size_t filter_bytes = 0;
+  std::size_t codebook_bytes = 0;
+  double quantization_mse = 0.0;
+};
+
+/// Encodes a pruned layer (keys = nonzero dense positions).
+WeightlessEncoded weightless_encode(const sparse::PrunedLayer& layer,
+                                    const WeightlessParams& params = {});
+
+/// Decodes to a dense matrix by querying every position.
+std::vector<float> weightless_decode(std::span<const std::uint8_t> blob,
+                                     std::int64_t* rows = nullptr,
+                                     std::int64_t* cols = nullptr);
+
+}  // namespace deepsz::baselines

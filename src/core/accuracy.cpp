@@ -1,0 +1,73 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace deepsz::core {
+
+CachedHeadOracle::CachedHeadOracle(nn::Network& net, const nn::Tensor& images,
+                                   const std::vector<int>& labels,
+                                   std::int64_t batch_size)
+    : net_(net), labels_(labels), batch_size_(batch_size) {
+  // Trunk = everything before the first Dense layer.
+  const auto& layers = net.layers();
+  trunk_layers_ = layers.size();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (dynamic_cast<nn::Dense*>(layers[i].get()) != nullptr) {
+      trunk_layers_ = i;
+      break;
+    }
+  }
+
+  // One pass through the trunk, batched to bound peak memory.
+  const std::int64_t n = images.dim(0);
+  std::vector<float> feat;
+  std::int64_t feat_dim = 0;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size_) {
+    const std::int64_t hi = std::min(n, lo + batch_size_);
+    nn::Tensor cur = nn::slice_batch(images, lo, hi);
+    for (std::size_t i = 0; i < trunk_layers_; ++i) {
+      cur = net.layers()[i]->forward(cur, /*train=*/false);
+    }
+    // Flatten whatever the trunk emits to [batch, features].
+    const std::int64_t batch_n = hi - lo;
+    const std::int64_t dim = cur.numel() / batch_n;
+    if (feat_dim == 0) {
+      feat_dim = dim;
+      feat.reserve(static_cast<std::size_t>(n * dim));
+    }
+    feat.insert(feat.end(), cur.data(), cur.data() + cur.numel());
+  }
+  features_ = nn::Tensor::from({n, feat_dim}, std::move(feat));
+}
+
+nn::Accuracy CachedHeadOracle::accuracy() {
+  const std::int64_t n = features_.dim(0);
+  nn::HitCounts total;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size_) {
+    const std::int64_t hi = std::min(n, lo + batch_size_);
+    nn::Tensor cur = nn::slice_batch(features_, lo, hi);
+    // Head layers expect the trunk's output shape; all paper networks place a
+    // Flatten before the first Dense, so [batch, features] is already right
+    // (Flatten itself is part of the trunk when present).
+    for (std::size_t i = trunk_layers_; i < net_.layers().size(); ++i) {
+      cur = net_.layers()[i]->forward(cur, /*train=*/false);
+    }
+    std::vector<int> batch_labels(labels_.begin() + lo, labels_.begin() + hi);
+    nn::HitCounts hits = nn::count_hits(cur, batch_labels);
+    total.top1 += hits.top1;
+    total.top5 += hits.top5;
+    total.total += hits.total;
+  }
+  nn::Accuracy acc;
+  if (total.total > 0) {
+    acc.top1 = static_cast<double>(total.top1) / total.total;
+    acc.top5 = static_cast<double>(total.top5) / total.total;
+  }
+  return acc;
+}
+
+}  // namespace deepsz::core

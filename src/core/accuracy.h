@@ -1,0 +1,70 @@
+// Accuracy oracles for the error-bound assessment (Algorithm 1).
+//
+// Algorithm 1 evaluates inference accuracy dozens of times with one fc-layer
+// reconstructed per test. Since only fc weights change between tests, the
+// CachedHeadOracle runs the conv trunk once over the test set and replays
+// only the fc head per query — the same computation-saving observation
+// (fc-layers are cheap, Section 2.1) the paper builds on.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/sgd.h"
+
+namespace deepsz::core {
+
+/// Answers "what is the network's top-1 accuracy right now?".
+class AccuracyOracle {
+ public:
+  virtual ~AccuracyOracle() = default;
+
+  /// Top-1 accuracy of the current network state, in [0, 1].
+  virtual double top1() = 0;
+
+  /// Full top-1/top-5 accuracy (may be slower).
+  virtual nn::Accuracy accuracy() = 0;
+};
+
+/// Direct oracle: full forward pass over the test set per query.
+class FullPassOracle : public AccuracyOracle {
+ public:
+  FullPassOracle(nn::Network& net, const nn::Tensor& images,
+                 const std::vector<int>& labels)
+      : net_(net), images_(images), labels_(labels) {}
+
+  double top1() override { return accuracy().top1; }
+  nn::Accuracy accuracy() override {
+    return nn::evaluate(net_, images_, labels_);
+  }
+
+ private:
+  nn::Network& net_;
+  const nn::Tensor& images_;
+  const std::vector<int>& labels_;
+};
+
+/// Feature-caching oracle: runs layers before the first Dense once, then
+/// evaluates only the fc head per query. Weight changes to Dense layers are
+/// picked up automatically because the head layers are shared with `net`.
+class CachedHeadOracle : public AccuracyOracle {
+ public:
+  CachedHeadOracle(nn::Network& net, const nn::Tensor& images,
+                   const std::vector<int>& labels,
+                   std::int64_t batch_size = 256);
+
+  double top1() override { return accuracy().top1; }
+  nn::Accuracy accuracy() override;
+
+  /// Number of layers in the cached trunk (0 = pure fc network).
+  std::size_t trunk_layers() const { return trunk_layers_; }
+
+ private:
+  nn::Network& net_;
+  std::size_t trunk_layers_ = 0;
+  nn::Tensor features_;
+  std::vector<int> labels_;
+  std::int64_t batch_size_;
+};
+
+}  // namespace deepsz::core

@@ -1,0 +1,89 @@
+#include "core/assessment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pruner.h"
+#include "util/log.h"
+
+namespace deepsz::core {
+namespace {
+
+/// Compresses the layer's data array at `eb`, swaps the reconstruction into
+/// the network, and measures the accuracy drop; restores nothing (callers
+/// restore once per layer).
+EbPoint test_error_bound(nn::Network& net, const sparse::PrunedLayer& layer,
+                         double eb, double baseline_top1,
+                         AccuracyOracle& oracle, const AssessmentConfig& cfg) {
+  sz::SzParams params = cfg.sz;
+  params.mode = sz::ErrorBoundMode::kAbs;
+  params.error_bound = eb;
+  auto stream = sz::compress(layer.data, params);
+  auto decoded = sz::decompress(stream);
+
+  load_layers_into_network({layer.with_data(std::move(decoded))}, net);
+
+  EbPoint point;
+  point.eb = eb;
+  point.data_bytes = stream.size();
+  point.acc_drop = baseline_top1 - oracle.top1();
+  return point;
+}
+
+}  // namespace
+
+std::vector<LayerAssessment> assess_error_bounds(
+    nn::Network& net, const std::vector<sparse::PrunedLayer>& layers,
+    AccuracyOracle& oracle, const AssessmentConfig& config) {
+  const double baseline = oracle.top1();
+  std::vector<LayerAssessment> results;
+  results.reserve(layers.size());
+
+  for (const auto& layer : layers) {
+    LayerAssessment la;
+    la.layer = layer.name;
+
+    // Coarse decade sweep: find the first bound that distorts accuracy by
+    // more than the criterion; the feasible range starts a decade below.
+    double start = config.coarse_grid.back();
+    for (double beta : config.coarse_grid) {
+      if (beta > config.max_eb) {
+        start = beta / 10.0;
+        break;
+      }
+      EbPoint p = test_error_bound(net, layer, beta, baseline, oracle, config);
+      if (p.acc_drop > config.distortion_criterion) {
+        start = beta / 10.0;
+        break;
+      }
+    }
+    start = std::min(start, config.max_eb);
+    la.feasible_lo = start;
+
+    // Fine walk: eb = start, start+base, ... with base x10 at each decade,
+    // until the degradation exceeds eps* (that terminating point is also
+    // recorded — Algorithm 1 measures before checking).
+    double base = start;
+    double eb = start;
+    for (int i = 0; i < config.max_points_per_layer && eb <= config.max_eb;
+         ++i) {
+      EbPoint p = test_error_bound(net, layer, eb, baseline, oracle, config);
+      la.points.push_back(p);
+      la.feasible_hi = eb;
+      if (p.acc_drop > config.expected_acc_loss) break;
+      eb += base;
+      // Entering the next decade: grow the step (8e-3, 9e-3, 1e-2, 2e-2, ...).
+      if (eb >= 10.0 * base - 1e-12 * base) base *= 10.0;
+    }
+    DSZ_LOG_INFO << "assessed " << layer.name << ": feasible ["
+                 << la.feasible_lo << ", " << la.feasible_hi << "], "
+                 << la.points.size() << " points";
+
+    // Restore the layer's exact pruned weights before assessing the next one.
+    load_layers_into_network({layer}, net);
+    results.push_back(std::move(la));
+  }
+  return results;
+}
+
+}  // namespace deepsz::core

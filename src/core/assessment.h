@@ -1,0 +1,60 @@
+// Step 2 of DeepSZ: error bound assessment (Algorithm 1).
+//
+// For each fc-layer, a coarse decade sweep finds the first error bound whose
+// accuracy degradation exceeds the distortion criterion (0.1%); the feasible
+// range then starts a decade below it and is walked in 1..9 x 10^k steps,
+// recording (compressed size, accuracy degradation) per bound, until the
+// degradation exceeds the user's expected accuracy loss. Only ONE layer is
+// reconstructed per test — the linear-cost strategy the paper justifies with
+// the per-layer independence analysis of Section 3.4.
+#pragma once
+
+#include <vector>
+
+#include "core/accuracy.h"
+#include "sparse/pruned_layer.h"
+#include "sz/sz.h"
+
+namespace deepsz::core {
+
+/// One tested error bound for one layer.
+struct EbPoint {
+  double eb = 0.0;
+  std::size_t data_bytes = 0;  // SZ-compressed data-array size
+  double acc_drop = 0.0;       // baseline top-1 minus reconstructed top-1
+};
+
+/// Assessment output for one fc-layer.
+struct LayerAssessment {
+  std::string layer;
+  double feasible_lo = 0.0;  // start of the feasible error-bound range
+  double feasible_hi = 0.0;  // last bound tested (first to exceed eps*)
+  std::vector<EbPoint> points;
+};
+
+/// Algorithm 1 configuration.
+struct AssessmentConfig {
+  /// eps* — the user's expected accuracy loss (fraction; 0.004 = 0.4%).
+  double expected_acc_loss = 0.004;
+  /// Distortion criterion (0.1% in the paper).
+  double distortion_criterion = 0.001;
+  /// Coarse decade grid searched for the range start (Section 3.3 defaults
+  /// to {1e-3, 1e-2, 1e-1}; 1e-4 can be prepended for sensitive networks).
+  std::vector<double> coarse_grid = {1e-3, 1e-2, 1e-1};
+  /// Safety cap on tested bounds per layer.
+  int max_points_per_layer = 24;
+  /// Largest error bound ever considered. Section 3.4 requires dW << W for
+  /// the per-layer independence (and hence additivity) argument, and the
+  /// paper therefore keeps every bound below 0.1.
+  double max_eb = 0.1;
+  /// SZ parameters (error_bound is overwritten per test).
+  sz::SzParams sz;
+};
+
+/// Runs Algorithm 1. `net` must already hold the pruned weights that
+/// `layers` were extracted from; it is restored to that state on return.
+std::vector<LayerAssessment> assess_error_bounds(
+    nn::Network& net, const std::vector<sparse::PrunedLayer>& layers,
+    AccuracyOracle& oracle, const AssessmentConfig& config);
+
+}  // namespace deepsz::core

@@ -1,0 +1,151 @@
+#include "core/model_codec.h"
+
+#include <stdexcept>
+
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/timer.h"
+
+namespace deepsz::core {
+namespace {
+constexpr std::uint32_t kMagic = 0x435a5344;  // "DSZC"
+constexpr std::uint32_t kVersion = 2;  // v2 added optional per-layer biases
+}  // namespace
+
+std::size_t EncodedModel::dense_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stats) total += s.dense_bytes;
+  return total;
+}
+
+std::size_t EncodedModel::compressed_payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stats) total += s.total_bytes();
+  return total;
+}
+
+double EncodedModel::compression_ratio() const {
+  const std::size_t payload = compressed_payload_bytes();
+  return payload ? static_cast<double>(dense_bytes()) / payload : 0.0;
+}
+
+EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
+                          const std::map<std::string, double>& eb_per_layer,
+                          const sz::SzParams& sz_template,
+                          lossless::CodecId index_codec, double default_eb,
+                          const std::map<std::string, std::vector<float>>&
+                              biases) {
+  EncodedModel model;
+  auto& out = model.bytes;
+  util::put_le<std::uint32_t>(out, kMagic);
+  util::put_le<std::uint32_t>(out, kVersion);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(layers.size()));
+
+  for (const auto& layer : layers) {
+    auto it = eb_per_layer.find(layer.name);
+    const double eb = it != eb_per_layer.end() ? it->second : default_eb;
+
+    sz::SzParams params = sz_template;
+    params.mode = sz::ErrorBoundMode::kAbs;
+    params.error_bound = eb;
+    auto data_stream = sz::compress(layer.data, params);
+    auto index_stream = lossless::compress(index_codec, layer.index);
+
+    EncodedLayerStats stats;
+    stats.layer = layer.name;
+    stats.eb = eb;
+    stats.dense_bytes = layer.dense_bytes();
+    stats.csr_bytes = layer.csr_bytes();
+    stats.data_bytes = data_stream.size();
+    stats.index_bytes = index_stream.size();
+    model.stats.push_back(stats);
+
+    util::put_string(out, layer.name);
+    util::put_le<std::int64_t>(out, layer.rows);
+    util::put_le<std::int64_t>(out, layer.cols);
+    util::put_le<double>(out, eb);
+    util::put_le<std::uint64_t>(out, data_stream.size());
+    util::put_le<std::uint32_t>(out, util::crc32(data_stream));
+    util::put_bytes(out, data_stream);
+    util::put_le<std::uint64_t>(out, index_stream.size());
+    util::put_le<std::uint32_t>(out, util::crc32(index_stream));
+    util::put_bytes(out, index_stream);
+
+    auto bias_it = biases.find(layer.name);
+    const std::uint64_t bias_count =
+        bias_it != biases.end() ? bias_it->second.size() : 0;
+    util::put_le<std::uint64_t>(out, bias_count);
+    if (bias_count > 0) {
+      for (float b : bias_it->second) util::put_le<float>(out, b);
+    }
+  }
+  return model;
+}
+
+DecodedModel decode_model(std::span<const std::uint8_t> bytes,
+                          bool reconstruct_dense) {
+  util::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("decode_model: bad magic");
+  }
+  if (r.get<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("decode_model: unsupported version");
+  }
+  const auto n_layers = r.get<std::uint32_t>();
+
+  DecodedModel model;
+  util::WallTimer timer;
+  for (std::uint32_t l = 0; l < n_layers; ++l) {
+    sparse::PrunedLayer layer;
+    layer.name = r.get_string();
+    layer.rows = r.get<std::int64_t>();
+    layer.cols = r.get<std::int64_t>();
+    r.get<double>();  // eb (informational)
+
+    auto data_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+    auto data_crc = r.get<std::uint32_t>();
+    auto data_stream = r.get_bytes(data_len);
+    auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+    auto index_crc = r.get<std::uint32_t>();
+    auto index_stream = r.get_bytes(index_len);
+    if (util::crc32(data_stream) != data_crc ||
+        util::crc32(index_stream) != index_crc) {
+      throw std::runtime_error("decode_model: checksum mismatch in " +
+                               layer.name);
+    }
+
+    timer.reset();
+    auto index = lossless::decompress(index_stream);
+    model.timing.lossless_ms += timer.millis();
+
+    timer.reset();
+    auto data = sz::decompress(data_stream);
+    model.timing.sz_ms += timer.millis();
+
+    layer.data = std::move(data);
+    layer.index = std::move(index);
+    if (layer.data.size() != layer.index.size()) {
+      throw std::runtime_error("decode_model: data/index mismatch in " +
+                               layer.name);
+    }
+
+    auto bias_count = static_cast<std::size_t>(r.get<std::uint64_t>());
+    if (bias_count > 0) {
+      std::vector<float> bias(bias_count);
+      for (auto& b : bias) b = r.get<float>();
+      model.biases[layer.name] = std::move(bias);
+    }
+
+    if (reconstruct_dense) {
+      timer.reset();
+      volatile float sink = 0.0f;
+      auto dense = layer.to_dense();
+      sink = sink + (dense.empty() ? 0.0f : dense[0]);  // keep the work
+      model.timing.reconstruct_ms += timer.millis();
+    }
+    model.layers.push_back(std::move(layer));
+  }
+  return model;
+}
+
+}  // namespace deepsz::core

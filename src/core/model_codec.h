@@ -1,0 +1,78 @@
+// Step 4 of DeepSZ: generation of the compressed model, plus the decoder.
+//
+// Container layout per layer: SZ-compressed data array (lossy, at the layer's
+// optimized error bound) + losslessly compressed index array (best-fit codec,
+// Zstandard-class by default — Figure 4's winner), each guarded by a CRC-32.
+// The decoder reports the Figure-7b timing breakdown: lossless decompression,
+// SZ decompression, and sparse-matrix reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lossless/codec.h"
+#include "sparse/pruned_layer.h"
+#include "sz/sz.h"
+
+namespace deepsz::core {
+
+/// Per-layer sizes recorded at encode time (Table 2 columns).
+struct EncodedLayerStats {
+  std::string layer;
+  double eb = 0.0;
+  std::size_t dense_bytes = 0;   // original fp32 matrix
+  std::size_t csr_bytes = 0;     // two-array sparse representation
+  std::size_t data_bytes = 0;    // SZ stream
+  std::size_t index_bytes = 0;   // lossless stream
+  std::size_t total_bytes() const { return data_bytes + index_bytes; }
+  double compression_ratio() const {
+    return total_bytes() ? static_cast<double>(dense_bytes) / total_bytes()
+                         : 0.0;
+  }
+};
+
+struct EncodedModel {
+  std::vector<std::uint8_t> bytes;
+  std::vector<EncodedLayerStats> stats;
+
+  std::size_t dense_bytes() const;
+  std::size_t compressed_payload_bytes() const;  // sum of per-layer streams
+  double compression_ratio() const;
+};
+
+/// Encodes pruned layers with per-layer error bounds (missing layers use
+/// `default_eb`). `biases` optionally carries each layer's bias vector,
+/// stored verbatim (biases are tiny — `rows` floats — and the paper leaves
+/// them uncompressed); pass {} to omit.
+EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
+                          const std::map<std::string, double>& eb_per_layer,
+                          const sz::SzParams& sz_template,
+                          lossless::CodecId index_codec =
+                              lossless::CodecId::kZstdLike,
+                          double default_eb = 1e-3,
+                          const std::map<std::string, std::vector<float>>&
+                              biases = {});
+
+/// Figure 7b's decode phases, in milliseconds.
+struct DecodeTiming {
+  double lossless_ms = 0.0;
+  double sz_ms = 0.0;
+  double reconstruct_ms = 0.0;
+  double total_ms() const { return lossless_ms + sz_ms + reconstruct_ms; }
+};
+
+struct DecodedModel {
+  std::vector<sparse::PrunedLayer> layers;
+  std::map<std::string, std::vector<float>> biases;  // empty if not stored
+  DecodeTiming timing;
+};
+
+/// Decodes a model; validates CRCs and measures the phase breakdown.
+/// `reconstruct_dense` additionally times the sparse->dense conversion
+/// without keeping the dense matrices.
+DecodedModel decode_model(std::span<const std::uint8_t> bytes,
+                          bool reconstruct_dense = true);
+
+}  // namespace deepsz::core

@@ -1,0 +1,199 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deepsz::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Accuracy drops can be slightly negative (lossy reconstruction nudging
+/// accuracy up, as the paper observes for LeNet-5 / AlexNet top-5); the DP
+/// treats those as free.
+double clamped_drop(double d) { return std::max(0.0, d); }
+
+}  // namespace
+
+OptimizerResult optimize_for_accuracy(
+    const std::vector<LayerAssessment>& assessments, double expected_acc_loss,
+    int grid_steps) {
+  if (assessments.empty()) return {};
+  if (expected_acc_loss < 0 || grid_steps < 1) {
+    throw std::invalid_argument("optimize_for_accuracy: bad arguments");
+  }
+  const std::size_t n_layers = assessments.size();
+  const int g_max = grid_steps;
+  const double step = expected_acc_loss / grid_steps;
+
+  // dp[l][g] = min total data bytes over layers 0..l with quantized
+  // cumulative drop <= g; choice[l][g] = point index realizing it.
+  std::vector<std::vector<double>> dp(n_layers,
+                                      std::vector<double>(g_max + 1, kInf));
+  std::vector<std::vector<int>> choice(n_layers,
+                                       std::vector<int>(g_max + 1, -1));
+
+  auto cost_of = [&](const EbPoint& p) {
+    if (step <= 0) return clamped_drop(p.acc_drop) > 0 ? g_max + 1 : 0;
+    double c = std::ceil(clamped_drop(p.acc_drop) / step - 1e-12);
+    return static_cast<int>(std::min<double>(c, g_max + 1));
+  };
+
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto& points = assessments[l].points;
+    if (points.empty()) {
+      throw std::invalid_argument("optimize_for_accuracy: layer " +
+                                  assessments[l].layer + " has no points");
+    }
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const int c = cost_of(points[p]);
+      if (c > g_max) continue;  // exceeds the whole budget on its own
+      const double bytes = static_cast<double>(points[p].data_bytes);
+      for (int g = c; g <= g_max; ++g) {
+        const double prev = l == 0 ? 0.0 : dp[l - 1][g - c];
+        if (prev == kInf) continue;
+        if (prev + bytes < dp[l][g]) {
+          dp[l][g] = prev + bytes;
+          choice[l][g] = static_cast<int>(p);
+        }
+      }
+    }
+    // Monotonize: allowing budget g means any cheaper assignment with a
+    // smaller cumulative drop also qualifies.
+    for (int g = 1; g <= g_max; ++g) {
+      if (dp[l][g - 1] < dp[l][g]) {
+        dp[l][g] = dp[l][g - 1];
+        choice[l][g] = -2;  // marker: inherit from g-1
+      }
+    }
+  }
+
+  if (dp[n_layers - 1][g_max] == kInf) {
+    throw std::runtime_error(
+        "optimize_for_accuracy: no feasible configuration — every tested "
+        "error bound of some layer exceeds the accuracy budget; lower the "
+        "coarse grid start or raise the expected loss");
+  }
+
+  // Trace back.
+  OptimizerResult res;
+  res.choices.resize(n_layers);
+  int g = g_max;
+  for (std::size_t li = n_layers; li-- > 0;) {
+    while (choice[li][g] == -2) --g;
+    const int p = choice[li][g];
+    const auto& point = assessments[li].points[static_cast<std::size_t>(p)];
+    res.choices[li] = {assessments[li].layer, point.eb, point.data_bytes,
+                       point.acc_drop};
+    res.total_bytes += point.data_bytes;
+    res.expected_total_drop += clamped_drop(point.acc_drop);
+    g -= cost_of(point);
+  }
+  return res;
+}
+
+OptimizerResult optimize_for_accuracy_validated(
+    const std::vector<LayerAssessment>& assessments, double expected_acc_loss,
+    const std::function<double(const OptimizerResult&)>& measure_joint_drop,
+    int max_rounds, int grid_steps) {
+  double budget = expected_acc_loss;
+  OptimizerResult tightest;
+  bool have_result = false;
+  for (int round = 0; round < max_rounds; ++round) {
+    OptimizerResult candidate;
+    try {
+      candidate = optimize_for_accuracy(assessments, budget, grid_steps);
+    } catch (const std::runtime_error&) {
+      // Budget shrank below every tested point; stop tightening.
+      break;
+    }
+    const double actual = measure_joint_drop(candidate);
+    if (actual <= expected_acc_loss) return candidate;
+    tightest = std::move(candidate);
+    have_result = true;
+    // Tighten proportionally to the overshoot (with margin).
+    const double shrink =
+        std::min(0.7, 0.8 * expected_acc_loss / std::max(actual, 1e-12));
+    budget *= std::max(0.1, shrink);
+  }
+  if (have_result) return tightest;
+  // Every round failed before producing a configuration: fall back to the
+  // unvalidated optimum at the original budget (throws if infeasible).
+  return optimize_for_accuracy(assessments, expected_acc_loss, grid_steps);
+}
+
+OptimizerResult optimize_for_size(
+    const std::vector<LayerAssessment>& assessments, std::size_t size_budget,
+    int grid_steps) {
+  if (assessments.empty()) return {};
+  if (grid_steps < 1) {
+    throw std::invalid_argument("optimize_for_size: bad grid");
+  }
+  const std::size_t n_layers = assessments.size();
+  const int g_max = grid_steps;
+  const double step =
+      static_cast<double>(size_budget) / static_cast<double>(grid_steps);
+
+  std::vector<std::vector<double>> dp(n_layers,
+                                      std::vector<double>(g_max + 1, kInf));
+  std::vector<std::vector<int>> choice(n_layers,
+                                       std::vector<int>(g_max + 1, -1));
+
+  auto cost_of = [&](const EbPoint& p) {
+    if (step <= 0) return p.data_bytes > 0 ? g_max + 1 : 0;
+    double c = std::ceil(static_cast<double>(p.data_bytes) / step - 1e-12);
+    return static_cast<int>(std::min<double>(c, g_max + 1));
+  };
+
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const auto& points = assessments[l].points;
+    if (points.empty()) {
+      throw std::invalid_argument("optimize_for_size: layer " +
+                                  assessments[l].layer + " has no points");
+    }
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const int c = cost_of(points[p]);
+      if (c > g_max) continue;
+      const double drop = clamped_drop(points[p].acc_drop);
+      for (int g = c; g <= g_max; ++g) {
+        const double prev = l == 0 ? 0.0 : dp[l - 1][g - c];
+        if (prev == kInf) continue;
+        if (prev + drop < dp[l][g]) {
+          dp[l][g] = prev + drop;
+          choice[l][g] = static_cast<int>(p);
+        }
+      }
+    }
+    for (int g = 1; g <= g_max; ++g) {
+      if (dp[l][g - 1] < dp[l][g]) {
+        dp[l][g] = dp[l][g - 1];
+        choice[l][g] = -2;
+      }
+    }
+  }
+
+  if (dp[n_layers - 1][g_max] == kInf) {
+    throw std::runtime_error(
+        "optimize_for_size: size budget too small for any tested "
+        "configuration");
+  }
+
+  OptimizerResult res;
+  res.choices.resize(n_layers);
+  int g = g_max;
+  for (std::size_t li = n_layers; li-- > 0;) {
+    while (choice[li][g] == -2) --g;
+    const int p = choice[li][g];
+    const auto& point = assessments[li].points[static_cast<std::size_t>(p)];
+    res.choices[li] = {assessments[li].layer, point.eb, point.data_bytes,
+                       point.acc_drop};
+    res.total_bytes += point.data_bytes;
+    res.expected_total_drop += clamped_drop(point.acc_drop);
+    g -= cost_of(point);
+  }
+  return res;
+}
+
+}  // namespace deepsz::core

@@ -1,0 +1,59 @@
+// Step 3 of DeepSZ: optimization of the error-bound configuration
+// (Algorithm 2) — a knapsack-style dynamic program over (layer, quantized
+// accuracy budget) that minimizes the total compressed size subject to the
+// sum of per-layer accuracy degradations staying within the expected loss
+// (valid because the per-layer losses compose approximately linearly,
+// Section 3.4 / Figure 6). The dual "expected-ratio" mode swaps the roles of
+// size and accuracy: it minimizes total degradation subject to a size budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/assessment.h"
+
+namespace deepsz::core {
+
+/// The error bound chosen for one layer.
+struct LayerChoice {
+  std::string layer;
+  double eb = 0.0;
+  std::size_t data_bytes = 0;
+  double acc_drop = 0.0;
+};
+
+struct OptimizerResult {
+  std::vector<LayerChoice> choices;   // one per assessed layer, in order
+  std::size_t total_bytes = 0;        // sum of chosen data-array sizes
+  double expected_total_drop = 0.0;   // sum of chosen degradations (>= 0)
+};
+
+/// Expected-accuracy mode: minimize size subject to
+/// sum(acc_drop) <= expected_acc_loss. `grid_steps` is the DP's accuracy
+/// quantization (the paper's [0..100] x eps* grid).
+OptimizerResult optimize_for_accuracy(
+    const std::vector<LayerAssessment>& assessments, double expected_acc_loss,
+    int grid_steps = 100);
+
+/// Expected-ratio mode: minimize accuracy loss subject to
+/// sum(data_bytes) <= size_budget.
+OptimizerResult optimize_for_size(
+    const std::vector<LayerAssessment>& assessments, std::size_t size_budget,
+    int grid_steps = 256);
+
+/// Closed-loop variant of optimize_for_accuracy. The paper's additive model
+/// (Section 3.4) holds when dW << W; when a network's feasible bounds are
+/// large relative to its weights (small networks, very easy tasks), the
+/// jointly reconstructed loss can exceed the sum of per-layer losses. This
+/// wrapper measures the actual loss of each candidate configuration via
+/// `measure_joint_drop` and geometrically tightens the DP budget until the
+/// measured loss fits (or returns the tightest configuration tried). Costs
+/// at most `max_rounds` extra accuracy tests.
+OptimizerResult optimize_for_accuracy_validated(
+    const std::vector<LayerAssessment>& assessments, double expected_acc_loss,
+    const std::function<double(const OptimizerResult&)>& measure_joint_drop,
+    int max_rounds = 5, int grid_steps = 100);
+
+}  // namespace deepsz::core

@@ -1,0 +1,117 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace deepsz::core {
+
+DeepSzReport run_deepsz(nn::Network& net, const nn::Tensor& train_images,
+                        const std::vector<int>& train_labels,
+                        const nn::Tensor& test_images,
+                        const std::vector<int>& test_labels,
+                        const DeepSzOptions& options) {
+  DeepSzReport report;
+  report.acc_original = nn::evaluate(net, test_images, test_labels);
+
+  // Step 1: prune + masked retraining.
+  PruneConfig prune_cfg;
+  prune_cfg.keep_ratio = options.keep_ratio;
+  prune_cfg.retrain_epochs = options.retrain_epochs;
+  prune_cfg.sgd = options.retrain_sgd;
+  report.prune =
+      prune_and_retrain(net, train_images, train_labels, prune_cfg);
+  report.acc_pruned = nn::evaluate(net, test_images, test_labels);
+
+  auto layers = extract_pruned_layers(net);
+  if (layers.empty()) {
+    throw std::invalid_argument(
+        "run_deepsz: no fc-layers pruned — set keep_ratio for at least one "
+        "named Dense layer");
+  }
+  for (const auto& l : layers) {
+    report.dense_fc_bytes += l.dense_bytes();
+    report.csr_bytes += l.csr_bytes();
+  }
+
+  util::WallTimer encode_timer;
+
+  // Step 2: error bound assessment (Algorithm 1), with cached conv features.
+  CachedHeadOracle oracle(net, test_images, test_labels);
+  const double baseline_top1 = oracle.top1();
+  AssessmentConfig assess_cfg = options.assessment;
+  assess_cfg.expected_acc_loss = options.expected_acc_loss;
+  report.assessments = assess_error_bounds(net, layers, oracle, assess_cfg);
+
+  // Step 3: error-bound configuration optimization (Algorithm 2), with
+  // closed-loop joint validation (see optimize_for_accuracy_validated).
+  auto joint_drop = [&](const OptimizerResult& candidate) {
+    std::vector<sparse::PrunedLayer> reconstructed;
+    reconstructed.reserve(candidate.choices.size());
+    for (std::size_t i = 0; i < candidate.choices.size(); ++i) {
+      sz::SzParams params = assess_cfg.sz;
+      params.mode = sz::ErrorBoundMode::kAbs;
+      params.error_bound = candidate.choices[i].eb;
+      auto decoded = sz::decompress(sz::compress(layers[i].data, params));
+      reconstructed.push_back(layers[i].with_data(std::move(decoded)));
+    }
+    load_layers_into_network(reconstructed, net);
+    const double drop = baseline_top1 - oracle.top1();
+    load_layers_into_network(layers, net);
+    return drop;
+  };
+  if (options.target_ratio.has_value()) {
+    const auto budget = static_cast<std::size_t>(
+        static_cast<double>(report.dense_fc_bytes) / *options.target_ratio);
+    report.chosen = optimize_for_size(report.assessments, budget);
+  } else {
+    report.chosen = optimize_for_accuracy_validated(
+        report.assessments, options.expected_acc_loss, joint_drop);
+  }
+
+  // Step 4: compressed model generation. Biases ride along verbatim so the
+  // container is a complete deployment artifact for the fc-layers.
+  std::map<std::string, double> eb_per_layer;
+  for (const auto& c : report.chosen.choices) {
+    eb_per_layer[c.layer] = c.eb;
+  }
+  std::map<std::string, std::vector<float>> biases;
+  for (const auto& layer : layers) {
+    if (auto* d = net.find_dense(layer.name)) {
+      biases[layer.name] = std::vector<float>(d->bias().flat().begin(),
+                                              d->bias().flat().end());
+    }
+  }
+  report.model = encode_model(layers, eb_per_layer, assess_cfg.sz,
+                              options.index_codec, 1e-3, biases);
+  report.encode_seconds = encode_timer.seconds();
+  report.compression_ratio = report.model.compression_ratio();
+
+  // Decode + reload, and measure the decoded accuracy the tables report.
+  report.decode_timing = load_compressed_model(report.model.bytes, net);
+  report.acc_decoded = nn::evaluate(net, test_images, test_labels);
+
+  DSZ_LOG_INFO << "DeepSZ: ratio " << report.compression_ratio << "x, top-1 "
+               << report.acc_original.top1 << " -> "
+               << report.acc_decoded.top1;
+  return report;
+}
+
+DecodeTiming load_compressed_model(std::span<const std::uint8_t> bytes,
+                                   nn::Network& net) {
+  DecodedModel decoded = decode_model(bytes, /*reconstruct_dense=*/false);
+  util::WallTimer timer;
+  load_layers_into_network(decoded.layers, net);
+  for (const auto& [name, bias] : decoded.biases) {
+    if (auto* d = net.find_dense(name)) {
+      if (static_cast<std::int64_t>(bias.size()) == d->bias().numel()) {
+        std::copy(bias.begin(), bias.end(), d->bias().data());
+      }
+    }
+  }
+  decoded.timing.reconstruct_ms = timer.millis();
+  return decoded.timing;
+}
+
+}  // namespace deepsz::core

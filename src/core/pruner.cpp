@@ -1,0 +1,79 @@
+#include "core/pruner.h"
+
+#include <stdexcept>
+
+#include "sparse/pruning.h"
+#include "util/log.h"
+
+namespace deepsz::core {
+
+PruneReport prune_and_retrain(nn::Network& net, const nn::Tensor& train_images,
+                              const std::vector<int>& train_labels,
+                              const PruneConfig& config) {
+  PruneReport report;
+  for (auto* dense : net.dense_layers()) {
+    auto it = config.keep_ratio.find(dense->name());
+    if (it == config.keep_ratio.end()) continue;
+    std::vector<float> weights(dense->weight().flat().begin(),
+                               dense->weight().flat().end());
+    float threshold = sparse::magnitude_prune(weights, it->second);
+    auto mask = sparse::nonzero_mask(weights);
+    // set_mask zeroes the masked-out weights and freezes them in backward.
+    std::copy(weights.begin(), weights.end(), dense->weight().data());
+    dense->set_mask(std::move(mask));
+
+    PrunedLayerStats stats;
+    stats.layer = dense->name();
+    stats.rows = dense->weight().dim(0);
+    stats.cols = dense->weight().dim(1);
+    stats.threshold = threshold;
+    stats.keep_ratio = it->second;
+    for (float w : dense->weight().flat()) {
+      if (w != 0.0f) ++stats.nonzeros;
+    }
+    report.layers.push_back(stats);
+  }
+
+  if (config.retrain_epochs > 0) {
+    nn::Sgd sgd(config.sgd);
+    util::Pcg32 rng(0x9121);
+    for (int e = 0; e < config.retrain_epochs; ++e) {
+      double loss = sgd.train_epoch(net, train_images, train_labels, rng);
+      DSZ_LOG_INFO << "masked retrain epoch " << (e + 1) << "/"
+                   << config.retrain_epochs << " loss " << loss;
+    }
+  }
+  return report;
+}
+
+std::vector<sparse::PrunedLayer> extract_pruned_layers(nn::Network& net) {
+  std::vector<sparse::PrunedLayer> out;
+  for (auto* dense : net.dense_layers()) {
+    if (!dense->has_mask()) continue;
+    out.push_back(sparse::PrunedLayer::from_dense(
+        dense->weight().flat(), dense->weight().dim(0), dense->weight().dim(1),
+        dense->name()));
+  }
+  return out;
+}
+
+void load_layers_into_network(const std::vector<sparse::PrunedLayer>& layers,
+                              nn::Network& net) {
+  for (const auto& layer : layers) {
+    auto* dense = net.find_dense(layer.name);
+    if (dense == nullptr) {
+      throw std::runtime_error("load_layers_into_network: no fc-layer named " +
+                               layer.name);
+    }
+    if (dense->weight().dim(0) != layer.rows ||
+        dense->weight().dim(1) != layer.cols) {
+      throw std::runtime_error("load_layers_into_network: shape mismatch for " +
+                               layer.name);
+    }
+    auto dense_weights = layer.to_dense();
+    std::copy(dense_weights.begin(), dense_weights.end(),
+              dense->weight().data());
+  }
+}
+
+}  // namespace deepsz::core

@@ -1,0 +1,55 @@
+// Step 1 of DeepSZ: magnitude pruning of the fc-layers followed by masked
+// retraining ("Magnitude" in Section 3.2 — thresholds from predefined pruning
+// ratios, then retraining with zero weights frozen).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/sgd.h"
+#include "sparse/pruned_layer.h"
+#include "util/rng.h"
+
+namespace deepsz::core {
+
+/// Pruning configuration.
+struct PruneConfig {
+  /// Fraction of weights kept per fc-layer name (the paper's "pruning
+  /// ratio"). Layers not listed are left dense.
+  std::map<std::string, double> keep_ratio;
+  /// Mask-constrained retraining epochs after pruning (0 disables).
+  int retrain_epochs = 2;
+  nn::SgdConfig sgd = {.lr = 0.005, .momentum = 0.9, .weight_decay = 0.0,
+                       .batch_size = 64};
+};
+
+/// Per-layer pruning outcome.
+struct PrunedLayerStats {
+  std::string layer;
+  std::int64_t rows = 0, cols = 0;
+  std::int64_t nonzeros = 0;
+  float threshold = 0.0f;
+  double keep_ratio = 0.0;
+};
+
+struct PruneReport {
+  std::vector<PrunedLayerStats> layers;
+};
+
+/// Prunes `net`'s fc-layers in place (weights zeroed, masks installed) and
+/// retrains with the masks on the given training data.
+PruneReport prune_and_retrain(nn::Network& net, const nn::Tensor& train_images,
+                              const std::vector<int>& train_labels,
+                              const PruneConfig& config);
+
+/// Extracts each masked fc-layer into the paper's two-array sparse format.
+std::vector<sparse::PrunedLayer> extract_pruned_layers(nn::Network& net);
+
+/// Writes sparse layers back into the network's matching Dense layers
+/// (used by the decoder and by Algorithm 1's per-layer reconstruction).
+void load_layers_into_network(const std::vector<sparse::PrunedLayer>& layers,
+                              nn::Network& net);
+
+}  // namespace deepsz::core

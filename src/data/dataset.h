@@ -1,0 +1,23 @@
+// Labeled image dataset container shared by the synthetic generators.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace deepsz::data {
+
+/// Images as one [N, C, H, W] tensor plus integer labels.
+struct Dataset {
+  tensor::Tensor images;
+  std::vector<int> labels;
+
+  std::int64_t size() const { return images.numel() > 0 ? images.dim(0) : 0; }
+  int num_classes() const {
+    int mx = -1;
+    for (int l : labels) mx = l > mx ? l : mx;
+    return mx + 1;
+  }
+};
+
+}  // namespace deepsz::data

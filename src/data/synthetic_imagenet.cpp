@@ -1,0 +1,83 @@
+#include "data/synthetic_imagenet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsz::data {
+namespace {
+
+constexpr int kSide = 32;
+
+struct ClassStyle {
+  double freq;        // grating spatial frequency
+  double angle;       // grating orientation
+  double color[3];    // channel mixing for the grating
+  double blob_x, blob_y, blob_r;  // class-anchored blob
+  double blob_color[3];
+};
+
+ClassStyle make_style(int cls, util::Pcg32& rng) {
+  ClassStyle s;
+  // Deterministic per-class parameters, well separated in (freq, angle).
+  s.freq = 0.2 + 0.12 * (cls % 5) + rng.uniform(0.0, 0.02);
+  s.angle = (cls * 37 % 180) * std::numbers::pi / 180.0;
+  for (int c = 0; c < 3; ++c) {
+    s.color[c] = 0.3 + 0.7 * ((cls * (c + 2) * 13 % 7) / 6.0);
+    s.blob_color[c] = 0.2 + 0.8 * ((cls * (c + 3) * 11 % 5) / 4.0);
+  }
+  s.blob_x = 6 + (cls * 7) % 20;
+  s.blob_y = 6 + (cls * 11) % 20;
+  s.blob_r = 4.0 + (cls % 4);
+  return s;
+}
+
+void render_sample(const ClassStyle& s, util::Pcg32& rng, float* out) {
+  const double phase = rng.uniform(0.0, 2 * std::numbers::pi);
+  const double jx = rng.uniform(-2.0, 2.0);
+  const double jy = rng.uniform(-2.0, 2.0);
+  const double ca = std::cos(s.angle), sa = std::sin(s.angle);
+  for (int y = 0; y < kSide; ++y) {
+    for (int x = 0; x < kSide; ++x) {
+      const double u = ca * x + sa * y;
+      const double g = 0.5 + 0.5 * std::sin(s.freq * u + phase);
+      const double bd = std::hypot(x - (s.blob_x + jx), y - (s.blob_y + jy));
+      const double blob = std::exp(-bd * bd / (2.0 * s.blob_r * s.blob_r));
+      for (int c = 0; c < 3; ++c) {
+        double v = 0.55 * g * s.color[c] + 0.45 * blob * s.blob_color[c] +
+                   rng.normal(0.0, 0.06);
+        out[c * kSide * kSide + y * kSide + x] =
+            static_cast<float>(std::clamp(v, 0.0, 1.0));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset synthetic_imagenet(std::int64_t n, int num_classes,
+                           std::uint64_t seed) {
+  util::Pcg32 style_rng(0xC1A55);  // class styles are seed-independent
+  std::vector<ClassStyle> styles;
+  styles.reserve(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    styles.push_back(make_style(c, style_rng));
+  }
+
+  util::Pcg32 rng(seed);
+  Dataset ds;
+  ds.images = tensor::Tensor({n, 3, kSide, kSide});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % num_classes);
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    render_sample(styles[static_cast<std::size_t>(cls)], rng,
+                  ds.images.data() + i * 3 * kSide * kSide);
+  }
+  return ds;
+}
+
+}  // namespace deepsz::data

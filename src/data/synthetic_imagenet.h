@@ -1,0 +1,20 @@
+// Synthetic ImageNet substitute for the AlexNet/VGG accuracy experiments.
+//
+// Each class is a procedural texture family: an oriented sinusoidal grating
+// (class-specific frequency, orientation, and color phase) overlaid with
+// class-colored blobs, plus per-sample jitter and noise. Mini conv-nets train
+// to useful accuracy in a few CPU epochs, and — as with real networks —
+// perturbing fc-layer weights degrades accuracy smoothly, which is the
+// property the paper's Figures 3/5/6 measure.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace deepsz::data {
+
+/// Generates `n` samples of shape [3, 32, 32] across `num_classes` classes.
+Dataset synthetic_imagenet(std::int64_t n, int num_classes, std::uint64_t seed);
+
+}  // namespace deepsz::data

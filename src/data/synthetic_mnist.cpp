@@ -1,0 +1,154 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace deepsz::data {
+namespace {
+
+constexpr int kSide = 28;
+
+// 7x7 glyph templates; '#' marks stroke cells. Upscaled 3x onto the canvas.
+constexpr std::array<std::array<std::string_view, 7>, 10> kGlyphs = {{
+    // 0
+    {{" ##### ",
+      "##   ##",
+      "##   ##",
+      "##   ##",
+      "##   ##",
+      "##   ##",
+      " ##### "}},
+    // 1
+    {{"   ##  ",
+      "  ###  ",
+      "   ##  ",
+      "   ##  ",
+      "   ##  ",
+      "   ##  ",
+      " ######"}},
+    // 2
+    {{" ##### ",
+      "##   ##",
+      "     ##",
+      "   ### ",
+      "  ##   ",
+      " ##    ",
+      "#######"}},
+    // 3
+    {{" ##### ",
+      "##   ##",
+      "     ##",
+      "  #### ",
+      "     ##",
+      "##   ##",
+      " ##### "}},
+    // 4
+    {{"   ### ",
+      "  # ## ",
+      " #  ## ",
+      "#   ## ",
+      "#######",
+      "    ## ",
+      "    ## "}},
+    // 5
+    {{"#######",
+      "##     ",
+      "###### ",
+      "     ##",
+      "     ##",
+      "##   ##",
+      " ##### "}},
+    // 6
+    {{"  #### ",
+      " ##    ",
+      "##     ",
+      "###### ",
+      "##   ##",
+      "##   ##",
+      " ##### "}},
+    // 7
+    {{"#######",
+      "     ##",
+      "    ## ",
+      "   ##  ",
+      "  ##   ",
+      "  ##   ",
+      "  ##   "}},
+    // 8
+    {{" ##### ",
+      "##   ##",
+      "##   ##",
+      " ##### ",
+      "##   ##",
+      "##   ##",
+      " ##### "}},
+    // 9
+    {{" ##### ",
+      "##   ##",
+      "##   ##",
+      " ######",
+      "     ##",
+      "    ## ",
+      " ####  "}},
+}};
+
+/// Renders one jittered digit into out[28*28].
+void render_digit(int digit, util::Pcg32& rng, float* out) {
+  std::array<float, kSide * kSide> canvas{};
+  const auto& glyph = kGlyphs[static_cast<std::size_t>(digit)];
+
+  const double scale = 3.0 * rng.uniform(0.85, 1.15);
+  const double dx = rng.uniform(-2.5, 2.5) + 3.0;  // left margin + jitter
+  const double dy = rng.uniform(-2.5, 2.5) + 3.0;
+  const double shear = rng.uniform(-0.15, 0.15);
+  const double thickness = rng.uniform(0.7, 1.2);
+
+  for (int gy = 0; gy < 7; ++gy) {
+    for (int gx = 0; gx < 7; ++gx) {
+      if (glyph[gy][gx] != '#') continue;
+      // Stamp a soft disc for each stroke cell.
+      const double cx = dx + (gx + 0.5 + shear * (gy - 3.0)) * scale;
+      const double cy = dy + (gy + 0.5) * scale;
+      const double radius = 0.62 * scale * thickness;
+      const int lo_y = std::max(0, static_cast<int>(cy - radius - 1));
+      const int hi_y = std::min(kSide - 1, static_cast<int>(cy + radius + 1));
+      const int lo_x = std::max(0, static_cast<int>(cx - radius - 1));
+      const int hi_x = std::min(kSide - 1, static_cast<int>(cx + radius + 1));
+      for (int y = lo_y; y <= hi_y; ++y) {
+        for (int x = lo_x; x <= hi_x; ++x) {
+          double d = std::hypot(x + 0.5 - cx, y + 0.5 - cy);
+          double v = std::clamp(1.2 - d / radius, 0.0, 1.0);
+          canvas[y * kSide + x] =
+              std::max(canvas[y * kSide + x], static_cast<float>(v));
+        }
+      }
+    }
+  }
+
+  // Additive pixel noise + clamp.
+  for (int i = 0; i < kSide * kSide; ++i) {
+    float v = canvas[i] + static_cast<float>(rng.normal(0.0, 0.05));
+    out[i] = std::clamp(v, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+Dataset synthetic_mnist(std::int64_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  Dataset ds;
+  ds.images = tensor::Tensor({n, 1, kSide, kSide});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    int digit = static_cast<int>(i % 10);  // balanced classes
+    ds.labels[static_cast<std::size_t>(i)] = digit;
+    render_digit(digit, rng, ds.images.data() + i * kSide * kSide);
+  }
+  return ds;
+}
+
+}  // namespace deepsz::data

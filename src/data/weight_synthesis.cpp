@@ -1,0 +1,43 @@
+#include "data/weight_synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/pruning.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace deepsz::data {
+
+std::vector<float> synthesize_fc_weights(std::int64_t rows, std::int64_t cols,
+                                         std::uint64_t seed,
+                                         const WeightModel& model) {
+  std::vector<float> dense(static_cast<std::size_t>(rows * cols));
+  // Rows are independent: one RNG stream per row keeps generation
+  // parallelizable and deterministic regardless of thread count.
+  util::parallel_for(0, static_cast<std::size_t>(rows), [&](std::size_t r) {
+    util::Pcg32 rng(seed, /*stream=*/r + 1);
+    const double row_scale =
+        std::exp(rng.normal(0.0, model.row_scale_sigma));
+    float* out = dense.data() + r * static_cast<std::size_t>(cols);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      double w = rng.laplace(model.laplace_scale * row_scale);
+      out[c] = std::clamp(static_cast<float>(w), -model.clamp, model.clamp);
+    }
+  }, /*grain=*/16);
+  return dense;
+}
+
+sparse::PrunedLayer synthesize_pruned_layer(const std::string& name,
+                                            std::int64_t rows,
+                                            std::int64_t cols,
+                                            double keep_ratio,
+                                            std::uint64_t seed,
+                                            const WeightModel& model) {
+  auto dense = synthesize_fc_weights(rows, cols, seed, model);
+  sparse::magnitude_prune(dense, keep_ratio);
+  return sparse::PrunedLayer::from_dense(dense, rows, cols, name);
+}
+
+}  // namespace deepsz::data

@@ -1,0 +1,41 @@
+// Trained-weight synthesizer for paper-scale experiments.
+//
+// We cannot train AlexNet/VGG-16 on ImageNet in this environment, but the
+// compression-ratio and timing experiments (Figure 2, Figure 4, Tables 2/4,
+// Figure 7) depend only on the statistics of the pruned weight arrays, not on
+// what the weights compute. Trained fc-layer weights are well modeled by a
+// zero-centered Laplacian with per-neuron scale variation, values inside
+// ±0.3 (the paper, Section 5.1, notes trained AlexNet/VGG weights lie in
+// [-0.3, 0.3]). Magnitude pruning at ratio p keeps the distribution's tails
+// beyond its |.|-quantile, exactly as in a really-pruned network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/pruned_layer.h"
+
+namespace deepsz::data {
+
+/// Statistical model parameters for a synthesized fc-layer.
+struct WeightModel {
+  double laplace_scale = 0.02;  // Laplace(0, b) body
+  double row_scale_sigma = 0.25;  // log-normal per-output-neuron spread
+  float clamp = 0.3f;             // trained-weight value range
+};
+
+/// Dense [rows x cols] matrix of trained-like weights.
+std::vector<float> synthesize_fc_weights(std::int64_t rows, std::int64_t cols,
+                                         std::uint64_t seed,
+                                         const WeightModel& model = {});
+
+/// Convenience: synthesize + prune (sparse::magnitude_prune at the paper's
+/// pruning ratio) + convert to the two-array sparse format.
+sparse::PrunedLayer synthesize_pruned_layer(const std::string& name,
+                                            std::int64_t rows,
+                                            std::int64_t cols,
+                                            double keep_ratio,
+                                            std::uint64_t seed,
+                                            const WeightModel& model = {});
+
+}  // namespace deepsz::data

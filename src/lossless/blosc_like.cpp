@@ -1,0 +1,237 @@
+// BloscLike: Blosc-class fast compressor — a byte-shuffle filter (transposing
+// the bytes of fixed-width elements so that same-significance bytes become
+// contiguous) followed by an LZ4-style byte-aligned codec, applied to
+// independent blocks that compress in parallel on the thread pool. No entropy
+// stage, matching Blosc's speed-over-ratio design point.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "lossless/codec.h"
+#include "util/byte_io.h"
+#include "util/threadpool.h"
+
+namespace deepsz::lossless::raw {
+namespace {
+
+constexpr std::uint32_t kMinMatch = 4;
+constexpr std::uint32_t kMaxOffset = 65535;
+
+/// Byte shuffle: out[j*n + i] = in[i*typesize + j] for element i, byte j.
+std::vector<std::uint8_t> shuffle(std::span<const std::uint8_t> in,
+                                  std::uint32_t typesize) {
+  std::vector<std::uint8_t> out(in.size());
+  const std::size_t n = in.size() / typesize;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < typesize; ++j) {
+      out[j * n + i] = in[i * typesize + j];
+    }
+  }
+  // Trailing bytes that do not form a whole element pass through.
+  std::memcpy(out.data() + n * typesize, in.data() + n * typesize,
+              in.size() - n * typesize);
+  return out;
+}
+
+std::vector<std::uint8_t> unshuffle(std::span<const std::uint8_t> in,
+                                    std::uint32_t typesize) {
+  std::vector<std::uint8_t> out(in.size());
+  const std::size_t n = in.size() / typesize;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < typesize; ++j) {
+      out[i * typesize + j] = in[j * n + i];
+    }
+  }
+  std::memcpy(out.data() + n * typesize, in.data() + n * typesize,
+              in.size() - n * typesize);
+  return out;
+}
+
+void write_extended(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  // LZ4-style length extension: 255-bytes until a byte < 255 terminates.
+  while (v >= 255) {
+    out.push_back(255);
+    v -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_extended(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (;;) {
+    if (pos >= in.size()) throw std::runtime_error("blosc_like: truncated length");
+    std::uint8_t b = in[pos++];
+    v += b;
+    if (b != 255) return v;
+  }
+}
+
+/// LZ4-style block compressor: token (4-bit literal length | 4-bit match
+/// length), extended lengths, 2-byte offsets. Greedy single-probe hash table.
+std::vector<std::uint8_t> lz4ish_compress_block(std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+  std::vector<std::int64_t> table(1 << 14, -1);
+  auto hash4 = [&](std::size_t p) {
+    std::uint32_t v;
+    std::memcpy(&v, in.data() + p, 4);
+    return (v * 2654435761u) >> 18;
+  };
+
+  std::size_t pos = 0, lit_start = 0;
+  auto emit = [&](std::size_t lit_end, std::uint32_t match_len,
+                  std::uint32_t offset) {
+    std::uint32_t lit_len = static_cast<std::uint32_t>(lit_end - lit_start);
+    std::uint32_t ml_tok = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+    std::uint8_t token =
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(lit_len, 15) << 4 |
+                                  std::min<std::uint32_t>(ml_tok, 15));
+    out.push_back(token);
+    if (lit_len >= 15) write_extended(out, lit_len - 15);
+    out.insert(out.end(), in.begin() + lit_start, in.begin() + lit_end);
+    if (match_len >= kMinMatch) {
+      out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      if (ml_tok >= 15) write_extended(out, ml_tok - 15);
+    }
+  };
+
+  while (pos + kMinMatch <= in.size()) {
+    std::uint32_t h = hash4(pos);
+    std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        std::memcmp(in.data() + cand, in.data() + pos, kMinMatch) == 0) {
+      std::size_t c = static_cast<std::size_t>(cand);
+      std::size_t len = kMinMatch;
+      while (pos + len < in.size() && in[c + len] == in[pos + len]) ++len;
+      emit(pos, static_cast<std::uint32_t>(len),
+           static_cast<std::uint32_t>(pos - c));
+      pos += len;
+      lit_start = pos;
+      continue;
+    }
+    ++pos;
+  }
+  // Final literals-only token (match length 0).
+  emit(in.size(), 0, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> lz4ish_decompress_block(
+    std::span<const std::uint8_t> in, std::size_t raw_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    std::uint8_t token = in[pos++];
+    std::uint32_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len += read_extended(in, pos);
+    if (pos + lit_len > in.size()) {
+      throw std::runtime_error("blosc_like: literal overrun");
+    }
+    out.insert(out.end(), in.begin() + pos, in.begin() + pos + lit_len);
+    pos += lit_len;
+    if (out.size() == raw_size && pos == in.size()) break;  // final token
+    if (pos + 2 > in.size()) {
+      throw std::runtime_error("blosc_like: truncated offset");
+    }
+    std::uint32_t offset = in[pos] | (static_cast<std::uint32_t>(in[pos + 1]) << 8);
+    pos += 2;
+    std::uint32_t match_len = (token & 0xf);
+    if (match_len == 15) match_len += read_extended(in, pos);
+    match_len += kMinMatch;
+    if (offset == 0 || offset > out.size()) {
+      throw std::runtime_error("blosc_like: bad offset");
+    }
+    std::size_t src = out.size() - offset;
+    for (std::uint32_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+    if (out.size() > raw_size) {
+      throw std::runtime_error("blosc_like: output overrun");
+    }
+  }
+  if (out.size() != raw_size) {
+    throw std::runtime_error("blosc_like: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> blosc_like_compress(std::span<const std::uint8_t> data,
+                                              const BloscOptions& opts) {
+  const std::uint32_t typesize = std::max<std::uint32_t>(1, opts.typesize);
+  const std::size_t block = std::max<std::uint32_t>(4096, opts.block_size);
+
+  std::vector<std::uint8_t> shuffled;
+  std::span<const std::uint8_t> src = data;
+  if (typesize > 1) {
+    shuffled = shuffle(data, typesize);
+    src = shuffled;
+  }
+
+  const std::size_t n_blocks = src.empty() ? 0 : (src.size() + block - 1) / block;
+  std::vector<std::vector<std::uint8_t>> compressed(n_blocks);
+  util::parallel_for(0, n_blocks, [&](std::size_t b) {
+    std::size_t lo = b * block;
+    std::size_t hi = std::min(src.size(), lo + block);
+    compressed[b] = lz4ish_compress_block(src.subspan(lo, hi - lo));
+  });
+
+  std::vector<std::uint8_t> out;
+  util::put_le<std::uint32_t>(out, typesize);
+  util::put_le<std::uint64_t>(out, block);
+  util::put_le<std::uint64_t>(out, n_blocks);
+  for (const auto& c : compressed) {
+    util::put_le<std::uint64_t>(out, c.size());
+  }
+  for (const auto& c : compressed) {
+    util::put_bytes(out, c);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> blosc_like_decompress(
+    std::span<const std::uint8_t> payload, std::size_t raw_size) {
+  util::ByteReader r(payload);
+  auto typesize = r.get<std::uint32_t>();
+  auto block = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto n_blocks = static_cast<std::size_t>(r.get<std::uint64_t>());
+  if (block == 0 || n_blocks > raw_size / 1 + 1) {
+    throw std::runtime_error("blosc_like: corrupt header");
+  }
+  std::vector<std::size_t> sizes(n_blocks);
+  for (auto& s : sizes) s = static_cast<std::size_t>(r.get<std::uint64_t>());
+
+  std::vector<std::span<const std::uint8_t>> blobs(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    blobs[b] = r.get_bytes(sizes[b]);
+  }
+
+  std::vector<std::vector<std::uint8_t>> blocks(n_blocks);
+  util::parallel_for(0, n_blocks, [&](std::size_t b) {
+    std::size_t lo = b * block;
+    std::size_t hi = std::min(raw_size, lo + block);
+    blocks[b] = lz4ish_decompress_block(blobs[b], hi - lo);
+  });
+
+  std::vector<std::uint8_t> shuffled;
+  shuffled.reserve(raw_size);
+  for (auto& blk : blocks) {
+    shuffled.insert(shuffled.end(), blk.begin(), blk.end());
+  }
+  if (shuffled.size() != raw_size) {
+    throw std::runtime_error("blosc_like: size mismatch");
+  }
+  if (typesize > 1) {
+    return unshuffle(shuffled, typesize);
+  }
+  return shuffled;
+}
+
+}  // namespace deepsz::lossless::raw

@@ -1,0 +1,93 @@
+#include "lossless/codec.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/byte_io.h"
+
+namespace deepsz::lossless {
+
+std::string codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::kStore: return "store";
+    case CodecId::kGzipLike: return "gzip";
+    case CodecId::kZstdLike: return "zstd";
+    case CodecId::kBloscLike: return "blosc";
+  }
+  return "unknown";
+}
+
+std::span<const CodecId> all_codecs() {
+  static constexpr std::array<CodecId, 3> kCodecs = {
+      CodecId::kGzipLike, CodecId::kZstdLike, CodecId::kBloscLike};
+  return kCodecs;
+}
+
+namespace {
+
+std::vector<std::uint8_t> frame(CodecId id, std::size_t raw_size,
+                                std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 9);
+  util::put_le<std::uint8_t>(out, static_cast<std::uint8_t>(id));
+  util::put_le<std::uint64_t>(out, raw_size);
+  util::put_bytes(out, payload);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(CodecId id,
+                                   std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> payload;
+  switch (id) {
+    case CodecId::kStore:
+      return frame(CodecId::kStore, data.size(), data);
+    case CodecId::kGzipLike:
+      payload = raw::gzip_like_compress(data);
+      break;
+    case CodecId::kZstdLike:
+      payload = raw::zstd_like_compress(data);
+      break;
+    case CodecId::kBloscLike:
+      payload = raw::blosc_like_compress(data, BloscOptions{});
+      break;
+  }
+  if (payload.size() >= data.size()) {
+    return frame(CodecId::kStore, data.size(), data);
+  }
+  return frame(id, data.size(), payload);
+}
+
+std::vector<std::uint8_t> compress_blosc(std::span<const std::uint8_t> data,
+                                         const BloscOptions& opts) {
+  auto payload = raw::blosc_like_compress(data, opts);
+  if (payload.size() >= data.size()) {
+    return frame(CodecId::kStore, data.size(), data);
+  }
+  return frame(CodecId::kBloscLike, data.size(), payload);
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> frame_bytes) {
+  util::ByteReader r(frame_bytes);
+  auto id = static_cast<CodecId>(r.get<std::uint8_t>());
+  auto raw_size = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto payload = r.get_bytes(r.remaining());
+  switch (id) {
+    case CodecId::kStore: {
+      if (payload.size() != raw_size) {
+        throw std::runtime_error("store: size mismatch");
+      }
+      return std::vector<std::uint8_t>(payload.begin(), payload.end());
+    }
+    case CodecId::kGzipLike:
+      return raw::gzip_like_decompress(payload, raw_size);
+    case CodecId::kZstdLike:
+      return raw::zstd_like_decompress(payload, raw_size);
+    case CodecId::kBloscLike:
+      return raw::blosc_like_decompress(payload, raw_size);
+  }
+  throw std::runtime_error("decompress: unknown codec id");
+}
+
+}  // namespace deepsz::lossless

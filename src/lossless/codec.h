@@ -1,0 +1,69 @@
+// Common interface over the lossless codecs the paper evaluates for index
+// arrays (Figure 4) and as the SZ backend: gzip-class, Zstandard-class and
+// Blosc-class compressors, all reimplemented from scratch.
+//
+// Frame layout (all integers little-endian):
+//   [u8 codec_id][u64 raw_size][payload...]
+// compress() transparently falls back to kStore when a codec fails to shrink
+// its input, so decompress() always round-trips.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepsz::lossless {
+
+/// Identifies a codec inside a compressed frame.
+enum class CodecId : std::uint8_t {
+  kStore = 0,      // raw passthrough
+  kGzipLike = 1,   // LZ77(32 KB) + DEFLATE-style Huffman block
+  kZstdLike = 2,   // LZ77(1 MB) + per-stream Huffman sequence coding
+  kBloscLike = 3,  // byte shuffle + LZ4-style fast byte codec, blocked
+};
+
+/// Human-readable codec name (matches the paper's terminology).
+std::string codec_name(CodecId id);
+
+/// All real codecs, in the order the paper's Figure 4 presents them.
+std::span<const CodecId> all_codecs();
+
+/// Compresses `data` with the requested codec, producing a self-describing
+/// frame. Falls back to kStore if the codec output would be larger than raw.
+std::vector<std::uint8_t> compress(CodecId id,
+                                   std::span<const std::uint8_t> data);
+
+/// Decompresses a frame produced by compress(). Throws std::runtime_error on
+/// a corrupt frame.
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> frame);
+
+/// Options for BloscLike (the only codec with a data-layout parameter).
+struct BloscOptions {
+  /// Element width for the byte-shuffle filter; 1 disables shuffling.
+  std::uint32_t typesize = 4;
+  /// Independent (thread-parallel) compression blocks.
+  std::uint32_t block_size = 256 * 1024;
+};
+
+/// BloscLike with explicit options (compress() uses defaults).
+std::vector<std::uint8_t> compress_blosc(std::span<const std::uint8_t> data,
+                                         const BloscOptions& opts);
+
+// Raw (frameless) codec entry points, used internally and by the micro
+// benchmarks. Each returns only the payload; raw_size bookkeeping is the
+// caller's job.
+namespace raw {
+std::vector<std::uint8_t> gzip_like_compress(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> gzip_like_decompress(std::span<const std::uint8_t> payload,
+                                               std::size_t raw_size);
+std::vector<std::uint8_t> zstd_like_compress(std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> zstd_like_decompress(std::span<const std::uint8_t> payload,
+                                               std::size_t raw_size);
+std::vector<std::uint8_t> blosc_like_compress(std::span<const std::uint8_t> data,
+                                              const BloscOptions& opts);
+std::vector<std::uint8_t> blosc_like_decompress(std::span<const std::uint8_t> payload,
+                                                std::size_t raw_size);
+}  // namespace raw
+
+}  // namespace deepsz::lossless

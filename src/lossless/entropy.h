@@ -1,0 +1,80 @@
+// Canonical Huffman entropy coding, shared by every entropy stage in the
+// repository: the SZ quantization-code stream, the GzipLike DEFLATE-style
+// block coder, and the ZstdLike sequence coder.
+//
+// Codes are canonical (assigned by (length, symbol) order), length-limited via
+// Kraft-sum repair, and written bit-reversed so that a bit-serial canonical
+// decoder sees the most significant code bit first while the underlying
+// BitWriter stays LSB-first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitstream.h"
+
+namespace deepsz::lossless {
+
+/// Maximum code length supported by the canonical coder.
+inline constexpr int kMaxCodeLen = 24;
+
+/// Computes length-limited Huffman code lengths (0 = symbol absent) for the
+/// given symbol frequencies. Lengths never exceed `max_len`.
+std::vector<int> build_code_lengths(std::span<const std::uint64_t> freq,
+                                    int max_len = kMaxCodeLen);
+
+/// Encodes symbols with a canonical Huffman code built from a frequency table.
+class HuffmanEncoder {
+ public:
+  /// Builds the code book. Symbols with zero frequency get no code and must
+  /// not be passed to encode().
+  void init(std::span<const std::uint64_t> freq, int max_len = kMaxCodeLen);
+
+  /// Serializes the code book (sparse symbol/length list) into `bw`.
+  void write_table(util::BitWriter& bw) const;
+
+  /// Writes the code for `sym`.
+  void encode(util::BitWriter& bw, std::uint32_t sym) const {
+    bw.write_bits(codes_[sym], lengths_[sym]);
+  }
+
+  /// Code length in bits for `sym` (0 if absent). Used for cost estimation.
+  int length(std::uint32_t sym) const { return lengths_[sym]; }
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  std::vector<std::uint32_t> codes_;  // bit-reversed canonical codes
+  std::vector<int> lengths_;
+};
+
+/// Decodes a canonical Huffman stream produced by HuffmanEncoder.
+class HuffmanDecoder {
+ public:
+  /// Reads the code book serialized by HuffmanEncoder::write_table.
+  void read_table(util::BitReader& br);
+
+  /// Builds decoding structures directly from code lengths (for coders whose
+  /// table is transmitted out of band).
+  void init_from_lengths(std::span<const int> lengths);
+
+  /// Decodes one symbol. Throws std::runtime_error on an invalid code.
+  std::uint32_t decode(util::BitReader& br) const;
+
+  std::size_t alphabet_size() const { return alphabet_; }
+
+ private:
+  std::size_t alphabet_ = 0;
+  int max_len_ = 0;
+  // Canonical decoding tables indexed by code length.
+  std::vector<std::uint32_t> first_code_;   // first canonical code of length L
+  std::vector<std::uint32_t> offset_;       // index into sorted_symbols_
+  std::vector<std::uint32_t> count_;        // number of codes of length L
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+/// Reverses the low `nbits` bits of `v`.
+std::uint32_t reverse_bits(std::uint32_t v, int nbits);
+
+}  // namespace deepsz::lossless

@@ -1,0 +1,71 @@
+#include "lossless/lz77.h"
+
+#include <algorithm>
+
+namespace deepsz::lossless {
+
+namespace {
+constexpr int kHashBits = 16;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+}  // namespace
+
+MatchFinder::MatchFinder(std::span<const std::uint8_t> data,
+                         const Lz77Params& params)
+    : data_(data),
+      params_(params),
+      window_size_(std::size_t{1} << params.window_bits),
+      head_(kHashSize, -1),
+      prev_(data.size(), -1) {}
+
+std::uint32_t MatchFinder::hash_at(std::size_t pos) const {
+  // 4-byte multiplicative hash (Fibonacci constant); positions within
+  // kHashBytes of the end hash whatever bytes remain.
+  std::uint32_t h = 0;
+  for (int i = 0; i < 4 && pos + i < data_.size(); ++i) {
+    h = (h << 8) | data_[pos + i];
+  }
+  return (h * 2654435761u) >> (32 - kHashBits);
+}
+
+void MatchFinder::insert(std::size_t pos) {
+  if (pos + 4 > data_.size()) return;
+  std::uint32_t h = hash_at(pos);
+  prev_[pos] = head_[h];
+  head_[h] = static_cast<std::int64_t>(pos);
+}
+
+Match MatchFinder::find(std::size_t pos) const {
+  Match best;
+  if (pos + static_cast<std::size_t>(params_.min_match) > data_.size()) {
+    return best;
+  }
+  const std::size_t limit =
+      pos >= window_size_ ? pos - window_size_ : 0;
+  const std::size_t max_len = std::min<std::size_t>(
+      params_.max_match, data_.size() - pos);
+
+  std::int64_t cand = head_[hash_at(pos)];
+  int chain = params_.max_chain;
+  while (cand >= 0 && static_cast<std::size_t>(cand) >= limit && chain-- > 0) {
+    const std::size_t c = static_cast<std::size_t>(cand);
+    if (c < pos) {
+      // Quick rejection on the byte one past the current best length.
+      if (best.length == 0 ||
+          (c + best.length < data_.size() && pos + best.length < data_.size() &&
+           data_[c + best.length] == data_[pos + best.length])) {
+        std::size_t len = 0;
+        while (len < max_len && data_[c + len] == data_[pos + len]) ++len;
+        if (len >= static_cast<std::size_t>(params_.min_match) &&
+            len > best.length) {
+          best.length = static_cast<std::uint32_t>(len);
+          best.distance = static_cast<std::uint32_t>(pos - c);
+          if (len >= static_cast<std::size_t>(params_.nice_length)) break;
+        }
+      }
+    }
+    cand = prev_[c];
+  }
+  return best;
+}
+
+}  // namespace deepsz::lossless

@@ -1,0 +1,56 @@
+// Hash-chain LZ77 match finding shared by GzipLike and ZstdLike.
+//
+// Classic zlib-style structure: a head table maps a rolling hash of the next
+// `kHashBytes` input bytes to the most recent position with that hash, and a
+// prev chain links earlier occurrences inside the search window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepsz::lossless {
+
+/// A back-reference candidate.
+struct Match {
+  std::uint32_t length = 0;    // match length in bytes (0 = no match)
+  std::uint32_t distance = 0;  // backwards distance, >= 1
+
+  bool found() const { return length > 0; }
+};
+
+/// Tunables for the match finder; each codec supplies its own profile.
+struct Lz77Params {
+  int window_bits = 15;     // search window = 2^window_bits bytes
+  int min_match = 3;        // shortest useful match
+  int max_match = 258;      // cap on match length
+  int max_chain = 128;      // chain positions probed per query
+  int nice_length = 128;    // stop probing once a match this long is found
+};
+
+/// Incremental hash-chain match finder over an immutable input buffer.
+class MatchFinder {
+ public:
+  MatchFinder(std::span<const std::uint8_t> data, const Lz77Params& params);
+
+  /// Longest match for the bytes starting at `pos`, or an empty Match.
+  Match find(std::size_t pos) const;
+
+  /// Registers position `pos` in the hash chains. Callers must insert every
+  /// position they advance past (including inside emitted matches) so later
+  /// queries can find overlapping history.
+  void insert(std::size_t pos);
+
+  const Lz77Params& params() const { return params_; }
+
+ private:
+  std::uint32_t hash_at(std::size_t pos) const;
+
+  std::span<const std::uint8_t> data_;
+  Lz77Params params_;
+  std::size_t window_size_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+};
+
+}  // namespace deepsz::lossless

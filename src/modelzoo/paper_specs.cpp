@@ -1,0 +1,125 @@
+#include "modelzoo/paper_specs.h"
+
+#include <stdexcept>
+
+namespace deepsz::modelzoo {
+
+const std::vector<PaperNetSpec>& all_paper_specs() {
+  static const std::vector<PaperNetSpec> specs = [] {
+    std::vector<PaperNetSpec> s;
+
+    {
+      PaperNetSpec n;
+      n.name = "LeNet-300-100";
+      n.key = "lenet300";
+      n.conv_layers = 0;
+      n.fc_layers = 3;
+      n.total_mb = 1.1;
+      n.fc_share_pct = 100.0;
+      n.conv_fwd_ms = 0.0;
+      n.fc_fwd_ms = 0.30;
+      n.fc = {
+          {"ip1", 300, 784, 0.08, 2e-2, 94.0, 15.2, 61.81, 43.1, 60.1},
+          {"ip2", 100, 300, 0.09, 3e-2, 14.0, 1.6, 37.97, 32.9, 64.3},
+          {"ip3", 10, 100, 0.26, 4e-2, 1.3, 0.7, 5.6, 7.9, 0.0},
+      };
+      n.paper_overall_cr_deepsz = 55.77;
+      n.paper_overall_cr_deepcomp = 41.0;
+      n.paper_overall_cr_weightless = 7.6;
+      n.paper_top1_orig = 98.35;
+      n.paper_top1_deepsz = 98.31;
+      n.paper_acc_drop_deepcomp = 0.22;
+      n.paper_acc_drop_deepsz = 0.12;
+      n.expected_acc_loss = 0.2;
+      s.push_back(std::move(n));
+    }
+    {
+      PaperNetSpec n;
+      n.name = "LeNet-5";
+      n.key = "lenet5";
+      n.conv_layers = 3;  // as Table 1 counts it
+      n.fc_layers = 2;
+      n.total_mb = 1.7;
+      n.fc_share_pct = 95.3;
+      n.conv_fwd_ms = 0.5;
+      n.fc_fwd_ms = 0.12;
+      n.fc = {
+          {"ip1", 500, 800, 0.08, 3e-2, 160.0, 27.3, 58.5, 40.8, 74.2},
+          {"ip2", 10, 500, 0.19, 8e-2, 4.8, 0.93, 21.5, 16.3, 0.0},
+      };
+      n.paper_overall_cr_deepsz = 57.3;
+      n.paper_overall_cr_deepcomp = 40.1;
+      n.paper_overall_cr_weightless = 39.0;
+      n.paper_top1_orig = 99.13;
+      n.paper_top1_deepsz = 99.16;
+      n.paper_acc_drop_deepcomp = 0.30;
+      n.paper_acc_drop_deepsz = -0.03;
+      n.expected_acc_loss = 0.2;
+      s.push_back(std::move(n));
+    }
+    {
+      PaperNetSpec n;
+      n.name = "AlexNet";
+      n.key = "alexnet";
+      n.conv_layers = 5;
+      n.fc_layers = 3;
+      n.total_mb = 243.9;
+      n.fc_share_pct = 96.1;
+      n.conv_fwd_ms = 116.5;
+      n.fc_fwd_ms = 2.5;
+      n.fc = {
+          {"fc6", 4096, 9216, 0.09, 7e-3, 17.0 * 1024, 2.77 * 1024, 54.4, 41.8, 0.0},
+          {"fc7", 4096, 4096, 0.09, 7e-3, 7.5 * 1024, 1.44 * 1024, 46.5, 40.7, 0.0},
+          {"fc8", 1000, 4096, 0.25, 5e-3, 5.1 * 1024, 0.94 * 1024, 17.5, 17.1, 0.0},
+      };
+      n.paper_overall_cr_deepsz = 45.5;
+      n.paper_overall_cr_deepcomp = 37.7;
+      n.paper_top1_orig = 57.41;
+      n.paper_top5_orig = 80.40;
+      n.paper_top1_deepsz = 57.28;
+      n.paper_top5_deepsz = 80.58;
+      n.paper_acc_drop_deepcomp = 1.56;
+      n.paper_acc_drop_deepsz = 0.13;
+      n.expected_acc_loss = 0.4;
+      s.push_back(std::move(n));
+    }
+    {
+      PaperNetSpec n;
+      n.name = "VGG-16";
+      n.key = "vgg16";
+      n.conv_layers = 13;
+      n.fc_layers = 3;
+      n.total_mb = 553.4;
+      n.fc_share_pct = 89.4;
+      n.conv_fwd_ms = 149.8;
+      n.fc_fwd_ms = 1.7;
+      n.fc = {
+          {"fc6", 4096, 25088, 0.03, 1e-2, 15.4 * 1024, 2.70 * 1024, 152.1, 119.0, 157.0},
+          {"fc7", 4096, 4096, 0.04, 9e-3, 3.4 * 1024, 0.75 * 1024, 90.0, 80.0, 85.8},
+          {"fc8", 1000, 4096, 0.24, 5e-3, 4.8 * 1024, 0.83 * 1024, 19.8, 19.1, 0.0},
+      };
+      n.paper_overall_cr_deepsz = 115.6;
+      n.paper_overall_cr_deepcomp = 95.8;
+      n.paper_overall_cr_weightless = 5.9;
+      n.paper_top1_orig = 68.05;
+      n.paper_top5_orig = 88.34;
+      n.paper_top1_deepsz = 67.80;
+      n.paper_top5_deepsz = 88.20;
+      n.paper_acc_drop_deepcomp = 2.81;
+      n.paper_acc_drop_deepsz = 0.25;
+      n.expected_acc_loss = 0.4;
+      s.push_back(std::move(n));
+    }
+    return s;
+  }();
+  return specs;
+}
+
+const PaperNetSpec& paper_spec(const std::string& key) {
+  for (const auto& s : all_paper_specs()) {
+    if (s.key == key) return s;
+  }
+  throw std::invalid_argument("paper_spec: unknown key " + key);
+}
+
+}  // namespace deepsz::modelzoo

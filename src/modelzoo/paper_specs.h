@@ -1,0 +1,58 @@
+// The paper's published per-network and per-layer numbers (Tables 1-5),
+// used by the benches both as experiment *parameters* (paper-scale fc shapes,
+// pruning ratios, chosen error bounds) and as the "paper" comparison columns
+// in the regenerated tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepsz::modelzoo {
+
+/// One fc-layer of a paper network (Table 2 row).
+struct PaperFcSpec {
+  std::string layer;        // "fc6", "ip1", ...
+  std::int64_t rows = 0;    // output neurons
+  std::int64_t cols = 0;    // input neurons
+  double keep_ratio = 0.0;  // the paper's "pruning ratio" (fraction kept)
+  double chosen_eb = 0.0;   // the error bound DeepSZ selected (Section 5.2)
+  // Paper-reported values for comparison columns:
+  double paper_csr_kb = 0.0;       // CSR size after pruning
+  double paper_deepsz_kb = 0.0;    // DeepSZ compressed size
+  double paper_cr_deepsz = 0.0;    // Table 4 per-layer compression ratios
+  double paper_cr_deepcomp = 0.0;  // (0 = not reported)
+  double paper_cr_weightless = 0.0;
+};
+
+/// One paper network (Tables 1-5 rows).
+struct PaperNetSpec {
+  std::string name;  // "AlexNet"
+  std::string key;   // "alexnet" (model-zoo key)
+  int conv_layers = 0;
+  int fc_layers = 0;
+  double total_mb = 0.0;         // Table 1: whole-network size
+  double fc_share_pct = 0.0;     // Table 1: fc-layers' share of storage
+  double conv_fwd_ms = 0.0;      // Table 1: conv forward time (paper's GPU)
+  double fc_fwd_ms = 0.0;        // Table 1: fc forward time
+  std::vector<PaperFcSpec> fc;
+  // Overall compression ratios (Table 4):
+  double paper_overall_cr_deepsz = 0.0;
+  double paper_overall_cr_deepcomp = 0.0;
+  double paper_overall_cr_weightless = 0.0;  // 0 = not reported
+  // Accuracy (Tables 3 and 5):
+  double paper_top1_orig = 0.0, paper_top5_orig = 0.0;    // 0 = n/a
+  double paper_top1_deepsz = 0.0, paper_top5_deepsz = 0.0;
+  double paper_acc_drop_deepcomp = 0.0;  // Table 5, matched-ratio setting
+  double paper_acc_drop_deepsz = 0.0;
+  // The expected accuracy loss the paper configures (Section 5.1).
+  double expected_acc_loss = 0.0;
+};
+
+/// All four networks in the paper's order.
+const std::vector<PaperNetSpec>& all_paper_specs();
+
+/// Lookup by model-zoo key; throws on unknown key.
+const PaperNetSpec& paper_spec(const std::string& key);
+
+}  // namespace deepsz::modelzoo

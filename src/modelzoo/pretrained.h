@@ -1,0 +1,37 @@
+// Train-once model cache.
+//
+// Every accuracy experiment needs trained networks. Training is deterministic
+// (fixed seeds, fixed synthetic datasets) and runs once per network per
+// machine; weights are cached under $DEEPSZ_CACHE (default:
+// <tmp>/deepsz_cache) and re-loaded by subsequent benches, tests and
+// examples.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+
+namespace deepsz::modelzoo {
+
+/// A trained network together with its train/test data and base accuracy.
+struct TrainedModel {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+  nn::Accuracy base;  // accuracy of `net` on `test`
+};
+
+/// Returns the cached trained model for a zoo key ("lenet300", "lenet5",
+/// "alexnet", "vgg16"); trains and caches on first use.
+TrainedModel pretrained(const std::string& key);
+
+/// Directory used for cached weights (created on demand).
+std::string cache_dir();
+
+/// Training epochs per network (exposed for the timing experiments, which
+/// model retraining cost in epoch units as the paper does).
+int training_epochs(const std::string& key);
+
+}  // namespace deepsz::modelzoo

@@ -1,0 +1,99 @@
+#include "modelzoo/zoo.h"
+
+#include <stdexcept>
+
+#include "nn/layers.h"
+
+namespace deepsz::modelzoo {
+
+using nn::Conv2D;
+using nn::Dense;
+using nn::Dropout;
+using nn::Flatten;
+using nn::MaxPool2D;
+using nn::Network;
+using nn::ReLU;
+
+Network make_lenet300() {
+  Network net("LeNet-300-100");
+  net.add<Flatten>();
+  net.add<Dense>(784, 300)->set_name("ip1");
+  net.add<ReLU>();
+  net.add<Dense>(300, 100)->set_name("ip2");
+  net.add<ReLU>();
+  net.add<Dense>(100, 10)->set_name("ip3");
+  return net;
+}
+
+Network make_lenet5() {
+  Network net("LeNet-5");
+  net.add<Conv2D>(1, 20, 5)->set_name("conv1");  // 28 -> 24
+  net.add<MaxPool2D>(2, 2);                      // 24 -> 12
+  net.add<Conv2D>(20, 50, 5)->set_name("conv2");  // 12 -> 8
+  net.add<MaxPool2D>(2, 2);                       // 8 -> 4
+  net.add<Flatten>();                             // 50*4*4 = 800
+  net.add<Dense>(800, 500)->set_name("ip1");
+  net.add<ReLU>();
+  net.add<Dense>(500, 10)->set_name("ip2");
+  return net;
+}
+
+Network make_alexnet_mini(int num_classes) {
+  Network net("AlexNet-mini");
+  net.add<Conv2D>(3, 16, 3, 1, 1)->set_name("conv1");  // 32x32
+  net.add<ReLU>();
+  net.add<MaxPool2D>(2, 2);  // 16x16
+  net.add<Conv2D>(16, 32, 3, 1, 1)->set_name("conv2");
+  net.add<ReLU>();
+  net.add<MaxPool2D>(2, 2);  // 8x8
+  net.add<Conv2D>(32, 48, 3, 1, 1)->set_name("conv3");
+  net.add<ReLU>();
+  net.add<Conv2D>(48, 48, 3, 1, 1)->set_name("conv4");
+  net.add<ReLU>();
+  net.add<Conv2D>(48, 32, 3, 1, 1)->set_name("conv5");
+  net.add<ReLU>();
+  net.add<MaxPool2D>(2, 2);  // 4x4 -> flatten 512
+  net.add<Flatten>();
+  net.add<Dense>(512, 256)->set_name("fc6");
+  net.add<ReLU>();
+  net.add<Dropout>(0.5);
+  net.add<Dense>(256, 128)->set_name("fc7");
+  net.add<ReLU>();
+  net.add<Dropout>(0.5);
+  net.add<Dense>(128, num_classes)->set_name("fc8");
+  return net;
+}
+
+Network make_vgg_mini(int num_classes) {
+  Network net("VGG-mini");
+  auto block = [&](std::int64_t in, std::int64_t out, const char* n1,
+                   const char* n2) {
+    net.add<Conv2D>(in, out, 3, 1, 1)->set_name(n1);
+    net.add<ReLU>();
+    net.add<Conv2D>(out, out, 3, 1, 1)->set_name(n2);
+    net.add<ReLU>();
+    net.add<MaxPool2D>(2, 2);
+  };
+  block(3, 16, "conv1_1", "conv1_2");   // 32 -> 16
+  block(16, 32, "conv2_1", "conv2_2");  // 16 -> 8
+  block(32, 48, "conv3_1", "conv3_2");  // 8 -> 4 -> flatten 768
+  net.add<Flatten>();
+  net.add<Dense>(768, 384)->set_name("fc6");
+  net.add<ReLU>();
+  net.add<Dropout>(0.5);
+  net.add<Dense>(384, 192)->set_name("fc7");
+  net.add<ReLU>();
+  net.add<Dropout>(0.5);
+  net.add<Dense>(192, num_classes)->set_name("fc8");
+  return net;
+}
+
+Network make_by_key(const std::string& key) {
+  if (key == "lenet300") return make_lenet300();
+  if (key == "lenet5") return make_lenet5();
+  if (key == "alexnet") return make_alexnet_mini();
+  if (key == "vgg16") return make_vgg_mini();
+  throw std::invalid_argument("make_by_key: unknown network " + key);
+}
+
+}  // namespace deepsz::modelzoo

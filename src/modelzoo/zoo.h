@@ -1,0 +1,36 @@
+// Builders for the four networks the paper evaluates.
+//
+// LeNet-300-100 and LeNet-5 are built at full paper scale (their Caffe
+// shapes: ip1 300x784 / 100x300 / 10x100 and 500x800 / 10x500) and trained on
+// the synthetic MNIST substitute.
+//
+// AlexNet and VGG-16 cannot be trained on this host at ImageNet scale, so the
+// *-mini builders reproduce their topology (conv stack feeding three fc
+// layers with a dominant fc6) at CPU-trainable size for the accuracy
+// experiments; the paper-scale fc shapes live in paper_specs.h and are used
+// with synthesized weights for the size/ratio/timing experiments.
+#pragma once
+
+#include "nn/network.h"
+
+namespace deepsz::modelzoo {
+
+/// LeNet-300-100 (full scale): 784 -> 300 -> 100 -> 10 MLP.
+/// fc-layers named ip1, ip2, ip3.
+nn::Network make_lenet300();
+
+/// LeNet-5 (full scale, Caffe variant): conv20@5 -> pool -> conv50@5 -> pool
+/// -> ip1(800->500) -> ip2(500->10). fc-layers named ip1, ip2.
+nn::Network make_lenet5();
+
+/// AlexNet-mini: 5 conv + 3 fc on 3x32x32 inputs; fc-layers fc6, fc7, fc8.
+nn::Network make_alexnet_mini(int num_classes = 20);
+
+/// VGG-mini: stacked 3x3 conv blocks + 3 fc on 3x32x32; fc6, fc7, fc8.
+nn::Network make_vgg_mini(int num_classes = 20);
+
+/// Builds any of the four by key: "lenet300", "lenet5", "alexnet", "vgg16"
+/// (the latter two return the mini variants). Throws on unknown key.
+nn::Network make_by_key(const std::string& key);
+
+}  // namespace deepsz::modelzoo

@@ -1,0 +1,209 @@
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/layers.h"
+
+namespace deepsz::nn {
+
+// ---------------------------------------------------------------- MaxPool2D
+
+MaxPool2D::MaxPool2D(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  set_name("maxpool");
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool train) {
+  if (x.ndim() != 4) {
+    throw std::invalid_argument("MaxPool2D::forward: expected NCHW input");
+  }
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  Tensor y({n, c, oh, ow});
+  if (train) {
+    in_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  }
+  std::int64_t out_idx = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_pos = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              std::int64_t iy = oy * stride_ + ky;
+              std::int64_t ix = ox * stride_ + kx;
+              float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_pos = (i * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          }
+          y[out_idx] = best;
+          if (train) argmax_[static_cast<std::size_t>(out_idx)] = best_pos;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& dy) {
+  if (argmax_.empty()) {
+    throw std::runtime_error("MaxPool2D::backward without forward");
+  }
+  Tensor dx(in_shape_);
+  for (std::int64_t i = 0; i < dy.numel(); ++i) {
+    dx[argmax_[static_cast<std::size_t>(i)]] += dy[i];
+  }
+  return dx;
+}
+
+// --------------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) active_.assign(static_cast<std::size_t>(x.numel()), 0);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) active_[static_cast<std::size_t>(i)] = 1;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  if (active_.size() != static_cast<std::size_t>(dy.numel())) {
+    throw std::runtime_error("ReLU::backward without matching forward");
+  }
+  Tensor dx = dy;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    if (!active_[static_cast<std::size_t>(i)]) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------------ Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  return dy.reshaped(in_shape_);
+}
+
+// ------------------------------------------------------------------ Dropout
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  set_name("dropout");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ <= 0.0) {
+    return x;
+  }
+  Tensor y = x;
+  mask_.assign(static_cast<std::size_t>(x.numel()), 0.0f);
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      mask_[static_cast<std::size_t>(i)] = scale;
+      y[i] *= scale;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  if (mask_.empty()) {
+    // forward() ran in eval mode (or p == 0): identity.
+    return dy;
+  }
+  Tensor dx = dy;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    dx[i] *= mask_[static_cast<std::size_t>(i)];
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------- LRN
+
+LRN::LRN(std::int64_t local_size, double alpha, double beta, double k)
+    : local_size_(local_size), alpha_(alpha), beta_(beta), k_(k) {
+  set_name("lrn");
+}
+
+Tensor LRN::forward(const Tensor& x, bool train) {
+  if (x.ndim() != 4) {
+    throw std::invalid_argument("LRN::forward: expected NCHW input");
+  }
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y(x.shape());
+  Tensor den(x.shape());
+  const std::int64_t half = local_size_ / 2;
+  const double scale = alpha_ / static_cast<double>(local_size_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        double sumsq = 0.0;
+        for (std::int64_t j = std::max<std::int64_t>(0, ch - half);
+             j <= std::min(c - 1, ch + half); ++j) {
+          double v = x[(i * c + j) * hw + p];
+          sumsq += v * v;
+        }
+        double d = k_ + scale * sumsq;
+        den[(i * c + ch) * hw + p] = static_cast<float>(d);
+        y[(i * c + ch) * hw + p] = static_cast<float>(
+            x[(i * c + ch) * hw + p] * std::pow(d, -beta_));
+      }
+    }
+  }
+  if (train) {
+    cached_x_ = x;
+    cached_den_ = den;
+  }
+  return y;
+}
+
+Tensor LRN::backward(const Tensor& dy) {
+  const Tensor& x = cached_x_;
+  if (x.numel() == 0) throw std::runtime_error("LRN::backward without forward");
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  const std::int64_t half = local_size_ / 2;
+  const double scale = alpha_ / static_cast<double>(local_size_);
+  Tensor dx(x.shape());
+  // dx_m = den_m^-beta dy_m
+  //        - 2 beta (alpha/size) x_m * sum_{i: m in window(i)}
+  //              dy_i x_i den_i^-(beta+1)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t m = 0; m < c; ++m) {
+        const std::int64_t idx_m = (i * c + m) * hw + p;
+        double acc = dy[idx_m] * std::pow(cached_den_[idx_m], -beta_);
+        double cross = 0.0;
+        for (std::int64_t j = std::max<std::int64_t>(0, m - half);
+             j <= std::min(c - 1, m + half); ++j) {
+          const std::int64_t idx_j = (i * c + j) * hw + p;
+          cross += dy[idx_j] * x[idx_j] *
+                   std::pow(cached_den_[idx_j], -beta_ - 1.0);
+        }
+        acc -= 2.0 * beta_ * scale * x[idx_m] * cross;
+        dx[idx_m] = static_cast<float>(acc);
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace deepsz::nn

@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace deepsz::nn {
+
+void he_initialize(Network& net, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  for (auto& layer : net.layers()) {
+    auto params = layer->params();
+    if (params.empty()) continue;
+    Tensor& w = *params[0];
+    // fan_in = elements per output unit (weight row length for both Dense
+    // [out, in] and Conv2D [out_c, in_c*k*k]).
+    const std::int64_t fan_in = w.ndim() >= 2 ? w.dim(1) : w.numel();
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      w[i] = static_cast<float>(rng.normal(0.0, stddev));
+    }
+    // params[1] is the bias, already zero-initialized.
+  }
+}
+
+}  // namespace deepsz::nn

@@ -1,0 +1,13 @@
+// Weight initialization (He/Xavier) for the trainable model-zoo networks.
+#pragma once
+
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace deepsz::nn {
+
+/// He-normal initialization for every Dense and Conv2D weight in the network
+/// (fan-in scaled); biases start at zero. Deterministic given the seed.
+void he_initialize(Network& net, std::uint64_t seed);
+
+}  // namespace deepsz::nn

@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepsz::nn {
+
+double softmax_cross_entropy(const tensor::Tensor& logits,
+                             const std::vector<int>& labels,
+                             tensor::Tensor* dlogits) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  if (dlogits) *dlogits = tensor::Tensor(logits.shape());
+  double loss = 0.0;
+  std::vector<double> probs(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    double mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, (double)row[j]);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      probs[j] = std::exp(row[j] - mx);
+      sum += probs[j];
+    }
+    int label = labels[i];
+    if (label < 0 || label >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    loss -= std::log(std::max(probs[label] / sum, 1e-30));
+    if (dlogits) {
+      float* drow = dlogits->data() + i * c;
+      for (std::int64_t j = 0; j < c; ++j) {
+        double p = probs[j] / sum;
+        drow[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) / n);
+      }
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+HitCounts count_hits(const tensor::Tensor& logits,
+                     const std::vector<int>& labels) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  HitCounts hits;
+  hits.total = n;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) order[j] = j;
+    const std::int64_t topk = std::min<std::int64_t>(5, c);
+    std::partial_sort(order.begin(), order.begin() + topk, order.end(),
+                      [&](std::int64_t a, std::int64_t b) {
+                        return row[a] > row[b];
+                      });
+    if (order[0] == labels[i]) ++hits.top1;
+    for (std::int64_t k = 0; k < topk; ++k) {
+      if (order[k] == labels[i]) {
+        ++hits.top5;
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace deepsz::nn

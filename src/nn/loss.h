@@ -1,0 +1,26 @@
+// Softmax cross-entropy loss (the classification head of every paper network)
+// and the accuracy metrics the paper reports (top-1 / top-5 precision).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace deepsz::nn {
+
+/// Mean softmax cross-entropy over the batch. If `dlogits` is non-null it
+/// receives d(loss)/d(logits), i.e. (softmax - onehot) / N.
+double softmax_cross_entropy(const tensor::Tensor& logits,
+                             const std::vector<int>& labels,
+                             tensor::Tensor* dlogits);
+
+/// Top-1 / top-5 hit counts for a batch of logits.
+struct HitCounts {
+  std::int64_t top1 = 0;
+  std::int64_t top5 = 0;
+  std::int64_t total = 0;
+};
+HitCounts count_hits(const tensor::Tensor& logits,
+                     const std::vector<int>& labels);
+
+}  // namespace deepsz::nn

@@ -1,0 +1,111 @@
+#include "nn/sgd.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace deepsz::nn {
+
+Tensor slice_batch(const Tensor& images, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t n = images.dim(0);
+  if (lo < 0 || hi > n || lo >= hi) {
+    throw std::invalid_argument("slice_batch: bad range");
+  }
+  std::vector<std::int64_t> shape = images.shape();
+  shape[0] = hi - lo;
+  const std::int64_t stride = images.numel() / n;
+  Tensor out(shape);
+  std::memcpy(out.data(), images.data() + lo * stride,
+              static_cast<std::size_t>((hi - lo) * stride) * sizeof(float));
+  return out;
+}
+
+double Sgd::step(Network& net, const Tensor& x, const std::vector<int>& y) {
+  Tensor logits = net.forward(x, /*train=*/true);
+  Tensor dlogits;
+  double loss = softmax_cross_entropy(logits, y, &dlogits);
+  net.backward(dlogits);
+
+  auto params = net.params();
+  auto grads = net.grads();
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), {});
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i].assign(static_cast<std::size_t>(params[i]->numel()), 0.0f);
+    }
+  }
+  const float lr = static_cast<float>(config_.lr);
+  const float mu = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& w = *params[i];
+    Tensor& g = *grads[i];
+    auto& v = velocity_[i];
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      float grad = g[j] + wd * w[j];
+      v[static_cast<std::size_t>(j)] =
+          mu * v[static_cast<std::size_t>(j)] - lr * grad;
+      w[j] += v[static_cast<std::size_t>(j)];
+    }
+  }
+  return loss;
+}
+
+double Sgd::train_epoch(Network& net, const Tensor& images,
+                        const std::vector<int>& labels, util::Pcg32& rng) {
+  const std::int64_t n = images.dim(0);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with our deterministic RNG.
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.bounded(static_cast<std::uint32_t>(i + 1))]);
+  }
+
+  const std::int64_t stride = images.numel() / n;
+  double total_loss = 0.0;
+  std::int64_t batches = 0;
+  for (std::int64_t start = 0; start < n; start += config_.batch_size) {
+    const std::int64_t end = std::min(n, start + config_.batch_size);
+    std::vector<std::int64_t> shape = images.shape();
+    shape[0] = end - start;
+    Tensor batch(shape);
+    std::vector<int> batch_labels(static_cast<std::size_t>(end - start));
+    for (std::int64_t i = start; i < end; ++i) {
+      std::memcpy(batch.data() + (i - start) * stride,
+                  images.data() + order[i] * stride,
+                  static_cast<std::size_t>(stride) * sizeof(float));
+      batch_labels[static_cast<std::size_t>(i - start)] =
+          labels[static_cast<std::size_t>(order[i])];
+    }
+    total_loss += step(net, batch, batch_labels);
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+Accuracy evaluate(Network& net, const Tensor& images,
+                  const std::vector<int>& labels, std::int64_t batch_size) {
+  const std::int64_t n = images.dim(0);
+  HitCounts total;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    Tensor batch = slice_batch(images, lo, hi);
+    std::vector<int> batch_labels(labels.begin() + lo, labels.begin() + hi);
+    Tensor logits = net.forward(batch, /*train=*/false);
+    HitCounts hits = count_hits(logits, batch_labels);
+    total.top1 += hits.top1;
+    total.top5 += hits.top5;
+    total.total += hits.total;
+  }
+  Accuracy acc;
+  if (total.total > 0) {
+    acc.top1 = static_cast<double>(total.top1) / total.total;
+    acc.top5 = static_cast<double>(total.top5) / total.total;
+  }
+  return acc;
+}
+
+}  // namespace deepsz::nn

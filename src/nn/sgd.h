@@ -1,0 +1,54 @@
+// SGD-with-momentum trainer and batched evaluation — the Caffe "default
+// solver" the paper trains with, plus the accuracy measurement used by the
+// error-bound assessment and every accuracy table.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace deepsz::nn {
+
+/// Solver hyperparameters.
+struct SgdConfig {
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  std::int64_t batch_size = 64;
+};
+
+/// SGD with classical momentum: v = mu*v - lr*(g + wd*w); w += v.
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// One parameter update from a mini-batch; returns the batch loss.
+  double step(Network& net, const Tensor& x, const std::vector<int>& y);
+
+  /// One full shuffled pass over (images, labels); returns mean batch loss.
+  double train_epoch(Network& net, const Tensor& images,
+                     const std::vector<int>& labels, util::Pcg32& rng);
+
+  const SgdConfig& config() const { return config_; }
+  void set_lr(double lr) { config_.lr = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;  // parallel to net params
+};
+
+/// Top-1 / top-5 accuracy in [0, 1].
+struct Accuracy {
+  double top1 = 0.0;
+  double top5 = 0.0;
+};
+
+/// Batched inference accuracy over a labeled set.
+Accuracy evaluate(Network& net, const Tensor& images,
+                  const std::vector<int>& labels, std::int64_t batch_size = 128);
+
+/// Extracts rows [lo, hi) of a [N, ...] tensor as a new batch tensor.
+Tensor slice_batch(const Tensor& images, std::int64_t lo, std::int64_t hi);
+
+}  // namespace deepsz::nn

@@ -1,0 +1,35 @@
+#include "sparse/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepsz::sparse {
+
+float magnitude_prune(std::vector<float>& dense, double keep_ratio) {
+  if (keep_ratio <= 0.0 || keep_ratio > 1.0) {
+    throw std::invalid_argument("magnitude_prune: keep_ratio out of (0, 1]");
+  }
+  if (keep_ratio == 1.0 || dense.empty()) return 0.0f;
+  std::vector<float> mags(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) mags[i] = std::abs(dense[i]);
+  const std::size_t k = static_cast<std::size_t>(
+      (1.0 - keep_ratio) * static_cast<double>(mags.size()));
+  const std::size_t kth = std::min(k, mags.size() - 1);
+  std::nth_element(mags.begin(), mags.begin() + kth, mags.end());
+  const float threshold = mags[kth];
+  for (auto& w : dense) {
+    if (std::abs(w) < threshold) w = 0.0f;
+  }
+  return threshold;
+}
+
+std::vector<float> nonzero_mask(const std::vector<float>& dense) {
+  std::vector<float> mask(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    mask[i] = dense[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace deepsz::sparse

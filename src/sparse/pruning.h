@@ -1,0 +1,17 @@
+// Magnitude pruning primitives (Han et al., NIPS'15), shared by the
+// trained-network pruner (core) and the paper-scale weight synthesizer (data).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace deepsz::sparse {
+
+/// Zeroes all entries with |w| below the (1 - keep_ratio) magnitude quantile,
+/// in place. Returns the threshold used. keep_ratio in (0, 1].
+float magnitude_prune(std::vector<float>& dense, double keep_ratio);
+
+/// {0,1} mask of the surviving (nonzero) entries.
+std::vector<float> nonzero_mask(const std::vector<float>& dense);
+
+}  // namespace deepsz::sparse

@@ -1,0 +1,167 @@
+#include "sz/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace deepsz::sz {
+
+LineFit fit_line(std::span<const float> block) {
+  LineFit fit;
+  const std::size_t n = block.size();
+  if (n == 0) return fit;
+  if (n == 1) {
+    fit.a = block[0];
+    return fit;
+  }
+  // Closed-form OLS with x = 0..n-1.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i);
+    double y = block[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double denom = n * sxx - sx * sx;
+  double b = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  double a = (sy - b * sx) / static_cast<double>(n);
+  fit.a = static_cast<float>(a);
+  fit.b = static_cast<float>(b);
+  return fit;
+}
+
+namespace {
+
+/// Approximate bits needed to code a residual of magnitude |err| at bound eb:
+/// log2 of the quantization code magnitude, plus one sign/termination bit.
+/// This is the cost model the adaptive selector minimizes; it tracks actual
+/// Huffman cost closely because the code distribution is near-geometric.
+inline double residual_cost(double err, double eb) {
+  double q = std::abs(err) / (2.0 * eb);
+  return std::log2(1.0 + q) + 1.0;
+}
+
+}  // namespace
+
+PredictorCosts estimate_costs(std::span<const float> block, float prev1,
+                              float prev2, double eb, const LineFit& fit) {
+  PredictorCosts costs;
+  double p1 = prev1;   // running "previous" value (original-domain approx)
+  double p2 = prev2;   // value before p1
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    double x = block[i];
+    costs.lorenzo1 += residual_cost(x - p1, eb);
+    costs.lorenzo2 += residual_cost(x - (2.0 * p1 - p2), eb);
+    double reg = static_cast<double>(fit.a) + static_cast<double>(fit.b) * i;
+    costs.regression += residual_cost(x - reg, eb);
+    p2 = p1;
+    p1 = x;
+  }
+  // Regression pays for transmitting its two f32 coefficients.
+  costs.regression += 64.0;
+  return costs;
+}
+
+PredictorKind select_predictor(const PredictorCosts& costs) {
+  PredictorKind best = PredictorKind::kLorenzo1;
+  double best_cost = costs.lorenzo1;
+  if (costs.lorenzo2 < best_cost) {
+    best = PredictorKind::kLorenzo2;
+    best_cost = costs.lorenzo2;
+  }
+  if (costs.regression < best_cost) {
+    best = PredictorKind::kRegression;
+  }
+  return best;
+}
+
+namespace {
+
+/// Approximate quantization code against original-value prediction; returns
+/// `bins` as the unpredictable sentinel.
+inline std::uint32_t approx_code(double x, double pred, double eb,
+                                 std::int64_t radius, std::uint32_t bins) {
+  double scaled = (x - pred) / (2.0 * eb);
+  if (!(std::abs(scaled) < static_cast<double>(radius))) return bins;
+  auto q = static_cast<std::int64_t>(std::llround(scaled));
+  if (q <= -radius || q >= radius) return bins;
+  return static_cast<std::uint32_t>(q + radius);
+}
+
+/// Histogram -> bit-cost table with add-one smoothing; the unpredictable
+/// sentinel additionally pays its verbatim 32-bit float.
+std::vector<double> to_costs(const std::vector<std::uint64_t>& hist) {
+  std::uint64_t total = 0;
+  for (auto c : hist) total += c + 1;
+  std::vector<double> costs(hist.size());
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    costs[i] = std::log2(static_cast<double>(total) /
+                         static_cast<double>(hist[i] + 1));
+  }
+  costs.back() += 32.0;
+  return costs;
+}
+
+}  // namespace
+
+SampledCostModel::SampledCostModel(std::span<const float> data,
+                                   std::uint32_t block_size, double abs_eb,
+                                   std::uint32_t bins,
+                                   std::uint32_t sample_stride)
+    : eb_(abs_eb),
+      bins_(bins),
+      radius_(static_cast<std::int64_t>(bins / 2)) {
+  std::vector<std::uint64_t> h1(bins + 1, 0), h2(bins + 1, 0),
+      hr(bins + 1, 0);
+  const std::size_t n = data.size();
+  const std::size_t n_blocks = block_size ? (n + block_size - 1) / block_size : 0;
+  const std::uint32_t stride = std::max(1u, sample_stride);
+
+  double prev1 = 0.0, prev2 = 0.0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    const bool sampled = (b % stride) == 0;
+    LineFit fit;
+    if (sampled) fit = fit_line(data.subspan(lo, hi - lo));
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double x = data[i];
+      if (sampled) {
+        ++h1[approx_code(x, prev1, eb_, radius_, bins_)];
+        ++h2[approx_code(x, 2.0 * prev1 - prev2, eb_, radius_, bins_)];
+        double reg = static_cast<double>(fit.a) +
+                     static_cast<double>(fit.b) * static_cast<double>(i - lo);
+        ++hr[approx_code(x, reg, eb_, radius_, bins_)];
+      }
+      prev2 = prev1;
+      prev1 = x;
+    }
+  }
+  cost_l1_ = to_costs(h1);
+  cost_l2_ = to_costs(h2);
+  cost_reg_ = to_costs(hr);
+}
+
+PredictorCosts SampledCostModel::block_costs(std::span<const float> block,
+                                             float prev1, float prev2,
+                                             const LineFit& fit) const {
+  PredictorCosts costs;
+  double p1 = prev1, p2 = prev2;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const double x = block[i];
+    costs.lorenzo1 += cost_l1_[approx_code(x, p1, eb_, radius_, bins_)];
+    costs.lorenzo2 +=
+        cost_l2_[approx_code(x, 2.0 * p1 - p2, eb_, radius_, bins_)];
+    double reg = static_cast<double>(fit.a) +
+                 static_cast<double>(fit.b) * static_cast<double>(i);
+    costs.regression += cost_reg_[approx_code(x, reg, eb_, radius_, bins_)];
+    p2 = p1;
+    p1 = x;
+  }
+  costs.regression += 64.0;  // transmitted coefficients
+  return costs;
+}
+
+}  // namespace deepsz::sz

@@ -1,0 +1,68 @@
+// Predictors for the SZ pipeline and the per-block best-fit selection logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepsz::sz {
+
+/// Concrete predictor used for one block.
+enum class PredictorKind : std::uint8_t {
+  kLorenzo1 = 0,    // x^[i] = x'[i-1]
+  kLorenzo2 = 1,    // x^[i] = 2 x'[i-1] - x'[i-2]
+  kRegression = 2,  // x^[i] = a + b * (i - block_start)
+};
+
+/// Least-squares line fit over a block: value ~ a + b * local_index.
+struct LineFit {
+  float a = 0.0f;
+  float b = 0.0f;
+};
+
+/// Fits a line to `block` by ordinary least squares.
+LineFit fit_line(std::span<const float> block);
+
+/// Estimated entropy-coded cost (in pseudo-bits) of predicting `block` with
+/// each predictor at absolute bound `eb`, used by the adaptive selector.
+/// Estimation runs on original (not reconstructed) values, which is the same
+/// approximation SZ 2.0 makes when sampling predictors.
+struct PredictorCosts {
+  double lorenzo1 = 0.0;
+  double lorenzo2 = 0.0;
+  double regression = 0.0;
+};
+PredictorCosts estimate_costs(std::span<const float> block, float prev1,
+                              float prev2, double eb, const LineFit& fit);
+
+/// Picks the cheapest predictor for a block.
+PredictorKind select_predictor(const PredictorCosts& costs);
+
+/// Sampling-based rate model (the SZ 2.0 best-fit selection strategy): a
+/// sample of blocks is quantized under every candidate predictor, the
+/// resulting code histograms yield per-code bit costs (-log2 p), and block
+/// selection minimizes the estimated coded size. Unlike the magnitude
+/// heuristic above, this sees the *distribution* of codes — e.g. that
+/// regression residuals on pruned (bimodal) weight arrays concentrate on few
+/// codes — which is what actually drives the Huffman rate.
+class SampledCostModel {
+ public:
+  /// Builds code-cost tables from every `sample_stride`-th block of `data`.
+  SampledCostModel(std::span<const float> data, std::uint32_t block_size,
+                   double abs_eb, std::uint32_t bins,
+                   std::uint32_t sample_stride = 8);
+
+  /// Estimated bits to code `block` with each predictor (regression includes
+  /// its 64-bit coefficient overhead).
+  PredictorCosts block_costs(std::span<const float> block, float prev1,
+                             float prev2, const LineFit& fit) const;
+
+ private:
+  double eb_;
+  std::uint32_t bins_;
+  std::int64_t radius_;
+  // Bit cost per quantization code; index bins_ = unpredictable sentinel.
+  std::vector<double> cost_l1_, cost_l2_, cost_reg_;
+};
+
+}  // namespace deepsz::sz

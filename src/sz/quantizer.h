@@ -1,0 +1,59 @@
+// Error-controlled linear-scaling quantization (the SZ step that converts
+// prediction residuals to integer codes).
+//
+// Codes live in [1, 2*radius - 1]; code 0 is reserved for "unpredictable"
+// (stored verbatim). Reconstruction from code c is pred + (c - radius)*2*eb,
+// which is within eb of the original by construction of the rounding.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace deepsz::sz {
+
+/// Linear-scaling quantizer with a fixed absolute error bound.
+class LinearQuantizer {
+ public:
+  LinearQuantizer(double abs_eb, std::uint32_t bins)
+      : eb_(abs_eb), radius_(bins / 2) {}
+
+  /// Symbol reserved for values the quantizer cannot capture.
+  static constexpr std::uint32_t kUnpredictable = 0;
+
+  /// Quantizes `value` against `pred`. Returns kUnpredictable when the code
+  /// would fall outside the interval range or when float rounding would break
+  /// the bound; otherwise returns the code and writes the reconstruction.
+  std::uint32_t quantize(float value, float pred, float* reconstructed) const {
+    double diff = static_cast<double>(value) - static_cast<double>(pred);
+    double scaled = diff / (2.0 * eb_);
+    long long q = static_cast<long long>(std::llround(scaled));
+    if (q <= -static_cast<long long>(radius_) ||
+        q >= static_cast<long long>(radius_)) {
+      return kUnpredictable;
+    }
+    float recon =
+        static_cast<float>(static_cast<double>(pred) + 2.0 * eb_ * static_cast<double>(q));
+    // Guard against float round-off pushing the reconstruction out of bound.
+    if (std::abs(static_cast<double>(recon) - static_cast<double>(value)) > eb_) {
+      return kUnpredictable;
+    }
+    *reconstructed = recon;
+    return static_cast<std::uint32_t>(q + static_cast<long long>(radius_));
+  }
+
+  /// Inverse map used by the decompressor.
+  float reconstruct(std::uint32_t code, float pred) const {
+    long long q = static_cast<long long>(code) - static_cast<long long>(radius_);
+    return static_cast<float>(static_cast<double>(pred) +
+                              2.0 * eb_ * static_cast<double>(q));
+  }
+
+  double error_bound() const { return eb_; }
+  std::uint32_t radius() const { return radius_; }
+
+ private:
+  double eb_;
+  std::uint32_t radius_;
+};
+
+}  // namespace deepsz::sz

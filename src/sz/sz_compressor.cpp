@@ -1,0 +1,321 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "lossless/entropy.h"
+#include "sz/predictor.h"
+#include "sz/quantizer.h"
+#include "sz/sz.h"
+#include "util/bitstream.h"
+#include "util/byte_io.h"
+#include "util/stats.h"
+
+namespace deepsz::sz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x575a5344;  // "DSZW"
+constexpr std::uint32_t kVersion = 1;
+
+double resolve_abs_eb(std::span<const float> data, const SzParams& params) {
+  switch (params.mode) {
+    case ErrorBoundMode::kAbs:
+      return params.error_bound;
+    case ErrorBoundMode::kRel: {
+      double range = util::summarize(data).range();
+      return range > 0 ? params.error_bound * range : params.error_bound;
+    }
+    case ErrorBoundMode::kPsnr: {
+      // Uniform quantization noise has RMSE = eb / sqrt(3); pick eb so that
+      // 20*log10(range / rmse) hits the requested dB target.
+      double range = util::summarize(data).range();
+      if (range <= 0) return 1e-6;
+      double target_rmse = range / std::pow(10.0, params.error_bound / 20.0);
+      return target_rmse * std::sqrt(3.0);
+    }
+  }
+  throw std::invalid_argument("sz: unknown error bound mode");
+}
+
+PredictorKind forced_kind(PredictorMode mode) {
+  switch (mode) {
+    case PredictorMode::kLorenzo1Only: return PredictorKind::kLorenzo1;
+    case PredictorMode::kLorenzo2Only: return PredictorKind::kLorenzo2;
+    case PredictorMode::kRegressionOnly: return PredictorKind::kRegression;
+    case PredictorMode::kAdaptive: break;
+  }
+  return PredictorKind::kLorenzo1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   const SzParams& params) {
+  if (params.error_bound <= 0) {
+    throw std::invalid_argument("sz: error bound must be positive");
+  }
+  const std::uint32_t bins = std::max<std::uint32_t>(16, params.quant_bins);
+  const std::uint32_t block_size = std::max<std::uint32_t>(16, params.block_size);
+  const double eb = resolve_abs_eb(data, params);
+  const std::size_t n = data.size();
+  const std::size_t n_blocks = (n + block_size - 1) / block_size;
+
+  LinearQuantizer quantizer(eb, bins);
+
+  std::vector<std::uint8_t> kinds(n_blocks, 0);
+  std::vector<LineFit> fits;
+  std::vector<std::uint32_t> symbols(n);
+  std::vector<float> unpredictable;
+
+  // Pass 1: choose a predictor per block (on original values). Adaptive
+  // mode uses the sampling-based rate model of SZ 2.0: candidate predictors
+  // are quantized over sampled blocks, their code histograms give per-code
+  // bit costs, and each block takes the cheapest candidate.
+  {
+    std::optional<SampledCostModel> model;
+    if (params.predictor == PredictorMode::kAdaptive && n > 0) {
+      model.emplace(data, block_size, eb, bins);
+    }
+    float prev1 = 0.0f, prev2 = 0.0f;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t lo = b * block_size;
+      const std::size_t hi = std::min(n, lo + block_size);
+      auto block = data.subspan(lo, hi - lo);
+      PredictorKind kind;
+      LineFit fit = fit_line(block);
+      if (model.has_value()) {
+        kind = select_predictor(model->block_costs(block, prev1, prev2, fit));
+      } else {
+        kind = forced_kind(params.predictor);
+      }
+      kinds[b] = static_cast<std::uint8_t>(kind);
+      if (kind == PredictorKind::kRegression) fits.push_back(fit);
+      prev2 = hi - lo >= 2 ? block[hi - lo - 2] : prev1;
+      prev1 = block[hi - lo - 1];
+    }
+  }
+
+  // Pass 2: quantize against reconstructed values (decompressor-consistent).
+  {
+    float prev1 = 0.0f, prev2 = 0.0f;  // reconstructed history
+    std::size_t fit_idx = 0;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t lo = b * block_size;
+      const std::size_t hi = std::min(n, lo + block_size);
+      const auto kind = static_cast<PredictorKind>(kinds[b]);
+      const LineFit* fit = nullptr;
+      if (kind == PredictorKind::kRegression) fit = &fits[fit_idx++];
+      for (std::size_t i = lo; i < hi; ++i) {
+        float pred;
+        switch (kind) {
+          case PredictorKind::kLorenzo1:
+            pred = prev1;
+            break;
+          case PredictorKind::kLorenzo2:
+            pred = 2.0f * prev1 - prev2;
+            break;
+          case PredictorKind::kRegression:
+            pred = fit->a + fit->b * static_cast<float>(i - lo);
+            break;
+          default:
+            throw std::runtime_error("sz: bad predictor kind");
+        }
+        float recon = 0.0f;
+        std::uint32_t code = quantizer.quantize(data[i], pred, &recon);
+        if (code == LinearQuantizer::kUnpredictable) {
+          unpredictable.push_back(data[i]);
+          recon = data[i];
+        }
+        symbols[i] = code;
+        prev2 = prev1;
+        prev1 = recon;
+      }
+    }
+  }
+
+  // Entropy-code the quantization symbols.
+  std::vector<std::uint64_t> freq(bins, 0);
+  for (auto s : symbols) ++freq[s];
+  lossless::HuffmanEncoder enc;
+  enc.init(freq);
+  util::BitWriter bw;
+  enc.write_table(bw);
+  for (auto s : symbols) enc.encode(bw, s);
+  auto huff_bytes = bw.finish();
+
+  // Assemble the payload.
+  std::vector<std::uint8_t> payload;
+  util::put_le<std::uint32_t>(payload, kVersion);
+  util::put_le<std::uint64_t>(payload, n);
+  util::put_le<double>(payload, eb);
+  util::put_le<std::uint32_t>(payload, bins);
+  util::put_le<std::uint32_t>(payload, block_size);
+  util::put_le<std::uint8_t>(payload, static_cast<std::uint8_t>(params.predictor));
+  util::put_le<std::uint64_t>(payload, unpredictable.size());
+  util::put_le<std::uint64_t>(payload, n_blocks);
+  // Predictor kinds, 2 bits each.
+  {
+    util::BitWriter kb;
+    for (auto k : kinds) kb.write_bits(k, 2);
+    auto kbytes = kb.finish();
+    util::put_le<std::uint64_t>(payload, kbytes.size());
+    util::put_bytes(payload, kbytes);
+  }
+  util::put_le<std::uint64_t>(payload, fits.size());
+  for (const auto& f : fits) {
+    util::put_le<float>(payload, f.a);
+    util::put_le<float>(payload, f.b);
+  }
+  util::put_le<std::uint64_t>(payload, huff_bytes.size());
+  util::put_bytes(payload, huff_bytes);
+  for (float v : unpredictable) util::put_le<float>(payload, v);
+
+  // Outer frame: magic + backend-compressed payload.
+  std::vector<std::uint8_t> out;
+  util::put_le<std::uint32_t>(out, kMagic);
+  auto framed = lossless::compress(params.backend, payload);
+  util::put_bytes(out, framed);
+  return out;
+}
+
+namespace {
+
+struct ParsedHeader {
+  SzStreamInfo info;
+  std::uint64_t n_blocks = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+ParsedHeader parse(std::span<const std::uint8_t> stream) {
+  util::ByteReader outer(stream);
+  if (outer.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("sz: bad magic");
+  }
+  ParsedHeader ph;
+  ph.info.backend =
+      static_cast<lossless::CodecId>(stream[outer.pos()]);  // frame's codec id
+  ph.payload = lossless::decompress(stream.subspan(outer.pos()));
+
+  util::ByteReader r(ph.payload);
+  if (r.get<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("sz: unsupported version");
+  }
+  ph.info.count = r.get<std::uint64_t>();
+  ph.info.abs_error_bound = r.get<double>();
+  ph.info.quant_bins = r.get<std::uint32_t>();
+  ph.info.block_size = r.get<std::uint32_t>();
+  ph.info.predictor = static_cast<PredictorMode>(r.get<std::uint8_t>());
+  ph.info.unpredictable = r.get<std::uint64_t>();
+  ph.n_blocks = r.get<std::uint64_t>();
+  return ph;
+}
+
+}  // namespace
+
+SzStreamInfo inspect(std::span<const std::uint8_t> stream) {
+  return parse(stream).info;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> stream) {
+  ParsedHeader ph = parse(stream);
+  const auto& info = ph.info;
+  util::ByteReader r(ph.payload);
+  // Skip the already-parsed fixed header.
+  r.get<std::uint32_t>();
+  r.get<std::uint64_t>();
+  r.get<double>();
+  r.get<std::uint32_t>();
+  r.get<std::uint32_t>();
+  r.get<std::uint8_t>();
+  r.get<std::uint64_t>();
+  r.get<std::uint64_t>();
+
+  const std::size_t n = static_cast<std::size_t>(info.count);
+  const std::uint32_t block_size = info.block_size;
+  const std::size_t n_blocks = static_cast<std::size_t>(ph.n_blocks);
+
+  auto kbytes_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto kbytes = r.get_bytes(kbytes_len);
+  std::vector<std::uint8_t> kinds(n_blocks);
+  {
+    util::BitReader kb(kbytes);
+    for (auto& k : kinds) k = static_cast<std::uint8_t>(kb.read_bits(2));
+  }
+
+  auto n_fits = static_cast<std::size_t>(r.get<std::uint64_t>());
+  std::vector<LineFit> fits(n_fits);
+  for (auto& f : fits) {
+    f.a = r.get<float>();
+    f.b = r.get<float>();
+  }
+
+  auto huff_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto huff_bytes = r.get_bytes(huff_len);
+
+  std::vector<float> unpredictable(static_cast<std::size_t>(info.unpredictable));
+  for (auto& v : unpredictable) v = r.get<float>();
+
+  // Decode symbols.
+  std::vector<std::uint32_t> symbols(n);
+  {
+    util::BitReader br(huff_bytes);
+    lossless::HuffmanDecoder dec;
+    dec.read_table(br);
+    for (auto& s : symbols) s = dec.decode(br);
+  }
+
+  LinearQuantizer quantizer(info.abs_error_bound, info.quant_bins);
+  std::vector<float> out(n);
+  float prev1 = 0.0f, prev2 = 0.0f;
+  std::size_t fit_idx = 0, unpred_idx = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + static_cast<std::size_t>(block_size));
+    const auto kind = static_cast<PredictorKind>(kinds[b]);
+    const LineFit* fit = nullptr;
+    if (kind == PredictorKind::kRegression) {
+      if (fit_idx >= fits.size()) throw std::runtime_error("sz: missing fit");
+      fit = &fits[fit_idx++];
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      float pred;
+      switch (kind) {
+        case PredictorKind::kLorenzo1:
+          pred = prev1;
+          break;
+        case PredictorKind::kLorenzo2:
+          pred = 2.0f * prev1 - prev2;
+          break;
+        case PredictorKind::kRegression:
+          pred = fit->a + fit->b * static_cast<float>(i - lo);
+          break;
+        default:
+          throw std::runtime_error("sz: bad predictor kind in stream");
+      }
+      float recon;
+      if (symbols[i] == LinearQuantizer::kUnpredictable) {
+        if (unpred_idx >= unpredictable.size()) {
+          throw std::runtime_error("sz: missing unpredictable value");
+        }
+        recon = unpredictable[unpred_idx++];
+      } else {
+        recon = quantizer.reconstruct(symbols[i], pred);
+      }
+      out[i] = recon;
+      prev2 = prev1;
+      prev1 = recon;
+    }
+  }
+  return out;
+}
+
+double compression_ratio(std::span<const float> data, const SzParams& params) {
+  if (data.empty()) return 1.0;
+  auto stream = compress(data, params);
+  return static_cast<double>(data.size() * sizeof(float)) /
+         static_cast<double>(stream.size());
+}
+
+}  // namespace deepsz::sz

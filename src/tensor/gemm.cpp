@@ -1,0 +1,124 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "util/threadpool.h"
+
+namespace deepsz::tensor {
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          const float* b, float* c) {
+  // ikj order: C row accumulates A[i][kk] * B row kk; innermost loop is
+  // contiguous over both B and C, which GCC vectorizes.
+  auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        if (av == 0.0f) continue;  // pruned-weight rows benefit
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+  util::parallel_for_chunks(0, static_cast<std::size_t>(m), row_block, 8);
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          acc += arow[kk] * brow[kk];
+        }
+        crow[j] += acc;
+      }
+    }
+  };
+  util::parallel_for_chunks(0, static_cast<std::size_t>(m), row_block, 8);
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  // A is KxM; we compute C[i][j] += sum_kk A[kk][i] * B[kk][j].
+  auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        float av = a[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+  util::parallel_for_chunks(0, static_cast<std::size_t>(m), row_block, 8);
+}
+
+void im2col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* columns) {
+  const std::int64_t out_h = (height + 2 * pad - kernel) / stride + 1;
+  const std::int64_t out_w = (width + 2 * pad - kernel) / stride + 1;
+  const std::int64_t n_cols = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t ch = 0; ch < channels; ++ch) {
+    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
+        float* dst = columns + row * n_cols;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            std::fill(dst + oy * out_w, dst + (oy + 1) * out_w, 0.0f);
+            continue;
+          }
+          const float* src = input + (ch * height + iy) * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            dst[oy * out_w + ox] =
+                (ix >= 0 && ix < width) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* input_grad) {
+  const std::int64_t out_h = (height + 2 * pad - kernel) / stride + 1;
+  const std::int64_t out_w = (width + 2 * pad - kernel) / stride + 1;
+  const std::int64_t n_cols = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t ch = 0; ch < channels; ++ch) {
+    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
+        const float* src = columns + row * n_cols;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) continue;
+          float* dst = input_grad + (ch * height + iy) * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            if (ix >= 0 && ix < width) {
+              dst[ix] += src[oy * out_w + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace deepsz::tensor

@@ -1,0 +1,38 @@
+// Dense math kernels for the DNN substrate: GEMM (the workhorse of both
+// fc-layers and im2col-based convolution) and the im2col/col2im transforms.
+//
+// GEMM is blocked over rows and parallelized with the thread pool; the inner
+// kernel is written so the compiler auto-vectorizes it (ikj loop order,
+// contiguous innermost access).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace deepsz::tensor {
+
+/// C[MxN] += A[MxK] * B[KxN]   (row-major; C must be pre-initialized).
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+          const float* b, float* c);
+
+/// C[MxN] += A[MxK] * B[NxK]^T (B stored row-major as NxK).
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+/// C[MxN] += A[KxM]^T * B[KxN] (A stored row-major as KxM).
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+/// im2col for 2-D convolution: input [C, H, W] -> columns
+/// [C*kh*kw, out_h*out_w], with zero padding.
+void im2col(const float* input, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* columns);
+
+/// Transpose of im2col, used in the convolution backward pass: scatters
+/// column gradients back into an input-shaped gradient buffer (accumulating).
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* input_grad);
+
+}  // namespace deepsz::tensor

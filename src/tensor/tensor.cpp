@@ -1,0 +1,62 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace deepsz::tensor {
+
+namespace {
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  data_.assign(static_cast<std::size_t>(numel_), 0.0f);
+}
+
+Tensor Tensor::from(std::vector<std::int64_t> shape,
+                    std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  if (static_cast<std::int64_t>(values.size()) != t.numel_) {
+    throw std::invalid_argument("Tensor::from: size mismatch");
+  }
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
+  if (shape_numel(new_shape) != numel_) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace deepsz::tensor

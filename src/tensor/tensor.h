@@ -1,0 +1,66 @@
+// Minimal dense float tensor used by the DNN substrate. Row-major, owning,
+// CPU-only — the forward/backward passes and the compression pipeline need
+// nothing more exotic.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepsz::tensor {
+
+/// Dense row-major float tensor with up to 4 dimensions in practice
+/// (N, C, H, W for images; rows x cols for weight matrices).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  /// Wraps a copy of `values` with the given shape (sizes must agree).
+  static Tensor from(std::vector<std::int64_t> shape,
+                     std::vector<float> values);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[i]; }
+  float operator[](std::int64_t i) const { return data_[i]; }
+
+  /// 2-D accessor (rows x cols tensors).
+  float& at(std::int64_t r, std::int64_t c) { return data_[r * shape_[1] + c]; }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Returns a reshaped copy-view (same data, new shape; sizes must agree).
+  Tensor reshaped(std::vector<std::int64_t> new_shape) const;
+
+  void fill(float v);
+
+  /// "[2, 3, 4]" — for error messages and logs.
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+  std::int64_t numel_ = 0;
+};
+
+}  // namespace deepsz::tensor

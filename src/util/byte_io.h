@@ -1,0 +1,83 @@
+// Little-endian scalar (de)serialization into byte buffers.
+//
+// All container formats in this repository (SZ streams, lossless codec frames,
+// the DeepSZ model container) use these helpers so that the on-disk layout is
+// identical across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deepsz::util {
+
+/// Appends `v` to `out` in little-endian byte order.
+template <typename T>
+inline void put_le(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+/// Cursor-based reader over an immutable byte span. Throws std::out_of_range
+/// on overrun; corrupt inputs must never crash, only throw.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads a little-endian scalar and advances the cursor.
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated stream");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Reads `n` raw bytes and advances the cursor.
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated stream");
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Reads a length-prefixed (u64) string.
+  std::string get_string() {
+    auto n = get<std::uint64_t>();
+    auto s = get_bytes(static_cast<std::size_t>(n));
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends a length-prefixed (u64) string.
+inline void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_le<std::uint64_t>(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Appends a raw byte span.
+inline void put_bytes(std::vector<std::uint8_t>& out,
+                      std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace deepsz::util

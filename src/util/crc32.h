@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial) used to checksum every blob in the DeepSZ
+// model container so decoder-side corruption is detected before inference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace deepsz::util {
+
+/// CRC-32 of `data`, optionally continuing from a previous crc.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace deepsz::util

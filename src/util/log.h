@@ -1,0 +1,41 @@
+// Minimal leveled logger. Experiments print their tables on stdout; the logger
+// writes diagnostics to stderr so table output stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace deepsz::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level tag if `level` passes the filter.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace deepsz::util
+
+#define DSZ_LOG_DEBUG ::deepsz::util::detail::LogLine(::deepsz::util::LogLevel::kDebug)
+#define DSZ_LOG_INFO ::deepsz::util::detail::LogLine(::deepsz::util::LogLevel::kInfo)
+#define DSZ_LOG_WARN ::deepsz::util::detail::LogLine(::deepsz::util::LogLevel::kWarn)
+#define DSZ_LOG_ERROR ::deepsz::util::detail::LogLine(::deepsz::util::LogLevel::kError)

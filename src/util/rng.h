@@ -1,0 +1,91 @@
+// Deterministic, seedable random number generation.
+//
+// Every experiment in this repository is reproducible from a fixed seed, so we
+// provide our own PCG32 generator (O'Neill 2014) instead of relying on the
+// standard library's unspecified distributions. All sampling helpers below are
+// bit-exact across platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace deepsz::util {
+
+/// PCG32: 64-bit state, 32-bit output, period 2^64 per stream.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit integer.
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection to avoid modulo bias.
+  std::uint32_t bounded(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next_u32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Laplace(0, b): heavy-centered distribution matching trained fc-layer
+  /// weight statistics (see data/weight_synthesis.h).
+  double laplace(double b) {
+    double u = uniform() - 0.5;
+    double s = u < 0 ? -1.0 : 1.0;
+    return -b * s * std::log(1.0 - 2.0 * std::abs(u));
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace deepsz::util

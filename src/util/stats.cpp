@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace deepsz::util {
+
+Summary summarize(std::span<const float> x) {
+  Summary s;
+  s.count = x.size();
+  if (x.empty()) return s;
+  double lo = x[0], hi = x[0], sum = 0.0, sumsq = 0.0;
+  for (float v : x) {
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+    sum += v;
+    sumsq += static_cast<double>(v) * v;
+  }
+  s.min = lo;
+  s.max = hi;
+  s.mean = sum / static_cast<double>(x.size());
+  double var = sumsq / static_cast<double>(x.size()) - s.mean * s.mean;
+  s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return s;
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  double m = 0.0;
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double psnr(std::span<const float> a, std::span<const float> b) {
+  double r = summarize(a).range();
+  double e = rmse(a, b);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  if (r == 0.0) return 0.0;
+  return 20.0 * std::log10(r / e);
+}
+
+double histogram_entropy(std::span<const std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double byte_entropy(std::span<const std::uint8_t> data) {
+  std::array<std::uint64_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  return histogram_entropy(counts);
+}
+
+}  // namespace deepsz::util

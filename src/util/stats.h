@@ -1,0 +1,44 @@
+// Error metrics and distribution statistics shared by the compressors, the
+// error-bound property tests, and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepsz::util {
+
+/// Summary statistics of a float array.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+
+  double range() const { return max - min; }
+};
+
+/// One-pass min/max/mean/stddev.
+Summary summarize(std::span<const float> x);
+
+/// Maximum absolute pointwise error between original and reconstruction.
+/// This is the quantity SZ's ABS mode bounds.
+double max_abs_error(std::span<const float> a, std::span<const float> b);
+
+/// Root-mean-square error.
+double rmse(std::span<const float> a, std::span<const float> b);
+
+/// Peak signal-to-noise ratio in dB, using the value range of `a` as peak.
+/// Returns +inf for identical arrays.
+double psnr(std::span<const float> a, std::span<const float> b);
+
+/// Shannon entropy in bits/symbol of a byte stream; upper-bounds what any
+/// order-0 entropy coder (our Huffman stages) can achieve.
+double byte_entropy(std::span<const std::uint8_t> data);
+
+/// Shannon entropy in bits/symbol of an arbitrary symbol histogram.
+double histogram_entropy(std::span<const std::uint64_t> counts);
+
+}  // namespace deepsz::util

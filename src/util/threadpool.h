@@ -1,0 +1,66 @@
+// Shared-memory parallelism substrate.
+//
+// The paper runs encoding on 4 GPUs and decoding on a Xeon; we reproduce the
+// parallel structure (independent per-layer compression, batched forward
+// passes, blocked codecs) with a fixed-size thread pool. parallel_for uses
+// static chunking so results are deterministic regardless of thread count; on
+// a single-core host it degrades to a plain loop with no thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deepsz::util {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool, sized to the host's hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the global pool with static
+/// chunking. Falls back to a serial loop when the pool has a single worker or
+/// the range is tiny. The body must be safe to run concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Chunked variant: body(lo, hi) receives contiguous sub-ranges. Preferred for
+/// kernels that benefit from sequential memory access within a chunk.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t min_chunk = 1024);
+
+}  // namespace deepsz::util

@@ -1,0 +1,227 @@
+#include "zfp/zfp1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/bitstream.h"
+#include "util/byte_io.h"
+
+namespace deepsz::zfp {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50465a44;  // "DZFP"
+constexpr int kBlock = 4;
+constexpr int kIntPrec = 32;  // fixed-point coefficient width
+// Two guard bits keep the lifting transform's intermediates (which compute
+// differences before averaging) inside int32 range.
+constexpr int kFixedPointBits = 28;
+constexpr std::uint32_t kNbMask = 0xaaaaaaaau;
+constexpr int kEmaxBias = 16384;  // biased block exponent, 15 bits
+// Bit planes kept beyond the tolerance scale: truncated negabinary leaves
+// per-coefficient error < 2^kmin, the inverse lifting sums up to ~3 of those,
+// and the fixed point sits 4 bits below kIntPrec, so 6 guard planes keep
+// max error below 0.75 * tolerance.
+constexpr int kGuardPlanes = 6;
+
+/// Two-level Haar lifting, exactly invertible in int32 arithmetic.
+/// Coefficients come out ordered by decreasing expected magnitude:
+/// [overall average, level-1 detail, level-0 details x2].
+void fwd_lift(std::int32_t* v) {
+  // Level 0 on pairs (v0,v1) and (v2,v3): detail then average.
+  v[1] -= v[0];
+  v[0] += v[1] >> 1;
+  v[3] -= v[2];
+  v[2] += v[3] >> 1;
+  // Level 1 on the two averages.
+  v[2] -= v[0];
+  v[0] += v[2] >> 1;
+  // Reorder to (avg, l1-detail, l0-details).
+  std::swap(v[1], v[2]);
+}
+
+void inv_lift(std::int32_t* v) {
+  std::swap(v[1], v[2]);
+  v[0] -= v[2] >> 1;
+  v[2] += v[0];
+  v[2] -= v[3] >> 1;
+  v[3] += v[2];
+  v[0] -= v[1] >> 1;
+  v[1] += v[0];
+}
+
+std::uint32_t int2negabinary(std::int32_t x) {
+  return (static_cast<std::uint32_t>(x) + kNbMask) ^ kNbMask;
+}
+
+std::int32_t negabinary2int(std::uint32_t u) {
+  return static_cast<std::int32_t>((u ^ kNbMask) - kNbMask);
+}
+
+int exponent_of(float x) {
+  if (x == 0.0f) return -127;
+  int e;
+  std::frexp(x, &e);
+  return e;  // x = m * 2^e with m in [0.5, 1)
+}
+
+/// ZFP's bit-plane group-testing encoder over 4 negabinary values
+/// (the encode_ints scheme). Planes are emitted MSB-first down to `kmin`.
+/// Per plane: the bits of values already known significant are written
+/// verbatim; the rest is run-length coded — a group-test bit says whether any
+/// remaining value becomes significant, then zero bits skip insignificant
+/// values until the next significant one (implied when only the last value
+/// remains).
+void encode_block_planes(util::BitWriter& bw, const std::uint32_t* u, int kmin) {
+  std::uint32_t n = 0;  // values already known to be significant
+  for (int k = kIntPrec - 1; k >= kmin; --k) {
+    std::uint32_t plane = 0;
+    for (int i = 0; i < kBlock; ++i) {
+      plane |= ((u[i] >> k) & 1u) << i;
+    }
+    bw.write_bits(plane & ((1u << n) - 1u), static_cast<int>(n));
+    std::uint32_t x = plane >> n;
+    std::uint32_t m = n;
+    while (m < kBlock) {
+      std::uint32_t any = (x != 0) ? 1u : 0u;
+      bw.write_bit(any);
+      if (!any) break;
+      while (m < kBlock - 1) {
+        std::uint32_t bit = x & 1u;
+        bw.write_bit(bit);
+        if (bit) break;
+        x >>= 1;
+        ++m;
+      }
+      // Consume the significant bit: written explicitly above, or implied
+      // when only the last value remained.
+      x >>= 1;
+      ++m;
+    }
+    n = std::max(n, m);
+  }
+}
+
+void decode_block_planes(util::BitReader& br, std::uint32_t* u, int kmin) {
+  for (int i = 0; i < kBlock; ++i) u[i] = 0;
+  std::uint32_t n = 0;
+  for (int k = kIntPrec - 1; k >= kmin; --k) {
+    std::uint32_t plane =
+        static_cast<std::uint32_t>(br.read_bits(static_cast<int>(n)));
+    std::uint32_t m = n;
+    while (m < kBlock) {
+      if (!br.read_bit()) break;
+      while (m < kBlock - 1) {
+        if (br.read_bit()) break;
+        ++m;
+      }
+      plane |= 1u << m;
+      ++m;
+    }
+    n = std::max(n, m);
+    for (int i = 0; i < kBlock; ++i) {
+      u[i] |= ((plane >> i) & 1u) << k;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   double tolerance) {
+  if (tolerance <= 0) {
+    throw std::invalid_argument("zfp: tolerance must be positive");
+  }
+  const std::size_t n = data.size();
+  const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+  const int minexp = static_cast<int>(std::floor(std::log2(tolerance)));
+
+  util::BitWriter bw;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    float block[kBlock];
+    for (int i = 0; i < kBlock; ++i) {
+      std::size_t idx = b * kBlock + i;
+      block[i] = idx < n ? data[idx] : (n > 0 ? data[n - 1] : 0.0f);
+    }
+    int emax = -127;
+    for (float v : block) emax = std::max(emax, exponent_of(v));
+    // Number of significant planes for this block under the tolerance.
+    int prec = std::min(kIntPrec, std::max(0, emax - minexp + kGuardPlanes));
+    if (prec <= 0 || emax == -127) {
+      bw.write_bit(0);  // empty (all-zero within tolerance) block
+      continue;
+    }
+    bw.write_bit(1);
+    bw.write_bits(static_cast<std::uint32_t>(emax + kEmaxBias), 15);
+
+    std::int32_t q[kBlock];
+    for (int i = 0; i < kBlock; ++i) {
+      q[i] = static_cast<std::int32_t>(
+          std::ldexp(static_cast<double>(block[i]), kFixedPointBits - emax));
+    }
+    fwd_lift(q);
+    std::uint32_t u[kBlock];
+    for (int i = 0; i < kBlock; ++i) u[i] = int2negabinary(q[i]);
+    encode_block_planes(bw, u, kIntPrec - prec);
+  }
+
+  std::vector<std::uint8_t> out;
+  util::put_le<std::uint32_t>(out, kMagic);
+  util::put_le<std::uint64_t>(out, n);
+  util::put_le<double>(out, tolerance);
+  auto bits = bw.finish();
+  util::put_le<std::uint64_t>(out, bits.size());
+  util::put_bytes(out, bits);
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> stream) {
+  util::ByteReader r(stream);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("zfp: bad magic");
+  }
+  auto n = static_cast<std::size_t>(r.get<std::uint64_t>());
+  double tolerance = r.get<double>();
+  auto bits_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  auto bits = r.get_bytes(bits_len);
+  // Guard planes: truncating negabinary coefficients at plane kmin leaves per-
+  // coefficient error < 2^kmin, and the inverse lifting can amplify the sum of
+  // the four coefficient errors by ~4x, so we keep two extra planes below the
+  // tolerance scale.
+  const int minexp = static_cast<int>(std::floor(std::log2(tolerance)));
+
+  util::BitReader br(bits);
+  std::vector<float> out(n);
+  const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    float block[kBlock] = {0, 0, 0, 0};
+    if (br.read_bit()) {
+      int emax = static_cast<int>(br.read_bits(15)) - kEmaxBias;
+      int prec = std::min(kIntPrec, std::max(0, emax - minexp + kGuardPlanes));
+      std::uint32_t u[kBlock];
+      decode_block_planes(br, u, kIntPrec - prec);
+      std::int32_t q[kBlock];
+      for (int i = 0; i < kBlock; ++i) q[i] = negabinary2int(u[i]);
+      inv_lift(q);
+      for (int i = 0; i < kBlock; ++i) {
+        block[i] = static_cast<float>(
+            std::ldexp(static_cast<double>(q[i]), emax - kFixedPointBits));
+      }
+    }
+    for (int i = 0; i < kBlock; ++i) {
+      std::size_t idx = b * kBlock + i;
+      if (idx < n) out[idx] = block[i];
+    }
+  }
+  return out;
+}
+
+double compression_ratio(std::span<const float> data, double tolerance) {
+  if (data.empty()) return 1.0;
+  auto stream = compress(data, tolerance);
+  return static_cast<double>(data.size() * sizeof(float)) /
+         static_cast<double>(stream.size());
+}
+
+}  // namespace deepsz::zfp

@@ -1,0 +1,37 @@
+// ZFP-class transform codec for 1-D float arrays (the lossy baseline of the
+// paper's Figure 2).
+//
+// Follows ZFP's architecture (Lindstrom, TVCG 2014) on 4-sample blocks:
+//   1. common-exponent alignment: block values are scaled to 30-bit fixed
+//      point by the block's maximum exponent;
+//   2. an exactly-invertible integer lifting transform decorrelates the
+//      block (we use a two-level Haar lifting rather than ZFP's specific
+//      lifting polynomial; both are orthogonal-ish integer transforms and the
+//      substitution does not change the codec's design point);
+//   3. negabinary mapping turns signed coefficients into unsigned ints whose
+//      leading zeros track magnitude;
+//   4. embedded bit-plane coding with group testing (ZFP's encode_ints
+//      scheme) emits planes from most to least significant, truncated at the
+//      plane implied by the fixed-accuracy tolerance.
+//
+// Fixed-accuracy mode: max|x - x'| <= tolerance, enforced the same way SZ's
+// ABS mode is tested (property tests sweep tolerance x distribution).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepsz::zfp {
+
+/// Compresses `data` with pointwise absolute error at most `tolerance`.
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   double tolerance);
+
+/// Decompresses a stream produced by compress().
+std::vector<float> decompress(std::span<const std::uint8_t> stream);
+
+/// Convenience: compression ratio on `data` at `tolerance`.
+double compression_ratio(std::span<const float> data, double tolerance);
+
+}  // namespace deepsz::zfp

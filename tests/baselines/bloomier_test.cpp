@@ -1,0 +1,111 @@
+#include "baselines/bloomier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsz::baselines {
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>> random_entries(
+    std::size_t n, int value_bits, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::set<std::uint64_t> keys;
+  while (keys.size() < n) {
+    keys.insert(rng.next_u64() % (n * 100));
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  const std::uint32_t vmask = (1u << value_bits) - 1;
+  for (auto k : keys) {
+    entries.emplace_back(k, rng.next_u32() & vmask);
+  }
+  return entries;
+}
+
+TEST(Bloomier, ExactForAllKeys) {
+  auto entries = random_entries(5000, 8, 1);
+  auto filter = BloomierFilter::build(entries, 8);
+  for (const auto& [k, v] : entries) {
+    ASSERT_EQ(filter.query(k), v) << "key " << k;
+  }
+}
+
+TEST(Bloomier, VariousValueWidths) {
+  for (int bits : {1, 4, 7, 12, 20, 32}) {
+    auto entries = random_entries(500, bits, bits);
+    auto filter = BloomierFilter::build(entries, bits);
+    for (const auto& [k, v] : entries) {
+      ASSERT_EQ(filter.query(k), v) << "bits " << bits;
+    }
+  }
+}
+
+TEST(Bloomier, NonKeysReturnNearUniformValues) {
+  auto entries = random_entries(2000, 8, 3);
+  auto filter = BloomierFilter::build(entries, 8);
+  std::set<std::uint64_t> keys;
+  for (const auto& [k, v] : entries) keys.insert(k);
+  // Query keys far outside the inserted range; a specific value (e.g. 0)
+  // should appear ~1/256 of the time.
+  int zeros = 0, total = 0;
+  for (std::uint64_t k = 1u << 30; k < (1u << 30) + 20000; ++k) {
+    if (keys.count(k)) continue;
+    ++total;
+    if (filter.query(k) == 0) ++zeros;
+  }
+  double frac = static_cast<double>(zeros) / total;
+  EXPECT_NEAR(frac, 1.0 / 256.0, 0.01);
+}
+
+TEST(Bloomier, SizeScalesWithSlotsPerKey) {
+  auto entries = random_entries(4000, 8, 5);
+  auto tight = BloomierFilter::build(entries, 8, 1.35);
+  auto loose = BloomierFilter::build(entries, 8, 2.0);
+  EXPECT_LT(tight.size_bytes(), loose.size_bytes());
+  // ~1.35 slots/key at 8 bits/slot = ~1.35 bytes/key (+header).
+  EXPECT_LT(tight.size_bytes(), entries.size() * 2);
+}
+
+TEST(Bloomier, SerializeDeserializeRoundTrip) {
+  auto entries = random_entries(1000, 6, 7);
+  auto filter = BloomierFilter::build(entries, 6);
+  auto bytes = filter.serialize();
+  auto back = BloomierFilter::deserialize(bytes);
+  for (const auto& [k, v] : entries) {
+    ASSERT_EQ(back.query(k), v);
+  }
+}
+
+TEST(Bloomier, EmptyAndSingleton) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> none;
+  auto f0 = BloomierFilter::build(none, 8);
+  (void)f0.query(42);  // arbitrary but must not crash
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> one = {{7, 13}};
+  auto f1 = BloomierFilter::build(one, 8);
+  EXPECT_EQ(f1.query(7), 13u);
+}
+
+TEST(Bloomier, InvalidValueBitsThrows) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries = {{1, 1}};
+  EXPECT_THROW(BloomierFilter::build(entries, 0), std::invalid_argument);
+  EXPECT_THROW(BloomierFilter::build(entries, 33), std::invalid_argument);
+}
+
+TEST(Bloomier, AdversarialDenseKeys) {
+  // Consecutive keys 0..n-1 (the weight-position use case).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    entries.emplace_back(k, static_cast<std::uint32_t>(k % 15 + 1));
+  }
+  auto filter = BloomierFilter::build(entries, 8);
+  for (const auto& [k, v] : entries) {
+    ASSERT_EQ(filter.query(k), v);
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::baselines

@@ -1,0 +1,82 @@
+#include "baselines/deep_compression.h"
+
+#include <gtest/gtest.h>
+
+#include "data/weight_synthesis.h"
+#include "util/stats.h"
+
+namespace deepsz::baselines {
+namespace {
+
+sparse::PrunedLayer test_layer(double keep = 0.1) {
+  return data::synthesize_pruned_layer("fc", 256, 512, keep, 31);
+}
+
+TEST(DeepCompression, RoundTripPreservesStructure) {
+  auto layer = test_layer();
+  auto enc = dc_encode(layer);
+  auto dec = dc_decode(enc.blob);
+  EXPECT_EQ(dec.name, layer.name);
+  EXPECT_EQ(dec.rows, layer.rows);
+  EXPECT_EQ(dec.cols, layer.cols);
+  ASSERT_EQ(dec.data.size(), layer.data.size());
+  EXPECT_EQ(dec.index, layer.index);  // positions are lossless
+}
+
+TEST(DeepCompression, ValuesQuantizedToCodebook) {
+  auto layer = test_layer();
+  DeepCompressionParams params;
+  params.bits = 5;
+  auto enc = dc_encode(layer, params);
+  auto dec = dc_decode(enc.blob);
+  // At most 2^5 distinct reconstructed values.
+  std::set<float> distinct(dec.data.begin(), dec.data.end());
+  EXPECT_LE(distinct.size(), 32u);
+}
+
+TEST(DeepCompression, QuantizationErrorShrinksWithBits) {
+  auto layer = test_layer();
+  DeepCompressionParams lo, hi;
+  lo.bits = 2;
+  hi.bits = 8;
+  auto enc_lo = dc_encode(layer, lo);
+  auto enc_hi = dc_encode(layer, hi);
+  EXPECT_LT(enc_hi.quantization_mse, enc_lo.quantization_mse);
+  auto dec_hi = dc_decode(enc_hi.blob);
+  EXPECT_LT(util::max_abs_error(layer.data, dec_hi.data), 0.05);
+}
+
+TEST(DeepCompression, CompressesBelowCsrSize) {
+  auto layer = test_layer();
+  auto enc = dc_encode(layer);
+  EXPECT_LT(enc.blob.size(), layer.csr_bytes());
+}
+
+TEST(DeepCompression, BitsOutOfRangeThrows) {
+  auto layer = test_layer();
+  DeepCompressionParams params;
+  params.bits = 0;
+  EXPECT_THROW(dc_encode(layer, params), std::invalid_argument);
+  params.bits = 17;
+  EXPECT_THROW(dc_encode(layer, params), std::invalid_argument);
+}
+
+TEST(DeepCompression, CorruptBlobThrows) {
+  auto layer = test_layer();
+  auto enc = dc_encode(layer);
+  enc.blob[0] ^= 0xff;
+  EXPECT_THROW(dc_decode(enc.blob), std::runtime_error);
+}
+
+TEST(DeepCompression, EmptyLayer) {
+  sparse::PrunedLayer layer;
+  layer.name = "empty";
+  layer.rows = 4;
+  layer.cols = 4;
+  auto enc = dc_encode(layer);
+  auto dec = dc_decode(enc.blob);
+  EXPECT_TRUE(dec.data.empty());
+}
+
+}  // namespace
+}  // namespace deepsz::baselines

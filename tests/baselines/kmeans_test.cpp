@@ -1,0 +1,78 @@
+#include "baselines/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace deepsz::baselines {
+namespace {
+
+TEST(Kmeans, SeparatedClustersAreFound) {
+  std::vector<float> values;
+  util::Pcg32 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(static_cast<float>(rng.normal(-1.0, 0.01)));
+    values.push_back(static_cast<float>(rng.normal(0.0, 0.01)));
+    values.push_back(static_cast<float>(rng.normal(1.0, 0.01)));
+  }
+  auto res = kmeans_1d(values, 3);
+  ASSERT_EQ(res.centroids.size(), 3u);
+  EXPECT_NEAR(res.centroids[0], -1.0, 0.05);
+  EXPECT_NEAR(res.centroids[1], 0.0, 0.05);
+  EXPECT_NEAR(res.centroids[2], 1.0, 0.05);
+  EXPECT_LT(res.mse, 1e-3);
+}
+
+TEST(Kmeans, AssignmentsPointToNearestCentroid) {
+  util::Pcg32 rng(2);
+  std::vector<float> values(500);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-1, 1));
+  auto res = kmeans_1d(values, 8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    float assigned = res.centroids[res.assignments[i]];
+    for (float c : res.centroids) {
+      ASSERT_LE(std::abs(values[i] - assigned),
+                std::abs(values[i] - c) + 1e-6);
+    }
+  }
+}
+
+TEST(Kmeans, MoreClustersLowerMse) {
+  util::Pcg32 rng(3);
+  std::vector<float> values(2000);
+  for (auto& v : values) v = static_cast<float>(rng.laplace(0.05));
+  auto coarse = kmeans_1d(values, 4);
+  auto fine = kmeans_1d(values, 32);
+  EXPECT_LT(fine.mse, coarse.mse);
+}
+
+TEST(Kmeans, SingleCluster) {
+  std::vector<float> values = {1.0f, 2.0f, 3.0f};
+  auto res = kmeans_1d(values, 1);
+  EXPECT_NEAR(res.centroids[0], 2.0f, 1e-5);
+}
+
+TEST(Kmeans, EmptyInput) {
+  auto res = kmeans_1d({}, 4);
+  EXPECT_EQ(res.centroids.size(), 4u);
+  EXPECT_TRUE(res.assignments.empty());
+}
+
+TEST(Kmeans, KZeroThrows) {
+  std::vector<float> values = {1.0f};
+  EXPECT_THROW(kmeans_1d(values, 0), std::invalid_argument);
+}
+
+TEST(Kmeans, ConstantData) {
+  std::vector<float> values(100, 5.0f);
+  auto res = kmeans_1d(values, 4);
+  EXPECT_DOUBLE_EQ(res.mse, 0.0);
+  for (auto a : res.assignments) {
+    EXPECT_FLOAT_EQ(res.centroids[a], 5.0f);
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::baselines

@@ -1,0 +1,87 @@
+#include "baselines/weightless.h"
+
+#include <gtest/gtest.h>
+
+#include "data/weight_synthesis.h"
+#include "util/stats.h"
+
+namespace deepsz::baselines {
+namespace {
+
+TEST(Weightless, TrueNonzerosDecodeToCentroids) {
+  auto layer = data::synthesize_pruned_layer("fc", 128, 256, 0.1, 3);
+  auto original = layer.to_dense();
+  auto enc = weightless_encode(layer);
+  std::int64_t rows = 0, cols = 0;
+  auto dense = weightless_decode(enc.blob, &rows, &cols);
+  EXPECT_EQ(rows, 128);
+  EXPECT_EQ(cols, 256);
+  ASSERT_EQ(dense.size(), original.size());
+  // Every true nonzero must decode near its original value (within the
+  // quantization error of a 15-centroid codebook over +-0.3 weights).
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (original[i] != 0.0f) {
+      ASSERT_NEAR(dense[i], original[i], 0.15) << "position " << i;
+    }
+  }
+}
+
+TEST(Weightless, FalsePositiveRateMatchesGuardBits) {
+  auto layer = data::synthesize_pruned_layer("fc", 128, 256, 0.05, 5);
+  auto original = layer.to_dense();
+  WeightlessParams params;
+  params.cluster_bits = 4;
+  params.guard_bits = 3;  // slots are 7-bit; 15/128 of non-keys hit a centroid
+  auto enc = weightless_encode(layer, params);
+  auto dense = weightless_decode(enc.blob);
+  std::size_t zero_positions = 0, corrupted = 0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (original[i] == 0.0f) {
+      ++zero_positions;
+      if (dense[i] != 0.0f) ++corrupted;
+    }
+  }
+  double fp = static_cast<double>(corrupted) / zero_positions;
+  EXPECT_NEAR(fp, 15.0 / 128.0, 0.03);
+}
+
+TEST(Weightless, MoreGuardBitsFewerFalsePositives) {
+  auto layer = data::synthesize_pruned_layer("fc", 128, 256, 0.05, 7);
+  auto original = layer.to_dense();
+  auto fp_rate = [&](int guard) {
+    WeightlessParams params;
+    params.guard_bits = guard;
+    auto dense = weightless_decode(weightless_encode(layer, params).blob);
+    std::size_t zeros = 0, bad = 0;
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      if (original[i] == 0.0f) {
+        ++zeros;
+        if (dense[i] != 0.0f) ++bad;
+      }
+    }
+    return static_cast<double>(bad) / zeros;
+  };
+  EXPECT_GT(fp_rate(1), fp_rate(5));
+}
+
+TEST(Weightless, SizeTracksFilterNotDenseMatrix) {
+  // Doubling sparsity (halving nonzeros) should roughly halve the blob.
+  auto dense_layer = data::synthesize_pruned_layer("a", 256, 256, 0.2, 9);
+  auto sparse_layer = data::synthesize_pruned_layer("b", 256, 256, 0.05, 9);
+  auto enc_dense = weightless_encode(dense_layer);
+  auto enc_sparse = weightless_encode(sparse_layer);
+  double ratio = static_cast<double>(enc_dense.blob.size()) /
+                 static_cast<double>(enc_sparse.blob.size());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(Weightless, CorruptBlobThrows) {
+  auto layer = data::synthesize_pruned_layer("fc", 32, 32, 0.2, 11);
+  auto enc = weightless_encode(layer);
+  enc.blob[0] ^= 0xff;
+  EXPECT_THROW(weightless_decode(enc.blob), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deepsz::baselines

@@ -1,0 +1,144 @@
+#include "core/assessment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pruner.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "util/stats.h"
+
+namespace deepsz::core {
+namespace {
+
+/// Deterministic oracle: "accuracy" degrades with the RMS deviation of the
+/// network's fc weights from a stored reference — monotone in the error
+/// bound, like a real network, but with zero training cost and no noise.
+class SyntheticOracle : public AccuracyOracle {
+ public:
+  SyntheticOracle(nn::Network& net, double sensitivity)
+      : net_(net), sensitivity_(sensitivity) {
+    for (auto* d : net.dense_layers()) {
+      reference_.emplace_back(d->weight().flat().begin(),
+                              d->weight().flat().end());
+    }
+  }
+
+  double top1() override {
+    double acc = 0.9;
+    std::size_t i = 0;
+    for (auto* d : net_.dense_layers()) {
+      acc -= sensitivity_ *
+             util::rmse(reference_[i++],
+                        std::vector<float>(d->weight().flat().begin(),
+                                           d->weight().flat().end()));
+    }
+    return std::max(0.0, acc);
+  }
+
+  nn::Accuracy accuracy() override { return {top1(), top1()}; }
+
+ private:
+  nn::Network& net_;
+  double sensitivity_;
+  std::vector<std::vector<float>> reference_;
+};
+
+struct Fixture {
+  nn::Network net{"assess"};
+  std::vector<sparse::PrunedLayer> layers;
+
+  explicit Fixture(std::uint64_t seed = 3) {
+    net.add<nn::Dense>(64, 32)->set_name("fc_a");
+    net.add<nn::ReLU>();
+    net.add<nn::Dense>(32, 8)->set_name("fc_b");
+    nn::he_initialize(net, seed);
+    for (auto* d : net.dense_layers()) {
+      layers.push_back(sparse::PrunedLayer::from_dense(
+          d->weight().flat(), d->weight().dim(0), d->weight().dim(1),
+          d->name()));
+    }
+  }
+};
+
+AssessmentConfig quick_config() {
+  AssessmentConfig cfg;
+  cfg.expected_acc_loss = 0.004;
+  cfg.sz.quant_bins = 1024;
+  return cfg;
+}
+
+TEST(Assessment, ProducesPointsForEveryLayer) {
+  Fixture f;
+  SyntheticOracle oracle(f.net, 0.2);
+  auto results = assess_error_bounds(f.net, f.layers, oracle, quick_config());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].layer, "fc_a");
+  EXPECT_EQ(results[1].layer, "fc_b");
+  for (const auto& la : results) {
+    EXPECT_GE(la.points.size(), 2u) << la.layer;
+    EXPECT_GT(la.feasible_lo, 0.0);
+    EXPECT_GE(la.feasible_hi, la.feasible_lo);
+  }
+}
+
+TEST(Assessment, SizesDecreaseWithErrorBound) {
+  Fixture f;
+  SyntheticOracle oracle(f.net, 0.2);
+  auto results = assess_error_bounds(f.net, f.layers, oracle, quick_config());
+  for (const auto& la : results) {
+    for (std::size_t i = 1; i < la.points.size(); ++i) {
+      EXPECT_LE(la.points[i].data_bytes, la.points[i - 1].data_bytes * 1.02)
+          << la.layer << " point " << i;
+    }
+  }
+}
+
+TEST(Assessment, DropsIncreaseWithErrorBound) {
+  Fixture f;
+  SyntheticOracle oracle(f.net, 0.5);
+  auto results = assess_error_bounds(f.net, f.layers, oracle, quick_config());
+  for (const auto& la : results) {
+    for (std::size_t i = 1; i < la.points.size(); ++i) {
+      EXPECT_GE(la.points[i].acc_drop + 1e-9, la.points[i - 1].acc_drop)
+          << la.layer << " point " << i;
+    }
+  }
+}
+
+TEST(Assessment, LastPointExceedsBudgetOrCapReached) {
+  Fixture f;
+  SyntheticOracle oracle(f.net, 0.5);
+  auto cfg = quick_config();
+  auto results = assess_error_bounds(f.net, f.layers, oracle, cfg);
+  for (const auto& la : results) {
+    if (la.points.size() < static_cast<std::size_t>(cfg.max_points_per_layer)) {
+      EXPECT_GT(la.points.back().acc_drop, cfg.expected_acc_loss) << la.layer;
+    }
+  }
+}
+
+TEST(Assessment, NetworkRestoredAfterAssessment) {
+  Fixture f;
+  std::vector<float> before(f.net.dense_layers()[0]->weight().flat().begin(),
+                            f.net.dense_layers()[0]->weight().flat().end());
+  SyntheticOracle oracle(f.net, 0.3);
+  assess_error_bounds(f.net, f.layers, oracle, quick_config());
+  std::vector<float> after(f.net.dense_layers()[0]->weight().flat().begin(),
+                           f.net.dense_layers()[0]->weight().flat().end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(Assessment, MoreSensitiveOracleGetsTighterRange) {
+  Fixture f1(5), f2(5);
+  SyntheticOracle gentle(f1.net, 0.05);
+  SyntheticOracle harsh(f2.net, 5.0);
+  auto r1 = assess_error_bounds(f1.net, f1.layers, gentle, quick_config());
+  auto r2 = assess_error_bounds(f2.net, f2.layers, harsh, quick_config());
+  // A harsher accuracy response must not allow a LARGER terminal bound.
+  EXPECT_LE(r2[0].feasible_hi, r1[0].feasible_hi + 1e-12);
+}
+
+}  // namespace
+}  // namespace deepsz::core

@@ -1,0 +1,74 @@
+// Brute-force sandwich for the expected-ratio (size-budget) mode of
+// Algorithm 2, mirroring the expected-accuracy sandwich test.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/optimizer.h"
+#include "util/rng.h"
+
+namespace deepsz::core {
+namespace {
+
+double brute_force_size(const std::vector<LayerAssessment>& layers,
+                        std::size_t budget) {
+  double best_drop = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> idx(layers.size(), 0);
+  for (;;) {
+    std::size_t bytes = 0;
+    double drop = 0;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      bytes += layers[l].points[idx[l]].data_bytes;
+      drop += std::max(0.0, layers[l].points[idx[l]].acc_drop);
+    }
+    if (bytes <= budget && drop < best_drop) best_drop = drop;
+    std::size_t l = 0;
+    while (l < layers.size() && ++idx[l] == layers[l].points.size()) {
+      idx[l++] = 0;
+    }
+    if (l == layers.size()) break;
+  }
+  return best_drop;
+}
+
+TEST(OptimizerSizeFuzz, SandwichedByBruteForce) {
+  util::Pcg32 rng(0x51f3);
+  const int grid = 4096;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<LayerAssessment> layers;
+    const int n_layers = 2 + static_cast<int>(rng.bounded(3));
+    std::size_t min_total = 0;
+    for (int l = 0; l < n_layers; ++l) {
+      LayerAssessment la;
+      la.layer = "l" + std::to_string(l);
+      std::size_t bytes = 50000 + rng.bounded(50000);
+      double drop = 0.0;
+      std::size_t smallest = bytes;
+      for (int p = 0; p < 2 + static_cast<int>(rng.bounded(5)); ++p) {
+        bytes = static_cast<std::size_t>(bytes * rng.uniform(0.5, 0.9));
+        la.points.push_back({1e-3 * (p + 1), bytes, drop});
+        drop += rng.uniform(0.0, 0.002);
+        smallest = bytes;
+      }
+      min_total += smallest;
+      layers.push_back(std::move(la));
+    }
+    // Budget comfortably above the minimum achievable total.
+    const std::size_t budget =
+        static_cast<std::size_t>(min_total * rng.uniform(1.2, 2.5));
+    auto dp = optimize_for_size(layers, budget, grid);
+    ASSERT_LE(dp.total_bytes, budget) << "trial " << trial;
+
+    const double exact = brute_force_size(layers, budget);
+    // DP rounds sizes UP to grid units: never better than exact, never worse
+    // than exact at a budget reduced by the aggregate quantization slack.
+    const std::size_t slack =
+        static_cast<std::size_t>(n_layers) * (budget / grid + 1);
+    const double reduced = brute_force_size(layers, budget - slack);
+    EXPECT_GE(dp.expected_total_drop, exact - 1e-12) << "trial " << trial;
+    EXPECT_LE(dp.expected_total_drop, reduced + 1e-12) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::core

@@ -1,0 +1,224 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace deepsz::core {
+namespace {
+
+LayerAssessment make_layer(std::string name,
+                           std::vector<EbPoint> points) {
+  LayerAssessment la;
+  la.layer = std::move(name);
+  la.points = std::move(points);
+  return la;
+}
+
+/// Brute-force oracle: enumerate every combination.
+struct Brute {
+  std::size_t best_bytes = std::numeric_limits<std::size_t>::max();
+  double best_drop = std::numeric_limits<double>::infinity();
+};
+
+Brute brute_force_accuracy(const std::vector<LayerAssessment>& layers,
+                           double budget) {
+  Brute best;
+  std::vector<std::size_t> idx(layers.size(), 0);
+  for (;;) {
+    std::size_t bytes = 0;
+    double drop = 0;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      bytes += layers[l].points[idx[l]].data_bytes;
+      drop += std::max(0.0, layers[l].points[idx[l]].acc_drop);
+    }
+    if (drop <= budget + 1e-12 && bytes < best.best_bytes) {
+      best.best_bytes = bytes;
+      best.best_drop = drop;
+    }
+    std::size_t l = 0;
+    while (l < layers.size() && ++idx[l] == layers[l].points.size()) {
+      idx[l++] = 0;
+    }
+    if (l == layers.size()) break;
+  }
+  return best;
+}
+
+TEST(Optimizer, SandwichedByBruteForce) {
+  // The DP rounds drops UP to the grid, so it can never beat an exact
+  // optimizer at the full budget, and can never be worse than an exact
+  // optimizer whose budget is shrunk by the total quantization slack.
+  util::Pcg32 rng(42);
+  const int grid = 4000;
+  const double budget = 0.004;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<LayerAssessment> layers;
+    const int n_layers = 2 + static_cast<int>(rng.bounded(3));
+    for (int l = 0; l < n_layers; ++l) {
+      std::vector<EbPoint> points;
+      const int n_points = 2 + static_cast<int>(rng.bounded(5));
+      std::size_t bytes = 100000 + rng.bounded(100000);
+      double drop = 0;
+      for (int p = 0; p < n_points; ++p) {
+        // Larger eb -> smaller size, bigger drop (monotone, like real data);
+        // the tightest bound is always measurement-noise free.
+        bytes = static_cast<std::size_t>(bytes * rng.uniform(0.5, 0.9));
+        points.push_back({1e-3 * (p + 1), bytes, drop});
+        drop += rng.uniform(0.0, 0.002);
+      }
+      layers.push_back(make_layer("l" + std::to_string(l), points));
+    }
+    auto dp = optimize_for_accuracy(layers, budget, grid);
+    ASSERT_LE(dp.expected_total_drop, budget + 1e-9) << "trial " << trial;
+
+    auto brute_exact = brute_force_accuracy(layers, budget);
+    const double slack = n_layers * budget / grid;
+    auto brute_reduced = brute_force_accuracy(layers, budget - slack);
+    EXPECT_GE(dp.total_bytes, brute_exact.best_bytes) << "trial " << trial;
+    EXPECT_LE(dp.total_bytes, brute_reduced.best_bytes) << "trial " << trial;
+  }
+}
+
+TEST(Optimizer, CoarseGridIsConservative) {
+  // With the paper's 100-step grid the result may be suboptimal but must
+  // never violate the accuracy budget.
+  util::Pcg32 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<LayerAssessment> layers;
+    for (int l = 0; l < 3; ++l) {
+      std::vector<EbPoint> points;
+      double drop = 0;
+      std::size_t bytes = 50000;
+      for (int p = 0; p < 6; ++p) {
+        bytes = static_cast<std::size_t>(bytes * 0.8);
+        drop += rng.uniform(0.0, 0.0015);
+        points.push_back({1e-3 * (p + 1), bytes, drop});
+      }
+      layers.push_back(make_layer("l" + std::to_string(l), points));
+    }
+    auto res = optimize_for_accuracy(layers, 0.004, 100);
+    EXPECT_LE(res.expected_total_drop, 0.004 + 1e-9);
+  }
+}
+
+TEST(Optimizer, PicksLargestAffordableBounds) {
+  // Two layers; budget admits the big layer's aggressive point plus the
+  // small layer's conservative point, and that is the smallest total.
+  std::vector<LayerAssessment> layers = {
+      make_layer("big", {{1e-3, 1000, 0.000},
+                         {1e-2, 400, 0.002},
+                         {1e-1, 100, 0.010}}),
+      make_layer("small", {{1e-3, 100, 0.000},
+                           {1e-2, 60, 0.0025},
+                           {1e-1, 20, 0.010}}),
+  };
+  auto res = optimize_for_accuracy(layers, 0.004, 1000);
+  EXPECT_EQ(res.choices[0].eb, 1e-2);  // big layer takes the budget
+  EXPECT_EQ(res.choices[1].eb, 1e-3);  // small layer stays conservative
+  EXPECT_EQ(res.total_bytes, 500u);
+}
+
+TEST(Optimizer, NegativeDropsAreFree) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("l", {{1e-3, 1000, -0.001}, {1e-2, 500, -0.0005}}),
+  };
+  auto res = optimize_for_accuracy(layers, 0.001, 100);
+  EXPECT_EQ(res.total_bytes, 500u);
+  EXPECT_DOUBLE_EQ(res.expected_total_drop, 0.0);
+}
+
+TEST(Optimizer, InfeasibleThrows) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("l", {{1e-3, 1000, 0.5}}),  // every point blows the budget
+  };
+  EXPECT_THROW(optimize_for_accuracy(layers, 0.004, 100), std::runtime_error);
+}
+
+TEST(Optimizer, EmptyLayerListReturnsEmpty) {
+  auto res = optimize_for_accuracy({}, 0.004, 100);
+  EXPECT_TRUE(res.choices.empty());
+  EXPECT_EQ(res.total_bytes, 0u);
+}
+
+TEST(Optimizer, LayerWithoutPointsThrows) {
+  std::vector<LayerAssessment> layers = {make_layer("l", {})};
+  EXPECT_THROW(optimize_for_accuracy(layers, 0.004, 100),
+               std::invalid_argument);
+}
+
+TEST(OptimizerValidated, AcceptsWhenLinearityHolds) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.000}, {1e-2, 400, 0.002}}),
+      make_layer("b", {{1e-3, 100, 0.000}, {1e-2, 50, 0.002}}),
+  };
+  int calls = 0;
+  auto measure = [&](const OptimizerResult& r) {
+    ++calls;
+    return r.expected_total_drop;  // perfectly additive world
+  };
+  auto res = optimize_for_accuracy_validated(layers, 0.004, measure);
+  EXPECT_EQ(calls, 1);  // first candidate validates
+  EXPECT_EQ(res.total_bytes, 450u);
+}
+
+TEST(OptimizerValidated, TightensUnderSuperadditivity) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.000}, {1e-2, 400, 0.002}}),
+      make_layer("b", {{1e-3, 100, 0.000}, {1e-2, 50, 0.002}}),
+  };
+  // Joint loss is 4x the additive prediction: the aggressive combo (0.004
+  // expected) measures 0.016 and must be rejected in favor of a tighter one.
+  auto measure = [&](const OptimizerResult& r) {
+    return 4.0 * r.expected_total_drop;
+  };
+  auto res = optimize_for_accuracy_validated(layers, 0.004, measure);
+  EXPECT_LE(4.0 * res.expected_total_drop, 0.004 + 1e-12);
+  EXPECT_EQ(res.total_bytes, 1100u);  // both layers at the tight bound
+}
+
+TEST(OptimizerValidated, ReturnsTightestWhenNothingValidates) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.000}, {1e-2, 400, 0.003}}),
+  };
+  auto measure = [](const OptimizerResult&) { return 1.0; };  // always bad
+  auto res = optimize_for_accuracy_validated(layers, 0.004, measure, 3);
+  // Falls back to the tightest configuration it tried.
+  ASSERT_EQ(res.choices.size(), 1u);
+  EXPECT_EQ(res.choices[0].eb, 1e-3);
+}
+
+TEST(OptimizerSizeMode, MinimizesDropUnderSizeBudget) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.000}, {1e-2, 300, 0.003}}),
+      make_layer("b", {{1e-3, 800, 0.001}, {1e-2, 200, 0.004}}),
+  };
+  // Budget 1300: must take a@1e-2 (300) + b@1e-3 (800) -> drop 0.004? No:
+  // a@1e-3 (1000) + b@1e-2 (200) = 1200, drop 0.004; a@1e-2 + b@1e-3 = 1100,
+  // drop 0.004... a@1e-2+b@1e-2 = 500, drop 0.007. Optimal drop at <=1300 is
+  // 0.004 via either 1200 or 1100 combo.
+  auto res = optimize_for_size(layers, 1300, 2048);
+  EXPECT_LE(res.total_bytes, 1300u);
+  EXPECT_NEAR(res.expected_total_drop, 0.004, 1e-9);
+}
+
+TEST(OptimizerSizeMode, GenerousBudgetTakesBestAccuracy) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.0}, {1e-2, 300, 0.003}}),
+  };
+  auto res = optimize_for_size(layers, 10000, 256);
+  EXPECT_EQ(res.choices[0].eb, 1e-3);
+  EXPECT_DOUBLE_EQ(res.expected_total_drop, 0.0);
+}
+
+TEST(OptimizerSizeMode, TooTightThrows) {
+  std::vector<LayerAssessment> layers = {
+      make_layer("a", {{1e-3, 1000, 0.0}}),
+  };
+  EXPECT_THROW(optimize_for_size(layers, 10, 256), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deepsz::core

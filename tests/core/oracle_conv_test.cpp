@@ -1,0 +1,94 @@
+// CachedHeadOracle with a convolutional trunk: the cache must split the
+// network at the first Dense layer, reproduce full-pass accuracy exactly, and
+// track fc weight mutations (the access pattern of Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "core/accuracy.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace deepsz::core {
+namespace {
+
+struct ConvFixture {
+  nn::Network net{"convnet"};
+  nn::Tensor images;
+  std::vector<int> labels;
+
+  ConvFixture() {
+    net.add<nn::Conv2D>(1, 4, 3, 1, 1)->set_name("conv1");
+    net.add<nn::ReLU>();
+    net.add<nn::MaxPool2D>(2, 2);
+    net.add<nn::Flatten>();
+    net.add<nn::Dense>(4 * 4 * 4, 16)->set_name("fc1");
+    net.add<nn::ReLU>();
+    net.add<nn::Dense>(16, 3)->set_name("fc2");
+    nn::he_initialize(net, 71);
+
+    util::Pcg32 rng(72);
+    const std::int64_t n = 90;
+    images = nn::Tensor({n, 1, 8, 8});
+    labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      int cls = static_cast<int>(i % 3);
+      labels[static_cast<std::size_t>(i)] = cls;
+      for (int p = 0; p < 64; ++p) {
+        images[i * 64 + p] =
+            static_cast<float>(rng.normal(0.3 * cls, 0.2));
+      }
+    }
+  }
+};
+
+TEST(CachedHeadOracleConv, TrunkSplitsAtFirstDense) {
+  ConvFixture f;
+  CachedHeadOracle oracle(f.net, f.images, f.labels);
+  EXPECT_EQ(oracle.trunk_layers(), 4u);  // conv, relu, pool, flatten
+}
+
+TEST(CachedHeadOracleConv, MatchesFullPassExactly) {
+  ConvFixture f;
+  FullPassOracle full(f.net, f.images, f.labels);
+  CachedHeadOracle cached(f.net, f.images, f.labels);
+  EXPECT_DOUBLE_EQ(cached.top1(), full.top1());
+  auto a1 = cached.accuracy();
+  auto a2 = full.accuracy();
+  EXPECT_DOUBLE_EQ(a1.top1, a2.top1);
+  EXPECT_DOUBLE_EQ(a1.top5, a2.top5);
+}
+
+TEST(CachedHeadOracleConv, TracksFcMutations) {
+  ConvFixture f;
+  FullPassOracle full(f.net, f.images, f.labels);
+  CachedHeadOracle cached(f.net, f.images, f.labels);
+  auto* fc1 = f.net.find_dense("fc1");
+  util::Pcg32 rng(73);
+  for (int round = 0; round < 3; ++round) {
+    for (std::int64_t i = 0; i < fc1->weight().numel(); ++i) {
+      fc1->weight()[i] += static_cast<float>(rng.normal(0, 0.05));
+    }
+    ASSERT_DOUBLE_EQ(cached.top1(), full.top1()) << "round " << round;
+  }
+}
+
+TEST(CachedHeadOracleConv, DoesNotTrackConvMutations) {
+  // Documented limitation: trunk features are cached once, so conv-layer
+  // changes are invisible — exactly why DeepSZ only compresses fc-layers.
+  ConvFixture f;
+  CachedHeadOracle cached(f.net, f.images, f.labels);
+  double before = cached.top1();
+  auto params = f.net.layers()[0]->params();
+  (*params[0]).fill(0.0f);
+  EXPECT_DOUBLE_EQ(cached.top1(), before);
+}
+
+TEST(CachedHeadOracleConv, BatchSizeDoesNotChangeResult) {
+  ConvFixture f;
+  CachedHeadOracle a(f.net, f.images, f.labels, 7);
+  CachedHeadOracle b(f.net, f.images, f.labels, 256);
+  EXPECT_DOUBLE_EQ(a.top1(), b.top1());
+}
+
+}  // namespace
+}  // namespace deepsz::core

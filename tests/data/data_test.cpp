@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic_imagenet.h"
+#include "data/synthetic_mnist.h"
+#include "data/weight_synthesis.h"
+#include "sparse/pruning.h"
+#include "util/stats.h"
+
+namespace deepsz::data {
+namespace {
+
+TEST(SyntheticMnist, ShapesAndLabels) {
+  auto ds = synthetic_mnist(100, 1);
+  EXPECT_EQ(ds.images.shape(), (std::vector<std::int64_t>{100, 1, 28, 28}));
+  EXPECT_EQ(ds.labels.size(), 100u);
+  EXPECT_EQ(ds.num_classes(), 10);
+  // Balanced classes by construction.
+  std::array<int, 10> counts{};
+  for (int l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticMnist, DeterministicBySeed) {
+  auto a = synthetic_mnist(20, 7);
+  auto b = synthetic_mnist(20, 7);
+  auto c = synthetic_mnist(20, 8);
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.images[i], b.images[i]);
+  }
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < a.images.numel() && !any_diff; ++i) {
+    any_diff = a.images[i] != c.images[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticMnist, PixelsInUnitRangeAndInformative) {
+  auto ds = synthetic_mnist(50, 3);
+  auto s = util::summarize(ds.images.flat());
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 1.0);
+  EXPECT_GT(s.stddev, 0.1);  // not blank
+}
+
+TEST(SyntheticMnist, ClassesAreVisuallyDistinct) {
+  // Mean image per class must differ meaningfully between classes.
+  auto ds = synthetic_mnist(200, 5);
+  std::array<std::vector<double>, 10> means;
+  for (auto& m : means) m.assign(28 * 28, 0.0);
+  std::array<int, 10> counts{};
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    int l = ds.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(l)];
+    for (int p = 0; p < 28 * 28; ++p) {
+      means[static_cast<std::size_t>(l)][static_cast<std::size_t>(p)] +=
+          ds.images[i * 28 * 28 + p];
+    }
+  }
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      double dist = 0;
+      for (int p = 0; p < 28 * 28; ++p) {
+        double d = means[a][p] / counts[a] - means[b][p] / counts[b];
+        dist += d * d;
+      }
+      EXPECT_GT(dist, 1.0) << "classes " << a << " and " << b << " too close";
+    }
+  }
+}
+
+TEST(SyntheticImageNet, ShapesAndDeterminism) {
+  auto ds = synthetic_imagenet(40, 20, 11);
+  EXPECT_EQ(ds.images.shape(), (std::vector<std::int64_t>{40, 3, 32, 32}));
+  EXPECT_EQ(ds.num_classes(), 20);
+  auto ds2 = synthetic_imagenet(40, 20, 11);
+  for (std::int64_t i = 0; i < ds.images.numel(); ++i) {
+    ASSERT_FLOAT_EQ(ds.images[i], ds2.images[i]);
+  }
+}
+
+TEST(SyntheticImageNet, TrainTestSeedsDiffer) {
+  auto train = synthetic_imagenet(20, 20, 1);
+  auto test = synthetic_imagenet(20, 20, 2);
+  bool differ = false;
+  for (std::int64_t i = 0; i < train.images.numel() && !differ; ++i) {
+    differ = train.images[i] != test.images[i];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(WeightSynthesis, ValueRangeAndSparsityModel) {
+  auto w = synthesize_fc_weights(64, 256, 42);
+  auto s = util::summarize(w);
+  EXPECT_GE(s.min, -0.3);
+  EXPECT_LE(s.max, 0.3);
+  EXPECT_NEAR(s.mean, 0.0, 0.01);
+  // Laplacian: heavier center than a Gaussian of the same stddev.
+  std::size_t near_zero = 0;
+  for (float v : w) {
+    if (std::abs(v) < s.stddev / 2) ++near_zero;
+  }
+  EXPECT_GT(static_cast<double>(near_zero) / w.size(), 0.38);
+}
+
+TEST(WeightSynthesis, DeterministicAcrossCalls) {
+  auto a = synthesize_fc_weights(16, 32, 9);
+  auto b = synthesize_fc_weights(16, 32, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MagnitudePrune, AchievesRequestedRatio) {
+  auto w = synthesize_fc_weights(128, 128, 5);
+  for (double keep : {0.03, 0.09, 0.25}) {
+    auto copy = w;
+    sparse::magnitude_prune(copy, keep);
+    std::size_t nnz = 0;
+    for (float v : copy) {
+      if (v != 0.0f) ++nnz;
+    }
+    double actual = static_cast<double>(nnz) / copy.size();
+    EXPECT_NEAR(actual, keep, 0.01) << "keep " << keep;
+  }
+}
+
+TEST(MagnitudePrune, KeepsLargestMagnitudes) {
+  std::vector<float> w = {0.5f, -0.01f, 0.3f, 0.02f, -0.9f, 0.001f};
+  sparse::magnitude_prune(w, 0.5);
+  EXPECT_NE(w[0], 0.0f);
+  EXPECT_NE(w[4], 0.0f);
+  EXPECT_EQ(w[1], 0.0f);
+  EXPECT_EQ(w[5], 0.0f);
+}
+
+TEST(MagnitudePrune, InvalidRatioThrows) {
+  std::vector<float> w = {1.0f};
+  EXPECT_THROW(sparse::magnitude_prune(w, 0.0), std::invalid_argument);
+  EXPECT_THROW(sparse::magnitude_prune(w, 1.5), std::invalid_argument);
+}
+
+TEST(SynthesizePrunedLayer, MatchesPaperScaleStatistics) {
+  // AlexNet fc8 shape at the paper's 25% keep ratio.
+  auto layer = synthesize_pruned_layer("fc8", 1000, 4096, 0.25, 77);
+  EXPECT_EQ(layer.rows, 1000);
+  EXPECT_EQ(layer.cols, 4096);
+  std::size_t real = 0;
+  for (float v : layer.data) {
+    if (v != 0.0f) ++real;
+  }
+  double keep = static_cast<double>(real) / (1000.0 * 4096.0);
+  EXPECT_NEAR(keep, 0.25, 0.01);
+  // CSR size ~ 40 bits per stored entry: compression ~32/(40*0.25) = 3.2x
+  // before SZ.
+  double cr = static_cast<double>(layer.dense_bytes()) / layer.csr_bytes();
+  EXPECT_GT(cr, 2.5);
+  EXPECT_LT(cr, 3.5);
+}
+
+}  // namespace
+}  // namespace deepsz::data

@@ -1,0 +1,148 @@
+#include "lossless/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsz::lossless {
+namespace {
+
+std::vector<std::uint32_t> roundtrip(const std::vector<std::uint32_t>& symbols,
+                                     std::size_t alphabet) {
+  std::vector<std::uint64_t> freq(alphabet, 0);
+  for (auto s : symbols) ++freq[s];
+  HuffmanEncoder enc;
+  enc.init(freq);
+  util::BitWriter bw;
+  enc.write_table(bw);
+  for (auto s : symbols) enc.encode(bw, s);
+  auto bytes = bw.finish();
+
+  util::BitReader br(bytes);
+  HuffmanDecoder dec;
+  dec.read_table(br);
+  std::vector<std::uint32_t> out(symbols.size());
+  for (auto& s : out) s = dec.decode(br);
+  return out;
+}
+
+TEST(Huffman, RoundTripSmallAlphabet) {
+  std::vector<std::uint32_t> symbols = {0, 1, 1, 2, 2, 2, 2, 3, 0, 1};
+  EXPECT_EQ(roundtrip(symbols, 4), symbols);
+}
+
+TEST(Huffman, SingleSymbolStream) {
+  std::vector<std::uint32_t> symbols(1000, 5);
+  EXPECT_EQ(roundtrip(symbols, 16), symbols);
+}
+
+TEST(Huffman, TwoSymbolStream) {
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 500; ++i) symbols.push_back(i % 7 == 0 ? 1u : 0u);
+  EXPECT_EQ(roundtrip(symbols, 2), symbols);
+}
+
+TEST(Huffman, LargeSparseAlphabet) {
+  // Mimics SZ quantization codes: 65536-symbol alphabet, few present.
+  util::Pcg32 rng(3);
+  std::vector<std::uint32_t> symbols;
+  const std::uint32_t center = 32768;
+  for (int i = 0; i < 20000; ++i) {
+    symbols.push_back(center + rng.bounded(33) - 16);
+  }
+  EXPECT_EQ(roundtrip(symbols, 65536), symbols);
+}
+
+TEST(Huffman, RandomAlphabetsAndSkews) {
+  util::Pcg32 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t alphabet = 2 + rng.bounded(300);
+    std::vector<std::uint32_t> symbols;
+    for (int i = 0; i < 3000; ++i) {
+      // Geometric-ish skew to stress unequal code lengths.
+      std::uint32_t s = 0;
+      while (s + 1 < alphabet && rng.uniform() < 0.4) ++s;
+      symbols.push_back(s);
+    }
+    ASSERT_EQ(roundtrip(symbols, alphabet), symbols) << "trial " << trial;
+  }
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  util::Pcg32 rng(23);
+  std::vector<std::uint64_t> freq(512);
+  for (auto& f : freq) f = rng.bounded(10000);
+  auto lengths = build_code_lengths(freq, 12);
+  double kraft = 0;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      ASSERT_GT(lengths[s], 0);
+      ASSERT_LE(lengths[s], 12);
+      kraft += std::pow(2.0, -lengths[s]);
+    } else {
+      ASSERT_EQ(lengths[s], 0);
+    }
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, LengthLimitingUnderExtremeSkew) {
+  // freq_i = 2^i forces deep trees without limiting.
+  std::vector<std::uint64_t> freq(40);
+  std::uint64_t f = 1;
+  for (auto& x : freq) {
+    x = f;
+    f = f < (1ull << 50) ? f * 2 : f;
+  }
+  auto lengths = build_code_lengths(freq, 15);
+  for (auto l : lengths) EXPECT_LE(l, 15);
+  // And the code must still round-trip.
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < 40; ++s) {
+    for (int i = 0; i < 3; ++i) symbols.push_back(s);
+  }
+  HuffmanEncoder enc;
+  enc.init(freq, 15);
+  util::BitWriter bw;
+  enc.write_table(bw);
+  for (auto s : symbols) enc.encode(bw, s);
+  auto bytes = bw.finish();
+  util::BitReader br(bytes);
+  HuffmanDecoder dec;
+  dec.read_table(br);
+  for (auto expected : symbols) {
+    ASSERT_EQ(dec.decode(br), expected);
+  }
+}
+
+TEST(Huffman, CompressionTracksEntropy) {
+  // A heavily skewed stream must code well below 8 bits/symbol.
+  std::vector<std::uint32_t> symbols;
+  util::Pcg32 rng(31);
+  for (int i = 0; i < 50000; ++i) {
+    symbols.push_back(rng.uniform() < 0.95 ? 0u : 1u + rng.bounded(255));
+  }
+  std::vector<std::uint64_t> freq(256, 0);
+  for (auto s : symbols) ++freq[s];
+  HuffmanEncoder enc;
+  enc.init(freq);
+  util::BitWriter bw;
+  for (auto s : symbols) enc.encode(bw, s);
+  double bits_per_symbol =
+      static_cast<double>(bw.bit_count()) / symbols.size();
+  EXPECT_LT(bits_per_symbol, 1.5);  // entropy is ~0.7 bits here
+}
+
+TEST(Huffman, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b10, 2), 0b01u);
+  EXPECT_EQ(reverse_bits(0b1101, 4), 0b1011u);
+  EXPECT_EQ(reverse_bits(0x1, 8), 0x80u);
+}
+
+}  // namespace
+}  // namespace deepsz::lossless

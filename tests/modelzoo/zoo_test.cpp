@@ -1,0 +1,125 @@
+#include "modelzoo/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "modelzoo/paper_specs.h"
+#include "nn/layers.h"
+
+namespace deepsz::modelzoo {
+namespace {
+
+TEST(Zoo, LeNet300MatchesPaperShapes) {
+  auto net = make_lenet300();
+  auto fc = net.dense_layers();
+  ASSERT_EQ(fc.size(), 3u);
+  EXPECT_EQ(fc[0]->name(), "ip1");
+  EXPECT_EQ(fc[0]->weight().dim(0), 300);
+  EXPECT_EQ(fc[0]->weight().dim(1), 784);
+  EXPECT_EQ(fc[1]->weight().dim(0), 100);
+  EXPECT_EQ(fc[1]->weight().dim(1), 300);
+  EXPECT_EQ(fc[2]->weight().dim(0), 10);
+  EXPECT_EQ(fc[2]->weight().dim(1), 100);
+}
+
+TEST(Zoo, LeNet5MatchesPaperShapes) {
+  auto net = make_lenet5();
+  auto fc = net.dense_layers();
+  ASSERT_EQ(fc.size(), 2u);
+  EXPECT_EQ(fc[0]->weight().dim(0), 500);  // ip1: 500 x 800
+  EXPECT_EQ(fc[0]->weight().dim(1), 800);
+  EXPECT_EQ(fc[1]->weight().dim(0), 10);   // ip2: 10 x 500
+  EXPECT_EQ(fc[1]->weight().dim(1), 500);
+}
+
+TEST(Zoo, LeNet5ForwardShape) {
+  auto net = make_lenet5();
+  nn::Tensor x({2, 1, 28, 28});
+  auto y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 10}));
+}
+
+TEST(Zoo, AlexNetMiniTopology) {
+  auto net = make_alexnet_mini(20);
+  // 5 conv + 3 fc, like AlexNet.
+  int convs = 0;
+  for (const auto& l : net.layers()) {
+    if (l->kind() == "conv") ++convs;
+  }
+  EXPECT_EQ(convs, 5);
+  auto fc = net.dense_layers();
+  ASSERT_EQ(fc.size(), 3u);
+  EXPECT_EQ(fc[0]->name(), "fc6");
+  EXPECT_EQ(fc[2]->name(), "fc8");
+  // fc6 dominates the fc parameters, as in AlexNet.
+  EXPECT_GT(fc[0]->weight().numel(), 3 * fc[1]->weight().numel());
+  nn::Tensor x({2, 3, 32, 32});
+  EXPECT_EQ(net.forward(x).shape(), (std::vector<std::int64_t>{2, 20}));
+}
+
+TEST(Zoo, VggMiniTopology) {
+  auto net = make_vgg_mini(20);
+  int convs = 0;
+  for (const auto& l : net.layers()) {
+    if (l->kind() == "conv") ++convs;
+  }
+  EXPECT_EQ(convs, 6);  // three stacked 2-conv blocks
+  auto fc = net.dense_layers();
+  ASSERT_EQ(fc.size(), 3u);
+  nn::Tensor x({1, 3, 32, 32});
+  EXPECT_EQ(net.forward(x).shape(), (std::vector<std::int64_t>{1, 20}));
+}
+
+TEST(Zoo, MakeByKeyCoversAllAndThrowsOnUnknown) {
+  for (const auto& spec : all_paper_specs()) {
+    auto net = make_by_key(spec.key);
+    EXPECT_FALSE(net.dense_layers().empty()) << spec.key;
+  }
+  EXPECT_THROW(make_by_key("resnet"), std::invalid_argument);
+}
+
+TEST(PaperSpecs, FourNetworksWithConsistentTables) {
+  const auto& specs = all_paper_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(static_cast<int>(s.fc.size()), s.fc_layers) << s.name;
+    for (const auto& fc : s.fc) {
+      EXPECT_GT(fc.rows, 0);
+      EXPECT_GT(fc.cols, 0);
+      EXPECT_GT(fc.keep_ratio, 0.0);
+      EXPECT_LE(fc.keep_ratio, 1.0);
+      EXPECT_GT(fc.chosen_eb, 0.0);
+      EXPECT_LT(fc.chosen_eb, 0.1);  // Section 5.1: bounds below 1e-1
+    }
+    // DeepSZ beats Deep Compression overall (Table 4's headline).
+    EXPECT_GT(s.paper_overall_cr_deepsz, s.paper_overall_cr_deepcomp)
+        << s.name;
+  }
+}
+
+TEST(PaperSpecs, FcShapesMatchTable1) {
+  const auto& alexnet = paper_spec("alexnet");
+  EXPECT_EQ(alexnet.fc[0].rows, 4096);
+  EXPECT_EQ(alexnet.fc[0].cols, 9216);
+  const auto& vgg = paper_spec("vgg16");
+  EXPECT_EQ(vgg.fc[0].cols, 25088);
+  EXPECT_THROW(paper_spec("unknown"), std::invalid_argument);
+}
+
+TEST(PaperSpecs, LeNetsFullScaleShapesAgreeWithZoo) {
+  // For the two networks we train at full scale, the zoo shapes must equal
+  // the paper-spec shapes.
+  for (const char* key : {"lenet300", "lenet5"}) {
+    auto net = make_by_key(key);
+    const auto& spec = paper_spec(key);
+    auto fc = net.dense_layers();
+    ASSERT_EQ(fc.size(), spec.fc.size()) << key;
+    for (std::size_t i = 0; i < fc.size(); ++i) {
+      EXPECT_EQ(fc[i]->weight().dim(0), spec.fc[i].rows) << key << " " << i;
+      EXPECT_EQ(fc[i]->weight().dim(1), spec.fc[i].cols) << key << " " << i;
+      EXPECT_EQ(fc[i]->name(), spec.fc[i].layer);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::modelzoo

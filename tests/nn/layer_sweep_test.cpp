@@ -1,0 +1,140 @@
+// Parameterized sweeps: convolution and pooling configurations checked
+// against finite differences and shape algebra across kernel/stride/padding
+// combinations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace deepsz::nn {
+namespace {
+
+// (in_channels, out_channels, kernel, stride, pad, height/width)
+using ConvCase = std::tuple<int, int, int, int, int, int>;
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, ShapesAndGradientsAgree) {
+  auto [in_c, out_c, k, stride, pad, hw] = GetParam();
+  Conv2D conv(in_c, out_c, k, stride, pad);
+  util::Pcg32 rng(std::get<0>(GetParam()) * 100 + k);
+  for (std::int64_t i = 0; i < conv.weight().numel(); ++i) {
+    conv.weight()[i] = static_cast<float>(rng.uniform(-0.4, 0.4));
+  }
+  Tensor x({2, in_c, hw, hw});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+
+  const std::int64_t expect_hw = (hw + 2 * pad - k) / stride + 1;
+  Tensor y = conv.forward(x, true);
+  ASSERT_EQ(y.shape(),
+            (std::vector<std::int64_t>{2, out_c, expect_hw, expect_hw}));
+
+  // Spot-check input gradients against finite differences.
+  Tensor dy(y.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i) {
+    dy[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  Tensor dx = conv.backward(dy);
+  const float eps = 1e-2f;
+  for (int probe = 0; probe < 8; ++probe) {
+    std::int64_t idx = rng.bounded(static_cast<std::uint32_t>(x.numel()));
+    Tensor xp = x, xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    Tensor yp = conv.forward(xp, false);
+    Tensor ym = conv.forward(xm, false);
+    double lp = 0, lm = 0;
+    for (std::int64_t j = 0; j < yp.numel(); ++j) {
+      lp += yp[j] * dy[j];
+      lm += ym[j] * dy[j];
+    }
+    double numeric = (lp - lm) / (2.0 * eps);
+    ASSERT_NEAR(dx[idx], numeric, 2e-2 * std::max(1.0, std::abs(numeric)))
+        << "probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4},   // pointwise
+                      ConvCase{1, 4, 3, 1, 0, 6},   // valid conv
+                      ConvCase{2, 3, 3, 1, 1, 5},   // same-padded
+                      ConvCase{3, 2, 5, 1, 2, 7},   // 5x5 same
+                      ConvCase{2, 2, 3, 2, 1, 8},   // strided
+                      ConvCase{1, 8, 5, 1, 0, 12},  // LeNet-5-style
+                      ConvCase{4, 4, 3, 2, 0, 9}));
+
+using PoolCase = std::tuple<int, int, int>;  // kernel, stride, hw
+
+class PoolSweep : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolSweep, GradientRoutesExactlyToArgmax) {
+  auto [k, stride, hw] = GetParam();
+  MaxPool2D pool(k, stride);
+  util::Pcg32 rng(k * 31 + hw);
+  Tensor x({1, 2, hw, hw});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  Tensor y = pool.forward(x, true);
+  Tensor dy(y.shape());
+  dy.fill(1.0f);
+  Tensor dx = pool.backward(dy);
+  // Total mass is conserved: each output cell contributes exactly once.
+  double in_sum = 0, out_sum = 0;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) in_sum += dx[i];
+  for (std::int64_t i = 0; i < dy.numel(); ++i) out_sum += dy[i];
+  EXPECT_DOUBLE_EQ(in_sum, out_sum);
+  // And every routed gradient lands on a window maximum.
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    EXPECT_GE(dx[i], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PoolSweep,
+                         ::testing::Values(PoolCase{2, 2, 8}, PoolCase{2, 2, 6},
+                                           PoolCase{3, 3, 9}, PoolCase{3, 2, 7},
+                                           PoolCase{2, 1, 5}));
+
+TEST(DenseSweep, VariousShapesGradCheck) {
+  util::Pcg32 rng(404);
+  for (auto [in, out] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 8}, {8, 1}, {17, 31}, {64, 10}}) {
+    Dense d(in, out);
+    for (std::int64_t i = 0; i < d.weight().numel(); ++i) {
+      d.weight()[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+    }
+    Tensor x({3, in});
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+    Tensor y = d.forward(x, true);
+    Tensor dy(y.shape());
+    for (std::int64_t i = 0; i < dy.numel(); ++i) {
+      dy[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+    Tensor dx = d.backward(dy);
+    const float eps = 1e-3f;
+    std::int64_t idx = rng.bounded(static_cast<std::uint32_t>(x.numel()));
+    Tensor xp = x, xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    Tensor yp = d.forward(xp, false), ym = d.forward(xm, false);
+    double lp = 0, lm = 0;
+    for (std::int64_t j = 0; j < yp.numel(); ++j) {
+      lp += yp[j] * dy[j];
+      lm += ym[j] * dy[j];
+    }
+    double numeric = (lp - lm) / (2.0 * eps);
+    ASSERT_NEAR(dx[idx], numeric, 1e-2 * std::max(1.0, std::abs(numeric)))
+        << in << "x" << out;
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::nn

@@ -1,0 +1,63 @@
+// Randomized round-trip sweep for the two-array sparse format: density,
+// clustering and gap structure vary; to_dense(from_dense(x)) == x always.
+#include <gtest/gtest.h>
+
+#include "sparse/pruned_layer.h"
+#include "util/rng.h"
+
+namespace deepsz::sparse {
+namespace {
+
+class SparseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseFuzz, RoundTripAcrossDensitiesAndShapes) {
+  util::Pcg32 rng(GetParam() * 2654435761u + 7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t rows = 1 + rng.bounded(64);
+    const std::int64_t cols = 1 + rng.bounded(2048);
+    std::vector<float> dense(static_cast<std::size_t>(rows * cols), 0.0f);
+    const int structure = static_cast<int>(rng.bounded(4));
+    switch (structure) {
+      case 0: {  // uniform density
+        double keep = rng.uniform(0.001, 0.5);
+        for (auto& v : dense) {
+          if (rng.uniform() < keep) v = static_cast<float>(rng.laplace(0.05));
+        }
+        break;
+      }
+      case 1: {  // clustered bursts
+        std::size_t pos = 0;
+        while (pos < dense.size()) {
+          pos += rng.bounded(3000);
+          std::size_t len = rng.bounded(20);
+          for (std::size_t i = 0; i < len && pos + i < dense.size(); ++i) {
+            dense[pos + i] = static_cast<float>(rng.normal(0, 0.1));
+          }
+          pos += len;
+        }
+        break;
+      }
+      case 2:  // single element at a random spot
+        dense[rng.bounded(static_cast<std::uint32_t>(dense.size()))] = 1.0f;
+        break;
+      default:  // fully dense
+        for (auto& v : dense) v = static_cast<float>(rng.uniform(-1, 1)) + 2.0f;
+        break;
+    }
+    // Nonzeros written as exact zero by the generators stay zero; fine.
+    auto layer = PrunedLayer::from_dense(dense, rows, cols, "fuzz");
+    ASSERT_EQ(layer.to_dense(), dense)
+        << "trial " << trial << " structure " << structure << " " << rows
+        << "x" << cols;
+    ASSERT_EQ(layer.data.size(), layer.index.size());
+    // Real entries never carry delta 0; fillers are always (255, 0.0f).
+    for (std::size_t i = 0; i < layer.index.size(); ++i) {
+      ASSERT_GE(layer.index[i], 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace deepsz::sparse

@@ -1,0 +1,103 @@
+// Tests for the sampling-based adaptive predictor selection (SampledCostModel)
+// — including the regression-on-pruned-weights behaviour that the magnitude
+// heuristic misses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sz/predictor.h"
+#include "sz/sz.h"
+#include "util/rng.h"
+
+namespace deepsz::sz {
+namespace {
+
+std::vector<float> pruned_weights(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) {
+    float w = 0;
+    while (std::abs(w) < 0.03f) {
+      w = static_cast<float>(rng.laplace(0.03));
+    }
+    v = std::clamp(w, -0.3f, 0.3f);
+  }
+  return x;
+}
+
+std::vector<float> smooth_walk(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> x(n);
+  float v = 0.0f;
+  for (auto& e : x) {
+    v += static_cast<float>(rng.normal(0, 0.0005));
+    e = v;
+  }
+  return x;
+}
+
+TEST(SampledCostModel, PrefersRegressionOnPrunedWeights) {
+  // Pruned weight arrays are bimodal noise: regression (predicting ~the
+  // mean) yields a lower-entropy code stream than Lorenzo differencing.
+  auto data = pruned_weights(64 * 1024, 1);
+  SampledCostModel model(data, 256, 7e-3, 65536);
+  auto block = std::span<const float>(data).subspan(1024, 256);
+  auto costs = model.block_costs(block, data[1023], data[1022],
+                                 fit_line(block));
+  EXPECT_LT(costs.regression, costs.lorenzo1);
+  EXPECT_LT(costs.regression, costs.lorenzo2);
+}
+
+TEST(SampledCostModel, PrefersLorenzoOnSmoothWalks) {
+  auto data = smooth_walk(64 * 1024, 2);
+  SampledCostModel model(data, 256, 1e-4, 65536);
+  auto block = std::span<const float>(data).subspan(1024, 256);
+  auto costs = model.block_costs(block, data[1023], data[1022],
+                                 fit_line(block));
+  EXPECT_LT(costs.lorenzo1, costs.regression);
+}
+
+TEST(SampledCostModel, AdaptiveMatchesOrBeatsEveryFixedPredictor) {
+  // The point of adaptive selection: on weight-like arrays the adaptive
+  // ratio must be at least ~the best single-predictor ratio.
+  auto data = pruned_weights(256 * 1024, 3);
+  double best_fixed = 0.0;
+  for (auto mode : {PredictorMode::kLorenzo1Only, PredictorMode::kLorenzo2Only,
+                    PredictorMode::kRegressionOnly}) {
+    SzParams params;
+    params.error_bound = 7e-3;
+    params.predictor = mode;
+    best_fixed = std::max(best_fixed, compression_ratio(data, params));
+  }
+  SzParams adaptive;
+  adaptive.error_bound = 7e-3;
+  adaptive.predictor = PredictorMode::kAdaptive;
+  EXPECT_GE(compression_ratio(data, adaptive), best_fixed * 0.97);
+}
+
+TEST(SampledCostModel, CostsAreFiniteAndPositive) {
+  auto data = pruned_weights(8192, 4);
+  SampledCostModel model(data, 128, 1e-3, 1024);
+  auto block = std::span<const float>(data).subspan(0, 128);
+  auto costs = model.block_costs(block, 0.0f, 0.0f, fit_line(block));
+  for (double c : {costs.lorenzo1, costs.lorenzo2, costs.regression}) {
+    EXPECT_TRUE(std::isfinite(c));
+    EXPECT_GT(c, 0.0);
+  }
+}
+
+TEST(SampledCostModel, HandlesExtremeValuesViaSentinel) {
+  // Values that overflow the quantizer must route to the unpredictable
+  // sentinel, not UB (llround of inf/huge).
+  std::vector<float> data(4096, 0.0f);
+  for (std::size_t i = 0; i < data.size(); i += 7) data[i] = 1e30f;
+  SampledCostModel model(data, 256, 1e-3, 256);
+  auto block = std::span<const float>(data).subspan(0, 256);
+  auto costs = model.block_costs(block, 0.0f, 0.0f, fit_line(block));
+  EXPECT_TRUE(std::isfinite(costs.lorenzo1));
+  EXPECT_TRUE(std::isfinite(costs.regression));
+}
+
+}  // namespace
+}  // namespace deepsz::sz

@@ -1,0 +1,92 @@
+#include "sz/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsz::sz {
+namespace {
+
+TEST(Predictor, LineFitRecoversExactLine) {
+  std::vector<float> block(64);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = 0.25f + 0.003f * static_cast<float>(i);
+  }
+  auto fit = fit_line(block);
+  EXPECT_NEAR(fit.a, 0.25f, 1e-5);
+  EXPECT_NEAR(fit.b, 0.003f, 1e-6);
+}
+
+TEST(Predictor, LineFitDegenerateSizes) {
+  EXPECT_FLOAT_EQ(fit_line({}).a, 0.0f);
+  std::vector<float> one = {3.5f};
+  auto f1 = fit_line(one);
+  EXPECT_FLOAT_EQ(f1.a, 3.5f);
+  EXPECT_FLOAT_EQ(f1.b, 0.0f);
+  std::vector<float> two = {1.0f, 2.0f};
+  auto f2 = fit_line(two);
+  EXPECT_NEAR(f2.a, 1.0f, 1e-5);
+  EXPECT_NEAR(f2.b, 1.0f, 1e-5);
+}
+
+TEST(Predictor, SelectorPrefersRegressionOnNoisyLines) {
+  // On a steep noisy line: Lorenzo-1 pays |slope|/eb per point, Lorenzo-2
+  // amplifies the noise ~sqrt(6)x, regression pays only the raw noise.
+  util::Pcg32 rng(4);
+  std::vector<float> block(256);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = 0.01f * static_cast<float>(i) +
+               static_cast<float>(rng.normal(0.0, 0.002));
+  }
+  auto fit = fit_line(block);
+  auto costs = estimate_costs(block, block[0], block[0], 1e-4, fit);
+  EXPECT_EQ(select_predictor(costs), PredictorKind::kRegression);
+  EXPECT_LT(costs.regression, costs.lorenzo1);
+  EXPECT_LT(costs.regression, costs.lorenzo2);
+}
+
+TEST(Predictor, SelectorPrefersLorenzo2OnCleanLines) {
+  // On an exactly linear block, Lorenzo-2 is also exact and cheaper than
+  // regression (which pays 64 bits of coefficients).
+  std::vector<float> block(256);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = 0.01f * static_cast<float>(i);
+  }
+  auto fit = fit_line(block);
+  auto costs = estimate_costs(block, block[0], block[0], 1e-5, fit);
+  EXPECT_EQ(select_predictor(costs), PredictorKind::kLorenzo2);
+}
+
+TEST(Predictor, SelectorPrefersLorenzo1OnFlatNoise) {
+  util::Pcg32 rng(5);
+  std::vector<float> block(256);
+  float v = 0.5f;
+  for (auto& e : block) {
+    v += static_cast<float>(rng.normal(0.0, 1e-5));
+    e = v;
+  }
+  auto fit = fit_line(block);
+  auto costs = estimate_costs(block, block[0], block[0], 1e-4, fit);
+  // A near-constant noisy walk: Lorenzo-1 is at least as good as Lorenzo-2
+  // (which doubles the noise) and regression (which pays coefficients).
+  EXPECT_LE(costs.lorenzo1, costs.lorenzo2 + 1e-9);
+}
+
+TEST(Predictor, CostsAreNonNegativeAndFinite) {
+  util::Pcg32 rng(6);
+  std::vector<float> block(128);
+  for (auto& e : block) e = static_cast<float>(rng.uniform(-1, 1));
+  auto costs = estimate_costs(block, 0, 0, 1e-3, fit_line(block));
+  EXPECT_GE(costs.lorenzo1, 0.0);
+  EXPECT_GE(costs.lorenzo2, 0.0);
+  EXPECT_GE(costs.regression, 0.0);
+  EXPECT_TRUE(std::isfinite(costs.lorenzo1));
+  EXPECT_TRUE(std::isfinite(costs.lorenzo2));
+  EXPECT_TRUE(std::isfinite(costs.regression));
+}
+
+}  // namespace
+}  // namespace deepsz::sz

@@ -1,0 +1,73 @@
+#include "sz/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace deepsz::sz {
+namespace {
+
+TEST(Quantizer, ExactPredictionGivesCenterCode) {
+  LinearQuantizer q(1e-3, 256);
+  float recon = 0;
+  auto code = q.quantize(0.5f, 0.5f, &recon);
+  EXPECT_EQ(code, q.radius());  // offset 0
+  EXPECT_FLOAT_EQ(recon, 0.5f);
+}
+
+TEST(Quantizer, ReconstructionWithinBound) {
+  util::Pcg32 rng(1);
+  LinearQuantizer q(1e-3, 65536);
+  for (int i = 0; i < 10000; ++i) {
+    float value = static_cast<float>(rng.uniform(-1.0, 1.0));
+    float pred = value + static_cast<float>(rng.normal(0.0, 0.01));
+    float recon = 0;
+    auto code = q.quantize(value, pred, &recon);
+    if (code != LinearQuantizer::kUnpredictable) {
+      ASSERT_LE(std::abs(recon - value), 1e-3 * (1 + 1e-12));
+      ASSERT_FLOAT_EQ(q.reconstruct(code, pred), recon);
+    }
+  }
+}
+
+TEST(Quantizer, FarPredictionIsUnpredictable) {
+  LinearQuantizer q(1e-4, 256);  // radius 128 -> capture range ~0.0256
+  float recon = 0;
+  auto code = q.quantize(1.0f, 0.0f, &recon);
+  EXPECT_EQ(code, LinearQuantizer::kUnpredictable);
+}
+
+TEST(Quantizer, CodeZeroIsReserved) {
+  // Codes returned for representable values are always >= 1.
+  util::Pcg32 rng(2);
+  LinearQuantizer q(1e-2, 64);
+  for (int i = 0; i < 1000; ++i) {
+    float value = static_cast<float>(rng.uniform(-1.0, 1.0));
+    float pred = static_cast<float>(rng.uniform(-1.0, 1.0));
+    float recon = 0;
+    auto code = q.quantize(value, pred, &recon);
+    if (code != LinearQuantizer::kUnpredictable) {
+      ASSERT_GE(code, 1u);
+      ASSERT_LT(code, 64u);
+    }
+  }
+}
+
+TEST(Quantizer, BoundaryOffsets) {
+  LinearQuantizer q(1e-3, 256);  // radius 128
+  float recon = 0;
+  // Offset exactly at radius-1 must be representable.
+  float pred = 0.0f;
+  float value = static_cast<float>(2.0 * 1e-3 * 127);
+  auto code = q.quantize(value, pred, &recon);
+  EXPECT_NE(code, LinearQuantizer::kUnpredictable);
+  // Offset radius must not be.
+  value = static_cast<float>(2.0 * 1e-3 * 128);
+  code = q.quantize(value, pred, &recon);
+  EXPECT_EQ(code, LinearQuantizer::kUnpredictable);
+}
+
+}  // namespace
+}  // namespace deepsz::sz

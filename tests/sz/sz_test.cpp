@@ -1,0 +1,238 @@
+#include "sz/sz.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace deepsz::sz {
+namespace {
+
+enum class Dist { kLaplaceWeights, kSmoothWalk, kLinearRamp, kUniformNoise };
+
+std::vector<float> make_data(Dist dist, std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> x(n);
+  switch (dist) {
+    case Dist::kLaplaceWeights:
+      // Pruned fc-layer weights: Laplacian tails with the center removed.
+      for (auto& v : x) {
+        float w = 0;
+        while (std::abs(w) < 0.01f) {
+          w = static_cast<float>(rng.laplace(0.03));
+        }
+        v = std::clamp(w, -0.3f, 0.3f);
+      }
+      break;
+    case Dist::kSmoothWalk: {
+      float v = 0.0f;
+      for (auto& e : x) {
+        v += static_cast<float>(rng.normal(0.0, 0.001));
+        e = v;
+      }
+      break;
+    }
+    case Dist::kLinearRamp:
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 0.001f * static_cast<float>(i) - 0.5f;
+      }
+      break;
+    case Dist::kUniformNoise:
+      for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      break;
+  }
+  return x;
+}
+
+using BoundCase = std::tuple<Dist, double>;
+
+class SzErrorBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(SzErrorBound, AbsBoundHoldsPointwise) {
+  auto [dist, eb] = GetParam();
+  auto data = make_data(dist, 20000, 7);
+  SzParams params;
+  params.mode = ErrorBoundMode::kAbs;
+  params.error_bound = eb;
+  auto stream = compress(data, params);
+  auto back = decompress(stream);
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(util::max_abs_error(data, back), eb * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SzErrorBound,
+    ::testing::Combine(::testing::Values(Dist::kLaplaceWeights,
+                                         Dist::kSmoothWalk, Dist::kLinearRamp,
+                                         Dist::kUniformNoise),
+                       ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5)));
+
+class SzPredictorModes : public ::testing::TestWithParam<PredictorMode> {};
+
+TEST_P(SzPredictorModes, RoundTripWithinBound) {
+  auto data = make_data(Dist::kSmoothWalk, 10000, 11);
+  SzParams params;
+  params.error_bound = 1e-3;
+  params.predictor = GetParam();
+  auto back = decompress(compress(data, params));
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(util::max_abs_error(data, back), 1e-3 * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SzPredictorModes,
+                         ::testing::Values(PredictorMode::kAdaptive,
+                                           PredictorMode::kLorenzo1Only,
+                                           PredictorMode::kLorenzo2Only,
+                                           PredictorMode::kRegressionOnly));
+
+TEST(Sz, EmptyInput) {
+  SzParams params;
+  auto stream = compress({}, params);
+  EXPECT_TRUE(decompress(stream).empty());
+}
+
+TEST(Sz, SingleValue) {
+  std::vector<float> data = {0.123f};
+  SzParams params;
+  params.error_bound = 1e-4;
+  auto back = decompress(compress(data, params));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back[0], 0.123f, 1e-4);
+}
+
+TEST(Sz, ConstantDataCompressesExtremely) {
+  std::vector<float> data(100000, 0.5f);
+  SzParams params;
+  params.error_bound = 1e-3;
+  auto stream = compress(data, params);
+  EXPECT_GT(static_cast<double>(data.size() * 4) / stream.size(), 100.0);
+  auto back = decompress(stream);
+  EXPECT_LE(util::max_abs_error(data, back), 1e-3);
+}
+
+TEST(Sz, SmootherDataCompressesBetter) {
+  auto smooth = make_data(Dist::kSmoothWalk, 50000, 3);
+  auto noise = make_data(Dist::kUniformNoise, 50000, 3);
+  SzParams params;
+  params.error_bound = 1e-3;
+  EXPECT_GT(compression_ratio(smooth, params), compression_ratio(noise, params));
+}
+
+TEST(Sz, LargerBoundGivesHigherRatio) {
+  auto data = make_data(Dist::kLaplaceWeights, 50000, 5);
+  SzParams loose, tight;
+  loose.error_bound = 1e-2;
+  tight.error_bound = 1e-4;
+  EXPECT_GT(compression_ratio(data, loose), compression_ratio(data, tight));
+}
+
+TEST(Sz, RelModeScalesWithRange) {
+  auto data = make_data(Dist::kSmoothWalk, 20000, 9);
+  double range = util::summarize(data).range();
+  SzParams params;
+  params.mode = ErrorBoundMode::kRel;
+  params.error_bound = 1e-3;
+  auto back = decompress(compress(data, params));
+  EXPECT_LE(util::max_abs_error(data, back), 1e-3 * range * (1.0 + 1e-12));
+}
+
+TEST(Sz, PsnrModeHitsTarget) {
+  auto data = make_data(Dist::kUniformNoise, 50000, 13);
+  SzParams params;
+  params.mode = ErrorBoundMode::kPsnr;
+  params.error_bound = 60.0;  // dB
+  auto back = decompress(compress(data, params));
+  // Uniform quantization noise model gives PSNR within a few dB of target.
+  EXPECT_GT(util::psnr(data, back), 55.0);
+}
+
+TEST(Sz, InspectReportsHeader) {
+  auto data = make_data(Dist::kLaplaceWeights, 5000, 15);
+  SzParams params;
+  params.error_bound = 5e-3;
+  params.quant_bins = 4096;
+  params.block_size = 128;
+  auto stream = compress(data, params);
+  auto info = inspect(stream);
+  EXPECT_EQ(info.count, 5000u);
+  EXPECT_DOUBLE_EQ(info.abs_error_bound, 5e-3);
+  EXPECT_EQ(info.quant_bins, 4096u);
+  EXPECT_EQ(info.block_size, 128u);
+}
+
+TEST(Sz, BackendsAllDecodeIdentically) {
+  auto data = make_data(Dist::kLaplaceWeights, 30000, 17);
+  SzParams params;
+  params.error_bound = 1e-3;
+  std::vector<float> reference;
+  for (auto backend :
+       {lossless::CodecId::kStore, lossless::CodecId::kGzipLike,
+        lossless::CodecId::kZstdLike, lossless::CodecId::kBloscLike}) {
+    params.backend = backend;
+    auto back = decompress(compress(data, params));
+    if (reference.empty()) {
+      reference = back;
+    } else {
+      ASSERT_EQ(back, reference) << codec_name(backend);
+    }
+  }
+}
+
+TEST(Sz, QuantBinsSweepKeepsBound) {
+  auto data = make_data(Dist::kSmoothWalk, 20000, 19);
+  for (std::uint32_t bins : {64u, 256u, 1024u, 65536u}) {
+    SzParams params;
+    params.error_bound = 1e-3;
+    params.quant_bins = bins;
+    auto back = decompress(compress(data, params));
+    ASSERT_LE(util::max_abs_error(data, back), 1e-3 * (1.0 + 1e-12))
+        << "bins " << bins;
+  }
+}
+
+TEST(Sz, FewerBinsMoreUnpredictable) {
+  auto data = make_data(Dist::kUniformNoise, 20000, 21);
+  SzParams small_bins, big_bins;
+  small_bins.error_bound = big_bins.error_bound = 1e-4;
+  small_bins.quant_bins = 64;
+  big_bins.quant_bins = 65536;
+  auto info_small = inspect(compress(data, small_bins));
+  auto info_big = inspect(compress(data, big_bins));
+  EXPECT_GE(info_small.unpredictable, info_big.unpredictable);
+}
+
+TEST(Sz, InvalidErrorBoundThrows) {
+  std::vector<float> data = {1.0f, 2.0f};
+  SzParams params;
+  params.error_bound = 0.0;
+  EXPECT_THROW(compress(data, params), std::invalid_argument);
+  params.error_bound = -1.0;
+  EXPECT_THROW(compress(data, params), std::invalid_argument);
+}
+
+TEST(Sz, CorruptStreamThrows) {
+  auto data = make_data(Dist::kSmoothWalk, 1000, 23);
+  SzParams params;
+  auto stream = compress(data, params);
+  stream[0] ^= 0xff;  // break magic
+  EXPECT_THROW(decompress(stream), std::runtime_error);
+}
+
+TEST(Sz, ExtremeValuesStoredVerbatim) {
+  // Huge outliers every so often must come back within bound (verbatim path).
+  auto data = make_data(Dist::kSmoothWalk, 10000, 25);
+  for (std::size_t i = 0; i < data.size(); i += 500) {
+    data[i] = (i % 1000 == 0) ? 1e30f : -1e30f;
+  }
+  SzParams params;
+  params.error_bound = 1e-3;
+  auto back = decompress(compress(data, params));
+  EXPECT_LE(util::max_abs_error(data, back), 1e-3 * (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace deepsz::sz

@@ -1,0 +1,50 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsz::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FromVector) {
+  auto t = Tensor::from({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, FromSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, Reshape) {
+  auto t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, Fill) {
+  Tensor t({10});
+  t.fill(2.5f);
+  for (auto v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+TEST(Tensor, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepsz::tensor

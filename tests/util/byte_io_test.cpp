@@ -1,0 +1,60 @@
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsz::util {
+namespace {
+
+TEST(ByteIo, ScalarsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_le<std::uint8_t>(buf, 0xab);
+  put_le<std::uint32_t>(buf, 0xdeadbeef);
+  put_le<std::uint64_t>(buf, 0x0123456789abcdefull);
+  put_le<double>(buf, 3.14159);
+  put_le<float>(buf, -2.5f);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xab);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_FLOAT_EQ(r.get<float>(), -2.5f);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  std::vector<std::uint8_t> buf;
+  put_le<std::uint32_t>(buf, 0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(ByteIo, StringsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_string(buf, "fc6");
+  put_string(buf, "");
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_string(), "fc6");
+  EXPECT_EQ(r.get_string(), "");
+}
+
+TEST(ByteIo, TruncatedReadThrows) {
+  std::vector<std::uint8_t> buf;
+  put_le<std::uint16_t>(buf, 7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get<std::uint64_t>(), std::out_of_range);
+}
+
+TEST(ByteIo, GetBytesAdvancesCursor) {
+  std::vector<std::uint8_t> buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  auto s = r.get_bytes(3);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_THROW(r.get_bytes(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace deepsz::util

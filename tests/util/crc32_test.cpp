@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace deepsz::util {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Standard CRC-32 (IEEE) reference values.
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  auto base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 97) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32(data), base) << "flip at " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Crc32, DifferentDataDifferentCrc) {
+  EXPECT_NE(crc32(bytes_of("hello")), crc32(bytes_of("hellp")));
+}
+
+}  // namespace
+}  // namespace deepsz::util

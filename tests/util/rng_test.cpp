@@ -1,0 +1,72 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepsz::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(7);
+  for (std::uint32_t bound : {1u, 2u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, UniformInHalfOpenInterval) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, NormalMomentsApproximatelyStandard) {
+  Pcg32 rng(11);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, LaplaceMomentsMatchScale) {
+  Pcg32 rng(13);
+  const int n = 200000;
+  const double b = 0.02;
+  double sum_abs = 0;
+  for (int i = 0; i < n; ++i) {
+    sum_abs += std::abs(rng.laplace(b));
+  }
+  // E|X| = b for Laplace(0, b).
+  EXPECT_NEAR(sum_abs / n, b, b * 0.05);
+}
+
+}  // namespace
+}  // namespace deepsz::util

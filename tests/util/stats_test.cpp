@@ -1,0 +1,67 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace deepsz::util {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f};
+  auto s = summarize(x);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.range(), 3.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(Stats, MaxAbsError) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {1.1f, 1.95f, 3.0f};
+  EXPECT_NEAR(max_abs_error(a, b), 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(max_abs_error(a, a), 0.0);
+}
+
+TEST(Stats, PsnrIdenticalIsInfinite) {
+  std::vector<float> a = {0.0f, 0.5f, 1.0f};
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Stats, PsnrDropsWithNoise) {
+  std::vector<float> a(1000), small(1000), big(1000);
+  for (int i = 0; i < 1000; ++i) {
+    a[i] = static_cast<float>(i) / 1000.0f;
+    small[i] = a[i] + 0.001f;
+    big[i] = a[i] + 0.05f;
+  }
+  EXPECT_GT(psnr(a, small), psnr(a, big));
+}
+
+TEST(Stats, ByteEntropyExtremes) {
+  std::vector<std::uint8_t> constant(4096, 7);
+  EXPECT_DOUBLE_EQ(byte_entropy(constant), 0.0);
+  std::vector<std::uint8_t> uniform(256 * 16);
+  for (std::size_t i = 0; i < uniform.size(); ++i) {
+    uniform[i] = static_cast<std::uint8_t>(i % 256);
+  }
+  EXPECT_NEAR(byte_entropy(uniform), 8.0, 1e-9);
+}
+
+TEST(Stats, HistogramEntropyTwoSymbols) {
+  std::vector<std::uint64_t> counts = {1, 1};
+  EXPECT_NEAR(histogram_entropy(counts), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace deepsz::util

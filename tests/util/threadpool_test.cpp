@@ -1,0 +1,63 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace deepsz::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunks, ChunksPartitionTheRange) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelFor, ResultMatchesSerialReduction) {
+  const std::size_t n = 5000;
+  std::vector<double> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = static_cast<double>(i) * 2; });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1));
+}
+
+}  // namespace
+}  // namespace deepsz::util

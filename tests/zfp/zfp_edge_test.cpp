@@ -1,0 +1,86 @@
+// ZFP edge patterns: crafted blocks that stress the exponent alignment,
+// lifting transform and plane coder in ways random data rarely does.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/stats.h"
+#include "zfp/zfp1d.h"
+
+namespace deepsz::zfp {
+namespace {
+
+void expect_roundtrip_within(const std::vector<float>& data, double tol) {
+  auto back = decompress(compress(data, tol));
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(util::max_abs_error(data, back), tol);
+}
+
+TEST(ZfpEdge, AlternatingSigns) {
+  std::vector<float> data;
+  for (int i = 0; i < 1024; ++i) {
+    data.push_back((i % 2 ? 1.0f : -1.0f) * 0.25f);
+  }
+  expect_roundtrip_within(data, 1e-4);
+}
+
+TEST(ZfpEdge, HugeDynamicRangeWithinBlock) {
+  // One large value forces the block exponent high; the tiny values must
+  // still stay within tolerance (they may quantize to zero, which is fine).
+  std::vector<float> data = {1000.0f, 1e-6f, -1e-6f, 2e-6f,
+                             -500.0f, 3e-7f, 0.0f,  1e-5f};
+  expect_roundtrip_within(data, 1e-2);
+}
+
+TEST(ZfpEdge, NegativeZeroAndExactZeros) {
+  std::vector<float> data = {-0.0f, 0.0f, -0.0f, 0.0f, 1.0f, -0.0f, 0.0f, 0.0f};
+  expect_roundtrip_within(data, 1e-3);
+}
+
+TEST(ZfpEdge, PowersOfTwoBoundaries) {
+  std::vector<float> data;
+  for (int e = -20; e <= 20; ++e) {
+    float v = std::ldexp(1.0f, e);
+    data.push_back(v);
+    data.push_back(std::nextafter(v, 0.0f));
+    data.push_back(-v);
+  }
+  expect_roundtrip_within(data, 1e-5);
+}
+
+TEST(ZfpEdge, DenormalsQuantizeSafely) {
+  std::vector<float> data(64, std::numeric_limits<float>::denorm_min());
+  data[10] = 0.5f;
+  expect_roundtrip_within(data, 1e-3);
+}
+
+TEST(ZfpEdge, ConstantNonzeroBlocks) {
+  for (float v : {0.1f, -3.25f, 1e-5f, 12345.0f}) {
+    std::vector<float> data(256, v);
+    expect_roundtrip_within(data, std::abs(v) * 1e-3 + 1e-9);
+  }
+}
+
+TEST(ZfpEdge, StepFunction) {
+  std::vector<float> data(512);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = i < 256 ? -1.0f : 1.0f;
+  }
+  expect_roundtrip_within(data, 1e-4);
+}
+
+TEST(ZfpEdge, ToleranceSweepOnHardPattern) {
+  // Sawtooth: worst case for a 2-level Haar on 4-blocks.
+  std::vector<float> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>((i % 16) / 16.0 - 0.5);
+  }
+  for (double tol : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+    expect_roundtrip_within(data, tol);
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::zfp

@@ -1,0 +1,105 @@
+#include "zfp/zfp1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace deepsz::zfp {
+namespace {
+
+std::vector<float> smooth_walk(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> x(n);
+  float v = 0.0f;
+  for (auto& e : x) {
+    v += static_cast<float>(rng.normal(0.0, 0.001));
+    e = v;
+  }
+  return x;
+}
+
+std::vector<float> weights_like(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> x(n);
+  for (auto& e : x) e = static_cast<float>(rng.laplace(0.03));
+  return x;
+}
+
+class ZfpTolerance : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZfpTolerance, AbsBoundHoldsOnSmoothData) {
+  double tol = GetParam();
+  auto data = smooth_walk(10000, 3);
+  auto back = decompress(compress(data, tol));
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_LE(util::max_abs_error(data, back), tol);
+}
+
+TEST_P(ZfpTolerance, AbsBoundHoldsOnWeightData) {
+  double tol = GetParam();
+  auto data = weights_like(10000, 5);
+  auto back = decompress(compress(data, tol));
+  EXPECT_LE(util::max_abs_error(data, back), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZfpTolerance,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5));
+
+TEST(Zfp, EmptyInput) {
+  auto stream = compress({}, 1e-3);
+  EXPECT_TRUE(decompress(stream).empty());
+}
+
+TEST(Zfp, PartialBlockSizes) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u, 127u}) {
+    auto data = smooth_walk(n, n);
+    auto back = decompress(compress(data, 1e-4));
+    ASSERT_EQ(back.size(), n);
+    ASSERT_LE(util::max_abs_error(data, back), 1e-4) << "n " << n;
+  }
+}
+
+TEST(Zfp, AllZerosCompressToAlmostNothing) {
+  std::vector<float> data(100000, 0.0f);
+  auto stream = compress(data, 1e-3);
+  EXPECT_GT(static_cast<double>(data.size() * 4) / stream.size(), 100.0);
+  auto back = decompress(stream);
+  EXPECT_EQ(util::max_abs_error(data, back), 0.0);
+}
+
+TEST(Zfp, MixedMagnitudes) {
+  util::Pcg32 rng(7);
+  std::vector<float> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double mag = std::pow(10.0, static_cast<double>(rng.bounded(7)) - 3.0);
+    data[i] = static_cast<float>(rng.uniform(-mag, mag));
+  }
+  auto back = decompress(compress(data, 1e-3));
+  EXPECT_LE(util::max_abs_error(data, back), 1e-3);
+}
+
+TEST(Zfp, LooserToleranceCompressesBetter) {
+  auto data = weights_like(50000, 9);
+  EXPECT_GT(compression_ratio(data, 1e-2), compression_ratio(data, 1e-4));
+}
+
+TEST(Zfp, CorruptStreamThrows) {
+  auto data = smooth_walk(100, 11);
+  auto stream = compress(data, 1e-3);
+  stream[0] ^= 0xff;
+  EXPECT_THROW(decompress(stream), std::runtime_error);
+}
+
+TEST(Zfp, NegativeToleranceThrows) {
+  std::vector<float> data = {1.0f};
+  EXPECT_THROW(compress(data, 0.0), std::invalid_argument);
+  EXPECT_THROW(compress(data, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepsz::zfp

@@ -1,0 +1,190 @@
+// deepsz_tool — command-line front end for the compression stack.
+//
+//   deepsz_tool sz-compress   <in.f32> <out.sz>  [eb] [abs|rel|psnr] [bins]
+//   deepsz_tool sz-decompress <in.sz>  <out.f32>
+//   deepsz_tool sz-info       <in.sz>
+//   deepsz_tool zfp-compress  <in.f32> <out.zfp> [tolerance]
+//   deepsz_tool zfp-decompress <in.zfp> <out.f32>
+//   deepsz_tool pack          <in> <out> [gzip|zstd|blosc]
+//   deepsz_tool unpack        <in> <out>
+//   deepsz_tool model-info    <model.dszc>
+//
+// Raw float files are little-endian fp32 with no header.
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/model_codec.h"
+#include "lossless/codec.h"
+#include "sz/sz.h"
+#include "util/timer.h"
+#include "zfp/zfp1d.h"
+
+namespace {
+
+using deepsz::lossless::CodecId;
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short read from " + path);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+}
+
+std::vector<float> as_floats(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % sizeof(float) != 0) {
+    throw std::runtime_error("input size is not a multiple of 4 bytes");
+  }
+  std::vector<float> out(bytes.size() / sizeof(float));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+std::vector<std::uint8_t> as_bytes(const std::vector<float>& floats) {
+  std::vector<std::uint8_t> out(floats.size() * sizeof(float));
+  std::memcpy(out.data(), floats.data(), out.size());
+  return out;
+}
+
+CodecId codec_from_name(const std::string& name) {
+  if (name == "gzip") return CodecId::kGzipLike;
+  if (name == "zstd") return CodecId::kZstdLike;
+  if (name == "blosc") return CodecId::kBloscLike;
+  if (name == "store") return CodecId::kStore;
+  throw std::runtime_error("unknown codec " + name);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: deepsz_tool <command> <args>\n"
+               "  sz-compress <in.f32> <out.sz> [eb=1e-3] [abs|rel|psnr] "
+               "[bins=65536]\n"
+               "  sz-decompress <in.sz> <out.f32>\n"
+               "  sz-info <in.sz>\n"
+               "  zfp-compress <in.f32> <out.zfp> [tolerance=1e-3]\n"
+               "  zfp-decompress <in.zfp> <out.f32>\n"
+               "  pack <in> <out> [gzip|zstd|blosc]\n"
+               "  unpack <in> <out>\n"
+               "  model-info <model.dszc>\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  deepsz::util::WallTimer timer;
+
+  if (cmd == "sz-compress" && argc >= 4) {
+    auto data = as_floats(read_file(argv[2]));
+    deepsz::sz::SzParams params;
+    if (argc >= 5) params.error_bound = std::stod(argv[4]);
+    if (argc >= 6) {
+      std::string mode = argv[5];
+      params.mode = mode == "rel"    ? deepsz::sz::ErrorBoundMode::kRel
+                    : mode == "psnr" ? deepsz::sz::ErrorBoundMode::kPsnr
+                                     : deepsz::sz::ErrorBoundMode::kAbs;
+    }
+    if (argc >= 7) params.quant_bins = static_cast<std::uint32_t>(std::stoul(argv[6]));
+    auto stream = deepsz::sz::compress(data, params);
+    write_file(argv[3], stream);
+    std::printf("%zu floats -> %zu bytes (%.2fx) in %.0f ms\n", data.size(),
+                stream.size(),
+                static_cast<double>(data.size() * 4) / stream.size(),
+                timer.millis());
+    return 0;
+  }
+  if (cmd == "sz-decompress" && argc == 4) {
+    auto back = deepsz::sz::decompress(read_file(argv[2]));
+    write_file(argv[3], as_bytes(back));
+    std::printf("%zu floats restored in %.0f ms\n", back.size(), timer.millis());
+    return 0;
+  }
+  if (cmd == "sz-info" && argc == 3) {
+    auto info = deepsz::sz::inspect(read_file(argv[2]));
+    std::printf("count           %llu\n",
+                static_cast<unsigned long long>(info.count));
+    std::printf("abs error bound %g\n", info.abs_error_bound);
+    std::printf("quant bins      %u\n", info.quant_bins);
+    std::printf("block size      %u\n", info.block_size);
+    std::printf("unpredictable   %llu\n",
+                static_cast<unsigned long long>(info.unpredictable));
+    std::printf("backend         %s\n",
+                deepsz::lossless::codec_name(info.backend).c_str());
+    return 0;
+  }
+  if (cmd == "zfp-compress" && argc >= 4) {
+    auto data = as_floats(read_file(argv[2]));
+    double tol = argc >= 5 ? std::stod(argv[4]) : 1e-3;
+    auto stream = deepsz::zfp::compress(data, tol);
+    write_file(argv[3], stream);
+    std::printf("%zu floats -> %zu bytes (%.2fx)\n", data.size(),
+                stream.size(),
+                static_cast<double>(data.size() * 4) / stream.size());
+    return 0;
+  }
+  if (cmd == "zfp-decompress" && argc == 4) {
+    auto back = deepsz::zfp::decompress(read_file(argv[2]));
+    write_file(argv[3], as_bytes(back));
+    std::printf("%zu floats restored\n", back.size());
+    return 0;
+  }
+  if (cmd == "pack" && argc >= 4) {
+    auto data = read_file(argv[2]);
+    CodecId codec = argc >= 5 ? codec_from_name(argv[4]) : CodecId::kZstdLike;
+    auto frame = deepsz::lossless::compress(codec, data);
+    write_file(argv[3], frame);
+    std::printf("%zu -> %zu bytes (%.3fx, %s)\n", data.size(), frame.size(),
+                static_cast<double>(data.size()) / frame.size(),
+                deepsz::lossless::codec_name(codec).c_str());
+    return 0;
+  }
+  if (cmd == "unpack" && argc == 4) {
+    auto data = deepsz::lossless::decompress(read_file(argv[2]));
+    write_file(argv[3], data);
+    std::printf("%zu bytes restored\n", data.size());
+    return 0;
+  }
+  if (cmd == "model-info" && argc == 3) {
+    auto decoded = deepsz::core::decode_model(read_file(argv[2]), false);
+    std::printf("%zu fc-layer(s)\n", decoded.layers.size());
+    for (const auto& l : decoded.layers) {
+      std::printf("  %-8s %lld x %lld, %zu stored entries%s\n",
+                  l.name.c_str(), static_cast<long long>(l.rows),
+                  static_cast<long long>(l.cols), l.stored_entries(),
+                  decoded.biases.count(l.name) ? ", bias present" : "");
+    }
+    std::printf("decode: %.1f ms (lossless %.1f, SZ %.1f)\n",
+                decoded.timing.total_ms(), decoded.timing.lossless_ms,
+                decoded.timing.sz_ms);
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
+    return 1;
+  }
+}
