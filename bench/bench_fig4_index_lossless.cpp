@@ -4,9 +4,10 @@
 // Claim to reproduce: Zstandard-class wins on every layer (it is DeepSZ's
 // default index codec), gzip-class is close, Blosc-class trails.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
-#include "lossless/codec.h"
+#include "codec/registry.h"
 
 using namespace deepsz;
 
@@ -15,25 +16,37 @@ int main() {
       "Figure 4: lossless codecs on fc index arrays",
       "paper-scale index arrays; paper: Zstandard best on every layer");
 
+  // Every registered lossless backend except the raw passthrough competes,
+  // so codecs added to the registry show up here without code changes.
+  std::vector<std::string> names;
+  std::vector<std::shared_ptr<codec::ByteCodec>> codecs;
+  for (const auto& info : codec::CodecRegistry::instance().list()) {
+    if (info.error_bounded || info.name == "store") continue;
+    names.push_back(info.name);
+    codecs.push_back(codec::CodecRegistry::instance().make_byte(info.name));
+  }
+
   for (const char* key : {"vgg16", "alexnet"}) {
     const auto& spec = modelzoo::paper_spec(key);
     std::printf("\n-- %s --\n", spec.name.c_str());
-    bench::print_row({"layer", "raw size", "gzip", "zstd", "blosc", "winner"},
-                     12);
+    std::vector<std::string> header = {"layer", "raw size"};
+    header.insert(header.end(), names.begin(), names.end());
+    header.push_back("winner");
+    bench::print_row(header, 12);
     for (const auto& fc : spec.fc) {
       auto layer = bench::paper_scale_layer(key, fc);
       std::vector<std::string> row = {fc.layer,
                                       bench::fmt_bytes(layer.index.size())};
       double best = 0.0;
       std::string winner;
-      for (auto codec : lossless::all_codecs()) {
-        auto frame = lossless::compress(codec, layer.index);
+      for (const auto& c : codecs) {
+        auto frame = c->encode(layer.index);
         double ratio = static_cast<double>(layer.index.size()) /
                        static_cast<double>(frame.size());
         row.push_back(bench::fmt(ratio, 3));
         if (ratio > best) {
           best = ratio;
-          winner = lossless::codec_name(codec);
+          winner = c->name();
         }
       }
       row.push_back(winner);

@@ -22,6 +22,7 @@
 #include "core/optimizer.h"
 #include "core/pruner.h"
 #include "nn/sgd.h"
+#include "util/threadpool.h"
 #include "util/timer.h"
 
 using namespace deepsz;
@@ -152,5 +153,50 @@ int main() {
   std::printf(
       "* Weightless extrapolated from its largest measured layer "
       "(O(n_dense) decode)\n");
+
+  bench::print_title(
+      "Container v2: serial vs parallel per-layer codec execution",
+      "multi-layer encode+decode wall time through ThreadPool::global(); "
+      "parallel must be no worse, and faster on >= 2 hardware threads");
+
+  std::printf("hardware threads: %zu\n\n",
+              util::ThreadPool::global().size());
+  bench::print_row({"network", "enc serial ms", "enc parallel ms",
+                    "dec serial ms", "dec parallel ms", "speedup"},
+                   16);
+  for (const char* key : {"lenet5", "alexnet", "vgg16"}) {
+    const auto& spec = modelzoo::paper_spec(key);
+    auto layers = bench::paper_scale_layers(key);
+    std::map<std::string, double> ebs;
+    for (const auto& fc : spec.fc) ebs[fc.layer] = fc.chosen_eb;
+
+    core::ContainerOptions serial;
+    serial.parallel = false;
+    core::ContainerOptions parallel;
+    parallel.parallel = true;
+
+    util::WallTimer timer;
+    auto model_serial = core::encode_model(layers, ebs, serial);
+    const double enc_serial_ms = timer.millis();
+    timer.reset();
+    auto model_parallel = core::encode_model(layers, ebs, parallel);
+    const double enc_parallel_ms = timer.millis();
+
+    timer.reset();
+    core::decode_model(model_serial.bytes, true, /*parallel=*/false);
+    const double dec_serial_ms = timer.millis();
+    timer.reset();
+    core::decode_model(model_parallel.bytes, true, /*parallel=*/true);
+    const double dec_parallel_ms = timer.millis();
+
+    const double speedup = (enc_serial_ms + dec_serial_ms) /
+                           (enc_parallel_ms + dec_parallel_ms);
+    bench::print_row({spec.name, bench::fmt(enc_serial_ms, 1),
+                      bench::fmt(enc_parallel_ms, 1),
+                      bench::fmt(dec_serial_ms, 1),
+                      bench::fmt(dec_parallel_ms, 1),
+                      bench::fmt(speedup, 2) + "x"},
+                     16);
+  }
   return 0;
 }

@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "lossless/codec.h"
+#include "codec/registry.h"
 #include "util/rng.h"
 
 namespace {
@@ -25,11 +25,12 @@ std::vector<std::uint8_t> index_like(std::size_t n) {
   return out;
 }
 
-void BM_Compress(benchmark::State& state, deepsz::lossless::CodecId codec) {
+void BM_Compress(benchmark::State& state, const char* spec) {
+  auto codec = deepsz::codec::CodecRegistry::instance().make_byte(spec);
   auto data = index_like(4 << 20);
   std::size_t out_bytes = 0;
   for (auto _ : state) {
-    auto frame = deepsz::lossless::compress(codec, data);
+    auto frame = codec->encode(data);
     out_bytes = frame.size();
     benchmark::DoNotOptimize(frame);
   }
@@ -39,23 +40,25 @@ void BM_Compress(benchmark::State& state, deepsz::lossless::CodecId codec) {
       static_cast<double>(data.size()) / static_cast<double>(out_bytes);
 }
 
-void BM_Decompress(benchmark::State& state, deepsz::lossless::CodecId codec) {
+void BM_Decompress(benchmark::State& state, const char* spec) {
+  auto codec = deepsz::codec::CodecRegistry::instance().make_byte(spec);
   auto data = index_like(4 << 20);
-  auto frame = deepsz::lossless::compress(codec, data);
+  auto frame = codec->encode(data);
   for (auto _ : state) {
-    auto back = deepsz::lossless::decompress(frame);
+    auto back = codec->decode(frame);
     benchmark::DoNotOptimize(back);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           data.size());
 }
 
-BENCHMARK_CAPTURE(BM_Compress, gzip, deepsz::lossless::CodecId::kGzipLike);
-BENCHMARK_CAPTURE(BM_Compress, zstd, deepsz::lossless::CodecId::kZstdLike);
-BENCHMARK_CAPTURE(BM_Compress, blosc, deepsz::lossless::CodecId::kBloscLike);
-BENCHMARK_CAPTURE(BM_Decompress, gzip, deepsz::lossless::CodecId::kGzipLike);
-BENCHMARK_CAPTURE(BM_Decompress, zstd, deepsz::lossless::CodecId::kZstdLike);
-BENCHMARK_CAPTURE(BM_Decompress, blosc, deepsz::lossless::CodecId::kBloscLike);
+BENCHMARK_CAPTURE(BM_Compress, gzip, "gzip");
+BENCHMARK_CAPTURE(BM_Compress, zstd, "zstd");
+BENCHMARK_CAPTURE(BM_Compress, blosc, "blosc");
+BENCHMARK_CAPTURE(BM_Compress, blosc_ts1, "blosc:typesize=1");
+BENCHMARK_CAPTURE(BM_Decompress, gzip, "gzip");
+BENCHMARK_CAPTURE(BM_Decompress, zstd, "zstd");
+BENCHMARK_CAPTURE(BM_Decompress, blosc, "blosc");
 
 }  // namespace
 

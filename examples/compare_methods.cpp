@@ -40,7 +40,7 @@ int main() {
     auto chosen = core::optimize_for_accuracy(assessments, 0.002);
     std::map<std::string, double> ebs;
     for (const auto& c : chosen.choices) ebs[c.layer] = c.eb;
-    auto model = core::encode_model(layers, ebs, sz::SzParams{});
+    auto model = core::encode_model(layers, ebs, core::ContainerOptions{});
     auto decoded = core::decode_model(model.bytes, false);
     core::load_layers_into_network(decoded.layers, m.net);
     std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "DeepSZ",

@@ -33,6 +33,10 @@ int main() {
   for (const auto& fc : spec.fc) opts.keep_ratio[fc.layer] = fc.keep_ratio;
   opts.retrain_epochs = 2;
   opts.expected_acc_loss = 0.004;
+  // Index arrays ride any registered lossless codec; Zstandard-class is
+  // Figure 4's winner and the default ("gzip", "blosc:typesize=1", ... also
+  // work — see `deepsz_tool codecs`).
+  opts.index_codec = "zstd";
 
   auto report = core::run_deepsz(m.net, m.train.images, m.train.labels,
                                  m.test.images, m.test.labels, opts);

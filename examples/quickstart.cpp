@@ -42,6 +42,11 @@ int main() {
     std::printf("  layer %-4s error bound %.0e -> %zu bytes\n",
                 c.layer.c_str(), c.eb, c.data_bytes);
   }
+  if (!report.model.stats.empty()) {
+    std::printf("container codecs: data \"%s\", index \"%s\"\n",
+                report.model.stats[0].data_codec.c_str(),
+                report.model.stats[0].index_codec.c_str());
+  }
 
   // The compressed model is a self-contained byte blob (weights + biases):
   // decode it into a freshly built network of the same architecture.

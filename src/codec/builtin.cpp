@@ -1,0 +1,199 @@
+// Builtin codec backends: adapters re-homing the existing SZ, ZFP and
+// lossless implementations behind the ByteCodec/FloatCodec interfaces. The
+// legacy free functions (sz::compress, zfp::compress, lossless::compress)
+// remain as the implementation layer these adapters call into.
+#include "codec/registry.h"
+#include "lossless/codec.h"
+#include "sz/sz.h"
+#include "zfp/zfp1d.h"
+
+namespace deepsz::codec {
+namespace {
+
+// ----------------------------------------------------------------- lossless
+
+lossless::CodecId byte_codec_id(const std::string& name) {
+  if (name == "store") return lossless::CodecId::kStore;
+  if (name == "gzip") return lossless::CodecId::kGzipLike;
+  if (name == "zstd") return lossless::CodecId::kZstdLike;
+  if (name == "blosc") return lossless::CodecId::kBloscLike;
+  throw UnknownCodec("unknown lossless codec \"" + name + "\"");
+}
+
+/// store/gzip/zstd: fixed behaviour, no options.
+class LosslessCodec : public ByteCodec {
+ public:
+  LosslessCodec(std::string name, const Options& opts)
+      : name_(std::move(name)), id_(byte_codec_id(name_)) {
+    opts.check_known({});
+  }
+
+  std::string name() const override { return name_; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const override {
+    return lossless::compress(id_, data);
+  }
+
+  std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> frame) const override {
+    return lossless::decompress(frame);
+  }
+
+ private:
+  std::string name_;
+  lossless::CodecId id_;
+};
+
+/// blosc: byte shuffle + fast byte codec, with layout options.
+class BloscCodec : public ByteCodec {
+ public:
+  explicit BloscCodec(const Options& opts) {
+    opts.check_known({"typesize", "block_size"});
+    opts_.typesize = static_cast<std::uint32_t>(
+        opts.get_u64("typesize", lossless::BloscOptions{}.typesize));
+    opts_.block_size = static_cast<std::uint32_t>(
+        opts.get_u64("block_size", lossless::BloscOptions{}.block_size));
+    if (opts_.typesize == 0 || opts_.block_size == 0) {
+      throw BadOptions("blosc: typesize and block_size must be positive");
+    }
+  }
+
+  std::string name() const override { return "blosc"; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const override {
+    return lossless::compress_blosc(data, opts_);
+  }
+
+  std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> frame) const override {
+    return lossless::decompress(frame);
+  }
+
+ private:
+  lossless::BloscOptions opts_;
+};
+
+// ----------------------------------------------------------------------- sz
+
+sz::ErrorBoundMode sz_mode(const std::string& s) {
+  if (s == "abs") return sz::ErrorBoundMode::kAbs;
+  if (s == "rel") return sz::ErrorBoundMode::kRel;
+  if (s == "psnr") return sz::ErrorBoundMode::kPsnr;
+  throw BadOptions("sz: mode must be abs|rel|psnr, got \"" + s + "\"");
+}
+
+sz::PredictorMode sz_predictor(const std::string& s) {
+  if (s == "adaptive") return sz::PredictorMode::kAdaptive;
+  if (s == "lorenzo1") return sz::PredictorMode::kLorenzo1Only;
+  if (s == "lorenzo2") return sz::PredictorMode::kLorenzo2Only;
+  if (s == "regression") return sz::PredictorMode::kRegressionOnly;
+  throw BadOptions(
+      "sz: predictor must be adaptive|lorenzo1|lorenzo2|regression, got \"" +
+      s + "\"");
+}
+
+class SzCodec : public FloatCodec {
+ public:
+  explicit SzCodec(const Options& opts) {
+    opts.check_known(
+        {"mode", "quant_bins", "block_size", "predictor", "backend"});
+    params_.mode = sz_mode(opts.get("mode", "abs"));
+    params_.quant_bins = static_cast<std::uint32_t>(
+        opts.get_u64("quant_bins", sz::SzParams{}.quant_bins));
+    params_.block_size = static_cast<std::uint32_t>(
+        opts.get_u64("block_size", sz::SzParams{}.block_size));
+    params_.predictor = sz_predictor(opts.get("predictor", "adaptive"));
+    params_.backend = byte_codec_id(opts.get("backend", "zstd"));
+  }
+
+  explicit SzCodec(const sz::SzParams& params) : params_(params) {}
+
+  std::string name() const override { return "sz"; }
+
+  std::vector<std::uint8_t> encode(std::span<const float> data,
+                                   const FloatParams& p) const override {
+    sz::SzParams params = params_;
+    params.error_bound = p.tolerance;
+    return sz::compress(data, params);
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    return sz::decompress(stream);
+  }
+
+ private:
+  sz::SzParams params_;
+};
+
+// ---------------------------------------------------------------------- zfp
+
+class ZfpCodec : public FloatCodec {
+ public:
+  explicit ZfpCodec(const Options& opts) { opts.check_known({}); }
+
+  std::string name() const override { return "zfp"; }
+
+  std::vector<std::uint8_t> encode(std::span<const float> data,
+                                   const FloatParams& p) const override {
+    return zfp::compress(data, p.tolerance);
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    return zfp::decompress(stream);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtins(CodecRegistry& reg) {
+  for (const char* name : {"store", "gzip", "zstd"}) {
+    CodecInfo info;
+    info.name = name;
+    info.summary = name == std::string("store")
+                       ? "raw passthrough (no compression)"
+                   : name == std::string("gzip")
+                       ? "LZ77(32 KB) + DEFLATE-style Huffman"
+                       : "LZ77(1 MB) + per-stream Huffman sequences";
+    reg.register_byte(info, [n = std::string(name)](const Options& opts) {
+      return std::make_shared<LosslessCodec>(n, opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "blosc";
+    info.summary = "byte shuffle + LZ4-style fast byte codec, blocked";
+    info.options_help = "typesize=<bytes>,block_size=<bytes>";
+    reg.register_byte(info, [](const Options& opts) {
+      return std::make_shared<BloscCodec>(opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "sz";
+    info.summary = "SZ-class error-bounded: predict + quantize + Huffman";
+    info.options_help =
+        "mode=abs|rel|psnr,quant_bins=<n>,block_size=<n>,"
+        "predictor=adaptive|lorenzo1|lorenzo2|regression,"
+        "backend=store|gzip|zstd|blosc";
+    reg.register_float(info, [](const Options& opts) {
+      return std::make_shared<SzCodec>(opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "zfp";
+    info.summary = "ZFP-class transform codec, fixed-accuracy mode";
+    reg.register_float(info, [](const Options& opts) {
+      return std::make_shared<ZfpCodec>(opts);
+    });
+  }
+}
+
+}  // namespace detail
+}  // namespace deepsz::codec

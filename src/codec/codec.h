@@ -1,0 +1,115 @@
+// The unified codec abstraction every compression backend in this repository
+// plugs into.
+//
+// DeepSZ mixes one error-bounded lossy compressor (SZ-class, for the pruned
+// data arrays) with several lossless codecs (for the index arrays and as the
+// SZ backend pass) and a lossy baseline (ZFP). Two small interfaces cover all
+// of them:
+//
+//   ByteCodec  — lossless, bytes -> bytes, exact round-trip;
+//   FloatCodec — error-bounded lossy, floats -> bytes, pointwise
+//                |x - x'| <= tolerance round-trip.
+//
+// Instances are configured at construction from a parsed `key=value` option
+// string (see Options) and are immutable afterwards, so one instance can be
+// shared across threads; per-call knobs that vary by stream (the error bound,
+// chosen per layer by the optimizer) travel in FloatParams instead.
+//
+// Codecs are obtained by stable string name through CodecRegistry
+// (registry.h); the name of the codec that produced a stream is what the
+// model container records, so new backends can be added without touching the
+// container or any call site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepsz::codec {
+
+/// Thrown when an option string cannot be parsed or holds an unknown key or a
+/// malformed value for the codec it configures.
+class BadOptions : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Parsed `key=value[,key=value...]` codec options. Keys are unique;
+/// duplicates and empty keys are rejected at parse time, unknown keys when a
+/// codec constructor calls check_known().
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses "k1=v1,k2=v2". An empty spec yields empty options. Throws
+  /// BadOptions on syntax errors (missing '=', empty key, duplicate key).
+  static Options parse(std::string_view spec);
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+  bool empty() const { return kv_.empty(); }
+
+  /// String value, or `fallback` when the key is absent.
+  std::string get(const std::string& key, std::string fallback = {}) const;
+
+  /// Unsigned integer value; throws BadOptions on a malformed number.
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+
+  /// Floating-point value; throws BadOptions on a malformed number.
+  double get_f64(const std::string& key, double fallback) const;
+
+  /// Throws BadOptions if any present key is not in `known`. Every codec
+  /// constructor calls this so typos fail loudly instead of being ignored.
+  void check_known(std::initializer_list<std::string_view> known) const;
+
+  const std::map<std::string, std::string>& items() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Lossless codec: encode/decode are exact inverses for any byte string.
+/// Frames are self-describing; decode() throws std::runtime_error on corrupt
+/// or truncated input.
+class ByteCodec {
+ public:
+  virtual ~ByteCodec() = default;
+
+  /// Registry name this instance was created under (e.g. "zstd").
+  virtual std::string name() const = 0;
+
+  virtual std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const = 0;
+  virtual std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> frame) const = 0;
+};
+
+/// Per-stream parameters of an error-bounded encode. The tolerance is the
+/// one knob the DeepSZ optimizer tunes per layer, so it is a call argument
+/// rather than a constructor option.
+struct FloatParams {
+  /// Error bound. Interpretation (abs/rel/psnr) is a codec option; every
+  /// builtin defaults to pointwise absolute: max|x - x'| <= tolerance.
+  double tolerance = 1e-3;
+};
+
+/// Error-bounded lossy codec over 1-D float arrays. decode() restores the
+/// same element count with every element within the encode tolerance; it
+/// throws std::runtime_error on corrupt or truncated input.
+class FloatCodec {
+ public:
+  virtual ~FloatCodec() = default;
+
+  /// Registry name this instance was created under (e.g. "sz").
+  virtual std::string name() const = 0;
+
+  virtual std::vector<std::uint8_t> encode(std::span<const float> data,
+                                           const FloatParams& params) const = 0;
+  virtual std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const = 0;
+};
+
+}  // namespace deepsz::codec

@@ -1,0 +1,79 @@
+#include <charconv>
+
+#include "codec/codec.h"
+
+namespace deepsz::codec {
+
+Options Options::parse(std::string_view spec) {
+  Options opts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      throw BadOptions("codec options: empty item in \"" + std::string(spec) +
+                       "\"");
+    }
+    std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw BadOptions("codec options: expected key=value, got \"" +
+                       std::string(item) + "\"");
+    }
+    std::string key(item.substr(0, eq));
+    if (!opts.kv_.emplace(key, std::string(item.substr(eq + 1))).second) {
+      throw BadOptions("codec options: duplicate key \"" + key + "\"");
+    }
+  }
+  return opts;
+}
+
+std::string Options::get(const std::string& key, std::string fallback) const {
+  auto it = kv_.find(key);
+  return it != kv_.end() ? it->second : std::move(fallback);
+}
+
+std::uint64_t Options::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& s = it->second;
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw BadOptions("codec options: " + key + "=" + s +
+                     " is not an unsigned integer");
+  }
+  return v;
+}
+
+double Options::get_f64(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& s = it->second;
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw BadOptions("codec options: " + key + "=" + s + " is not a number");
+  }
+  return v;
+}
+
+void Options::check_known(
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, value] : kv_) {
+    bool found = false;
+    for (auto k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw BadOptions("codec options: unknown key \"" + key + "\"");
+    }
+  }
+}
+
+}  // namespace deepsz::codec

@@ -1,0 +1,112 @@
+#include "codec/registry.h"
+
+#include <algorithm>
+
+namespace deepsz::codec {
+
+namespace detail {
+// Defined in builtin.cpp; populates the registry with the builtin backends.
+void register_builtins(CodecRegistry& reg);
+}  // namespace detail
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry* reg = [] {
+    auto* r = new CodecRegistry();
+    detail::register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void CodecRegistry::register_byte(CodecInfo info, ByteFactory factory) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string name = info.name;
+  if (!byte_.emplace(name, std::make_pair(std::move(info), std::move(factory)))
+           .second) {
+    throw std::invalid_argument("codec registry: byte codec \"" + name +
+                                "\" already registered");
+  }
+}
+
+void CodecRegistry::register_float(CodecInfo info, FloatFactory factory) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string name = info.name;
+  info.error_bounded = true;
+  if (!float_
+           .emplace(name, std::make_pair(std::move(info), std::move(factory)))
+           .second) {
+    throw std::invalid_argument("codec registry: float codec \"" + name +
+                                "\" already registered");
+  }
+}
+
+std::pair<std::string, Options> CodecRegistry::split_spec(
+    std::string_view spec) {
+  std::size_t colon = spec.find(':');
+  std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  if (name.empty()) {
+    throw BadOptions("codec spec: empty codec name in \"" + std::string(spec) +
+                     "\"");
+  }
+  Options opts;
+  if (colon != std::string_view::npos) {
+    opts = Options::parse(spec.substr(colon + 1));
+  }
+  return {std::string(name), std::move(opts)};
+}
+
+std::shared_ptr<ByteCodec> CodecRegistry::make_byte(
+    std::string_view spec) const {
+  auto [name, opts] = split_spec(spec);
+  ByteFactory factory;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = byte_.find(name);
+    if (it == byte_.end()) {
+      throw UnknownCodec("unknown lossless codec \"" + name + "\"");
+    }
+    factory = it->second.second;
+  }
+  return factory(opts);
+}
+
+std::shared_ptr<FloatCodec> CodecRegistry::make_float(
+    std::string_view spec) const {
+  auto [name, opts] = split_spec(spec);
+  FloatFactory factory;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = float_.find(name);
+    if (it == float_.end()) {
+      throw UnknownCodec("unknown error-bounded codec \"" + name + "\"");
+    }
+    factory = it->second.second;
+  }
+  return factory(opts);
+}
+
+bool CodecRegistry::has_byte(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return byte_.count(name) != 0;
+}
+
+bool CodecRegistry::has_float(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return float_.count(name) != 0;
+}
+
+std::vector<CodecInfo> CodecRegistry::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CodecInfo> out;
+  out.reserve(byte_.size() + float_.size());
+  for (const auto& [name, entry] : byte_) out.push_back(entry.first);
+  for (const auto& [name, entry] : float_) out.push_back(entry.first);
+  std::sort(out.begin(), out.end(),
+            [](const CodecInfo& a, const CodecInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace deepsz::codec

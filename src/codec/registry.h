@@ -1,0 +1,80 @@
+// Name-based codec resolution: the one place that maps stable string names to
+// compressor implementations.
+//
+// A codec spec is `name` or `name:key=value[,key=value...]`, e.g.
+//
+//   "zstd"                          lossless Zstandard-class
+//   "blosc:typesize=4"              Blosc-class with a 4-byte shuffle
+//   "sz:quant_bins=1024,backend=gzip"
+//
+// The registry is process-global and pre-populated with the builtin backends
+// (byte: store, gzip, zstd, blosc; float: sz, zfp); additional backends
+// register under new names without touching any call site — the model
+// container, pipeline, tool and benches all resolve codecs by name only.
+// Registration and lookup are thread-safe.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "codec/codec.h"
+
+namespace deepsz::codec {
+
+/// Thrown when a spec names a codec the registry does not know.
+class UnknownCodec : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Registry entry metadata, as shown by `deepsz_tool codecs`.
+struct CodecInfo {
+  std::string name;
+  bool error_bounded = false;  // FloatCodec (lossy) vs ByteCodec (lossless)
+  std::string summary;         // one-line description
+  std::string options_help;    // accepted keys, "" when the codec has none
+};
+
+class CodecRegistry {
+ public:
+  using ByteFactory =
+      std::function<std::shared_ptr<ByteCodec>(const Options&)>;
+  using FloatFactory =
+      std::function<std::shared_ptr<FloatCodec>(const Options&)>;
+
+  /// Process-wide registry with the builtin codecs pre-registered.
+  static CodecRegistry& instance();
+
+  /// Registers a factory under info.name. Throws std::invalid_argument if the
+  /// name is already taken by a codec of the same kind.
+  void register_byte(CodecInfo info, ByteFactory factory);
+  void register_float(CodecInfo info, FloatFactory factory);
+
+  /// Resolves a spec into a configured instance. Throws UnknownCodec for an
+  /// unregistered name and BadOptions for a malformed option string.
+  std::shared_ptr<ByteCodec> make_byte(std::string_view spec) const;
+  std::shared_ptr<FloatCodec> make_float(std::string_view spec) const;
+
+  bool has_byte(const std::string& name) const;
+  bool has_float(const std::string& name) const;
+
+  /// All registered codecs, sorted by name.
+  std::vector<CodecInfo> list() const;
+
+  /// Splits "name:opts" into the name and parsed options. Throws BadOptions
+  /// on an empty name or malformed options.
+  static std::pair<std::string, Options> split_spec(std::string_view spec);
+
+ private:
+  CodecRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<CodecInfo, ByteFactory>> byte_;
+  std::map<std::string, std::pair<CodecInfo, FloatFactory>> float_;
+};
+
+}  // namespace deepsz::codec

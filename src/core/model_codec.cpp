@@ -1,15 +1,56 @@
 #include "core/model_codec.h"
 
+#include <exception>
+#include <memory>
 #include <stdexcept>
 
+#include "codec/registry.h"
 #include "util/byte_io.h"
 #include "util/crc32.h"
+#include "util/threadpool.h"
 #include "util/timer.h"
 
 namespace deepsz::core {
 namespace {
+
 constexpr std::uint32_t kMagic = 0x435a5344;  // "DSZC"
-constexpr std::uint32_t kVersion = 2;  // v2 added optional per-layer biases
+// Version 2: implicit SZ data stream + lossless index frame per layer.
+// Version 3: per-stream registry codec specs (container v2 of the redesign).
+constexpr std::uint32_t kVersionLegacy = 2;
+constexpr std::uint32_t kVersionCurrent = 3;
+
+/// Runs fn(i) for i in [0, n), across the global pool when requested.
+/// Exceptions are captured per task and the first one rethrown, since
+/// ThreadPool tasks must not throw.
+template <typename Fn>
+void for_each_layer(std::size_t n, bool parallel, Fn&& fn) {
+  if (!parallel || n < 2 || util::ThreadPool::global().size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  util::parallel_for(0, n, [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::string predictor_option(sz::PredictorMode mode) {
+  switch (mode) {
+    case sz::PredictorMode::kAdaptive: return "adaptive";
+    case sz::PredictorMode::kLorenzo1Only: return "lorenzo1";
+    case sz::PredictorMode::kLorenzo2Only: return "lorenzo2";
+    case sz::PredictorMode::kRegressionOnly: return "regression";
+  }
+  return "adaptive";
+}
+
 }  // namespace
 
 std::size_t EncodedModel::dense_bytes() const {
@@ -31,45 +72,63 @@ double EncodedModel::compression_ratio() const {
 
 EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
                           const std::map<std::string, double>& eb_per_layer,
-                          const sz::SzParams& sz_template,
-                          lossless::CodecId index_codec, double default_eb,
+                          const ContainerOptions& options,
                           const std::map<std::string, std::vector<float>>&
                               biases) {
+  auto& registry = codec::CodecRegistry::instance();
+  auto data_codec = registry.make_float(options.data_codec);
+  auto index_codec = registry.make_byte(options.index_codec);
+
+  const std::size_t n = layers.size();
+  struct LayerStreams {
+    double eb = 0.0;
+    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> index;
+  };
+  std::vector<LayerStreams> streams(n);
+
+  for_each_layer(n, options.parallel, [&](std::size_t i) {
+    const auto& layer = layers[i];
+    auto it = eb_per_layer.find(layer.name);
+    auto& s = streams[i];
+    s.eb = it != eb_per_layer.end() ? it->second : options.default_eb;
+    s.data = data_codec->encode(layer.data, codec::FloatParams{s.eb});
+    s.index = index_codec->encode(layer.index);
+  });
+
   EncodedModel model;
   auto& out = model.bytes;
   util::put_le<std::uint32_t>(out, kMagic);
-  util::put_le<std::uint32_t>(out, kVersion);
-  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(layers.size()));
+  util::put_le<std::uint32_t>(out, kVersionCurrent);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(n));
 
-  for (const auto& layer : layers) {
-    auto it = eb_per_layer.find(layer.name);
-    const double eb = it != eb_per_layer.end() ? it->second : default_eb;
-
-    sz::SzParams params = sz_template;
-    params.mode = sz::ErrorBoundMode::kAbs;
-    params.error_bound = eb;
-    auto data_stream = sz::compress(layer.data, params);
-    auto index_stream = lossless::compress(index_codec, layer.index);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& layer = layers[i];
+    const auto& s = streams[i];
 
     EncodedLayerStats stats;
     stats.layer = layer.name;
-    stats.eb = eb;
+    stats.eb = s.eb;
+    stats.data_codec = options.data_codec;
+    stats.index_codec = options.index_codec;
     stats.dense_bytes = layer.dense_bytes();
     stats.csr_bytes = layer.csr_bytes();
-    stats.data_bytes = data_stream.size();
-    stats.index_bytes = index_stream.size();
+    stats.data_bytes = s.data.size();
+    stats.index_bytes = s.index.size();
     model.stats.push_back(stats);
 
     util::put_string(out, layer.name);
     util::put_le<std::int64_t>(out, layer.rows);
     util::put_le<std::int64_t>(out, layer.cols);
-    util::put_le<double>(out, eb);
-    util::put_le<std::uint64_t>(out, data_stream.size());
-    util::put_le<std::uint32_t>(out, util::crc32(data_stream));
-    util::put_bytes(out, data_stream);
-    util::put_le<std::uint64_t>(out, index_stream.size());
-    util::put_le<std::uint32_t>(out, util::crc32(index_stream));
-    util::put_bytes(out, index_stream);
+    util::put_le<double>(out, s.eb);
+    util::put_string(out, options.data_codec);
+    util::put_le<std::uint64_t>(out, s.data.size());
+    util::put_le<std::uint32_t>(out, util::crc32(s.data));
+    util::put_bytes(out, s.data);
+    util::put_string(out, options.index_codec);
+    util::put_le<std::uint64_t>(out, s.index.size());
+    util::put_le<std::uint32_t>(out, util::crc32(s.index));
+    util::put_bytes(out, s.index);
 
     auto bias_it = biases.find(layer.name);
     const std::uint64_t bias_count =
@@ -82,58 +141,150 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
   return model;
 }
 
+std::string sz_codec_spec(const sz::SzParams& params) {
+  return "sz:quant_bins=" + std::to_string(params.quant_bins) +
+         ",block_size=" + std::to_string(params.block_size) +
+         ",predictor=" + predictor_option(params.predictor) +
+         ",backend=" + lossless::codec_name(params.backend);
+}
+
+EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
+                          const std::map<std::string, double>& eb_per_layer,
+                          const sz::SzParams& sz_template,
+                          lossless::CodecId index_codec, double default_eb,
+                          const std::map<std::string, std::vector<float>>&
+                              biases) {
+  ContainerOptions options;
+  options.data_codec = sz_codec_spec(sz_template);
+  options.index_codec = lossless::codec_name(index_codec);
+  options.default_eb = default_eb;
+  return encode_model(layers, eb_per_layer, options, biases);
+}
+
+namespace {
+
+/// Byte views of one layer's record, collected during the serial parse so
+/// the expensive stream decodes can run in parallel.
+struct LayerRecord {
+  std::string data_codec;   // empty in legacy containers (implicit "sz")
+  std::string index_codec;  // empty in legacy containers (self-describing)
+  std::uint32_t data_crc = 0;
+  std::uint32_t index_crc = 0;
+  std::span<const std::uint8_t> data_stream;
+  std::span<const std::uint8_t> index_stream;
+};
+
+}  // namespace
+
 DecodedModel decode_model(std::span<const std::uint8_t> bytes,
-                          bool reconstruct_dense) {
-  util::ByteReader r(bytes);
-  if (r.get<std::uint32_t>() != kMagic) {
-    throw std::runtime_error("decode_model: bad magic");
-  }
-  if (r.get<std::uint32_t>() != kVersion) {
-    throw std::runtime_error("decode_model: unsupported version");
-  }
-  const auto n_layers = r.get<std::uint32_t>();
-
+                          bool reconstruct_dense, bool parallel) {
   DecodedModel model;
-  util::WallTimer timer;
-  for (std::uint32_t l = 0; l < n_layers; ++l) {
-    sparse::PrunedLayer layer;
-    layer.name = r.get_string();
-    layer.rows = r.get<std::int64_t>();
-    layer.cols = r.get<std::int64_t>();
-    r.get<double>();  // eb (informational)
+  std::vector<LayerRecord> records;
+  try {
+    util::ByteReader r(bytes);
+    if (r.get<std::uint32_t>() != kMagic) {
+      throw std::runtime_error("decode_model: bad magic");
+    }
+    const auto version = r.get<std::uint32_t>();
+    if (version != kVersionLegacy && version != kVersionCurrent) {
+      throw std::runtime_error("decode_model: unsupported version " +
+                               std::to_string(version));
+    }
+    const auto n_layers = r.get<std::uint32_t>();
 
-    auto data_len = static_cast<std::size_t>(r.get<std::uint64_t>());
-    auto data_crc = r.get<std::uint32_t>();
-    auto data_stream = r.get_bytes(data_len);
-    auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
-    auto index_crc = r.get<std::uint32_t>();
-    auto index_stream = r.get_bytes(index_len);
-    if (util::crc32(data_stream) != data_crc ||
-        util::crc32(index_stream) != index_crc) {
+    for (std::uint32_t l = 0; l < n_layers; ++l) {
+      sparse::PrunedLayer layer;
+      LayerRecord rec;
+      layer.name = r.get_string();
+      layer.rows = r.get<std::int64_t>();
+      layer.cols = r.get<std::int64_t>();
+      r.get<double>();  // eb (informational)
+
+      if (version == kVersionCurrent) rec.data_codec = r.get_string();
+      auto data_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+      rec.data_crc = r.get<std::uint32_t>();
+      rec.data_stream = r.get_bytes(data_len);
+      if (version == kVersionCurrent) rec.index_codec = r.get_string();
+      auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
+      rec.index_crc = r.get<std::uint32_t>();
+      rec.index_stream = r.get_bytes(index_len);
+
+      auto bias_count = static_cast<std::size_t>(r.get<std::uint64_t>());
+      if (bias_count > r.remaining() / sizeof(float)) {
+        throw std::runtime_error("decode_model: corrupt bias count in " +
+                                 layer.name);
+      }
+      if (bias_count > 0) {
+        std::vector<float> bias(bias_count);
+        for (auto& b : bias) b = r.get<float>();
+        model.biases[layer.name] = std::move(bias);
+      }
+      model.layers.push_back(std::move(layer));
+      records.push_back(rec);
+    }
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("decode_model: truncated container");
+  }
+
+  // Resolve each distinct codec spec once, before the parallel region. The
+  // specs come from the (CRC-unprotected) container header, so resolution
+  // failures are corruption, not caller error.
+  auto& registry = codec::CodecRegistry::instance();
+  std::map<std::string, std::shared_ptr<codec::FloatCodec>> float_codecs;
+  std::map<std::string, std::shared_ptr<codec::ByteCodec>> byte_codecs;
+  try {
+    for (const auto& rec : records) {
+      const std::string data_spec =
+          rec.data_codec.empty() ? "sz" : rec.data_codec;
+      if (!float_codecs.count(data_spec)) {
+        float_codecs[data_spec] = registry.make_float(data_spec);
+      }
+      // Legacy containers carry no index spec; their frames are builtin
+      // self-describing lossless frames, which "store" decodes.
+      const std::string index_spec =
+          rec.index_codec.empty() ? "store" : rec.index_codec;
+      if (!byte_codecs.count(index_spec)) {
+        byte_codecs[index_spec] = registry.make_byte(index_spec);
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(
+        std::string("decode_model: unresolvable codec spec in container (") +
+        e.what() + ")");
+  }
+
+  const std::size_t n = records.size();
+  struct LayerTiming {
+    double lossless_ms = 0.0;
+    double sz_ms = 0.0;
+    double reconstruct_ms = 0.0;
+  };
+  std::vector<LayerTiming> timings(n);
+
+  for_each_layer(n, parallel, [&](std::size_t i) {
+    const auto& rec = records[i];
+    auto& layer = model.layers[i];
+    auto& t = timings[i];
+    if (util::crc32(rec.data_stream) != rec.data_crc ||
+        util::crc32(rec.index_stream) != rec.index_crc) {
       throw std::runtime_error("decode_model: checksum mismatch in " +
                                layer.name);
     }
 
-    timer.reset();
-    auto index = lossless::decompress(index_stream);
-    model.timing.lossless_ms += timer.millis();
+    util::WallTimer timer;
+    const std::string index_spec =
+        rec.index_codec.empty() ? "store" : rec.index_codec;
+    layer.index = byte_codecs.at(index_spec)->decode(rec.index_stream);
+    t.lossless_ms = timer.millis();
 
+    const std::string spec = rec.data_codec.empty() ? "sz" : rec.data_codec;
     timer.reset();
-    auto data = sz::decompress(data_stream);
-    model.timing.sz_ms += timer.millis();
+    layer.data = float_codecs.at(spec)->decode(rec.data_stream);
+    t.sz_ms = timer.millis();
 
-    layer.data = std::move(data);
-    layer.index = std::move(index);
     if (layer.data.size() != layer.index.size()) {
       throw std::runtime_error("decode_model: data/index mismatch in " +
                                layer.name);
-    }
-
-    auto bias_count = static_cast<std::size_t>(r.get<std::uint64_t>());
-    if (bias_count > 0) {
-      std::vector<float> bias(bias_count);
-      for (auto& b : bias) b = r.get<float>();
-      model.biases[layer.name] = std::move(bias);
     }
 
     if (reconstruct_dense) {
@@ -141,9 +292,14 @@ DecodedModel decode_model(std::span<const std::uint8_t> bytes,
       volatile float sink = 0.0f;
       auto dense = layer.to_dense();
       sink = sink + (dense.empty() ? 0.0f : dense[0]);  // keep the work
-      model.timing.reconstruct_ms += timer.millis();
+      t.reconstruct_ms = timer.millis();
     }
-    model.layers.push_back(std::move(layer));
+  });
+
+  for (const auto& t : timings) {
+    model.timing.lossless_ms += t.lossless_ms;
+    model.timing.sz_ms += t.sz_ms;
+    model.timing.reconstruct_ms += t.reconstruct_ms;
   }
   return model;
 }

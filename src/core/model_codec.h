@@ -1,10 +1,18 @@
 // Step 4 of DeepSZ: generation of the compressed model, plus the decoder.
 //
-// Container layout per layer: SZ-compressed data array (lossy, at the layer's
-// optimized error bound) + losslessly compressed index array (best-fit codec,
-// Zstandard-class by default — Figure 4's winner), each guarded by a CRC-32.
-// The decoder reports the Figure-7b timing breakdown: lossless decompression,
-// SZ decompression, and sparse-matrix reconstruction.
+// Container v2 ("DSZC" version 3 on the wire): per layer, an error-bounded
+// stream for the data array (at the layer's optimized error bound) and a
+// lossless stream for the index array. Both streams record the registry spec
+// of the codec that produced them (codec/registry.h), so any registered
+// backend can be used per container without touching the decoder, and both
+// are guarded by a CRC-32. Layers are encoded and decoded in parallel via
+// util::ThreadPool::global().
+//
+// The decoder also accepts version-2 containers written before the codec
+// registry existed (implicit SZ data + self-describing lossless index
+// streams) and reports the Figure-7b timing breakdown: lossless
+// decompression, error-bounded decompression, and sparse-matrix
+// reconstruction.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +30,11 @@ namespace deepsz::core {
 struct EncodedLayerStats {
   std::string layer;
   double eb = 0.0;
+  std::string data_codec;        // registry spec of the data-array codec
+  std::string index_codec;       // registry spec of the index-array codec
   std::size_t dense_bytes = 0;   // original fp32 matrix
   std::size_t csr_bytes = 0;     // two-array sparse representation
-  std::size_t data_bytes = 0;    // SZ stream
+  std::size_t data_bytes = 0;    // error-bounded stream
   std::size_t index_bytes = 0;   // lossless stream
   std::size_t total_bytes() const { return data_bytes + index_bytes; }
   double compression_ratio() const {
@@ -42,10 +52,35 @@ struct EncodedModel {
   double compression_ratio() const;
 };
 
+/// Container-level knobs. Codecs are registry specs (codec/registry.h), so
+/// any registered backend — builtin or plugged in later — can serve either
+/// role by name.
+struct ContainerOptions {
+  /// Error-bounded codec for the data arrays ("sz", "zfp", "sz:...").
+  std::string data_codec = "sz";
+  /// Lossless codec for the index arrays ("zstd", "gzip", "blosc", "store").
+  std::string index_codec = "zstd";
+  /// Error bound for layers missing from eb_per_layer.
+  double default_eb = 1e-3;
+  /// Encode/decode per-layer streams across ThreadPool::global(). Serial
+  /// execution (for timing comparisons) when false or on a 1-thread host.
+  bool parallel = true;
+};
+
 /// Encodes pruned layers with per-layer error bounds (missing layers use
-/// `default_eb`). `biases` optionally carries each layer's bias vector,
+/// options.default_eb). `biases` optionally carries each layer's bias vector,
 /// stored verbatim (biases are tiny — `rows` floats — and the paper leaves
-/// them uncompressed); pass {} to omit.
+/// them uncompressed); pass {} to omit. Throws codec::UnknownCodec /
+/// codec::BadOptions on an unresolvable codec spec.
+EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
+                          const std::map<std::string, double>& eb_per_layer,
+                          const ContainerOptions& options = {},
+                          const std::map<std::string, std::vector<float>>&
+                              biases = {});
+
+/// Pre-registry shim: the old free-function signature, forwarded to the
+/// codec-registry path (`sz_template` becomes an "sz:..." spec, `index_codec`
+/// its registry name). Prefer the ContainerOptions overload.
 EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
                           const std::map<std::string, double>& eb_per_layer,
                           const sz::SzParams& sz_template,
@@ -55,10 +90,16 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
                           const std::map<std::string, std::vector<float>>&
                               biases = {});
 
-/// Figure 7b's decode phases, in milliseconds.
+/// Registry spec ("sz:quant_bins=...,block_size=...,...") equivalent to an
+/// SzParams template; the error bound is supplied per stream at encode time.
+std::string sz_codec_spec(const sz::SzParams& params);
+
+/// Figure 7b's decode phases, in milliseconds. Under parallel decode the
+/// per-codec fields aggregate time spent across worker threads (CPU time per
+/// phase), so the breakdown stays comparable with the serial path.
 struct DecodeTiming {
   double lossless_ms = 0.0;
-  double sz_ms = 0.0;
+  double sz_ms = 0.0;  // error-bounded codec (SZ by default)
   double reconstruct_ms = 0.0;
   double total_ms() const { return lossless_ms + sz_ms + reconstruct_ms; }
 };
@@ -69,10 +110,12 @@ struct DecodedModel {
   DecodeTiming timing;
 };
 
-/// Decodes a model; validates CRCs and measures the phase breakdown.
-/// `reconstruct_dense` additionally times the sparse->dense conversion
-/// without keeping the dense matrices.
+/// Decodes a model; validates per-stream CRCs and measures the phase
+/// breakdown. `reconstruct_dense` additionally times the sparse->dense
+/// conversion without keeping the dense matrices. Accepts both container
+/// versions; throws std::runtime_error on corrupt or truncated input.
 DecodedModel decode_model(std::span<const std::uint8_t> bytes,
-                          bool reconstruct_dense = true);
+                          bool reconstruct_dense = true,
+                          bool parallel = true);
 
 }  // namespace deepsz::core

@@ -83,8 +83,11 @@ DeepSzReport run_deepsz(nn::Network& net, const nn::Tensor& train_images,
                                               d->bias().flat().end());
     }
   }
-  report.model = encode_model(layers, eb_per_layer, assess_cfg.sz,
-                              options.index_codec, 1e-3, biases);
+  ContainerOptions copts;
+  copts.data_codec = options.data_codec.empty() ? sz_codec_spec(assess_cfg.sz)
+                                                : options.data_codec;
+  copts.index_codec = options.index_codec;
+  report.model = encode_model(layers, eb_per_layer, copts, biases);
   report.encode_seconds = encode_timer.seconds();
   report.compression_ratio = report.model.compression_ratio();
 

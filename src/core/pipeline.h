@@ -36,8 +36,12 @@ struct DeepSzOptions {
 
   AssessmentConfig assessment;  // expected_acc_loss is filled in by run()
 
-  /// Step 4: lossless codec for index arrays.
-  lossless::CodecId index_codec = lossless::CodecId::kZstdLike;
+  /// Step 4: registry spec of the lossless codec for index arrays.
+  std::string index_codec = "zstd";
+  /// Step 4: registry spec of the error-bounded codec for data arrays.
+  /// Empty derives an "sz:..." spec from the assessment SzParams, keeping
+  /// steps 2-3 (assessed with SZ) consistent with the emitted container.
+  std::string data_codec;
 };
 
 /// Everything the evaluation tables need from one pipeline run.

@@ -133,6 +133,9 @@ std::vector<std::uint8_t> lz4ish_decompress_block(
     if (pos + lit_len > in.size()) {
       throw std::runtime_error("blosc_like: literal overrun");
     }
+    if (out.size() + lit_len > raw_size) {
+      throw std::runtime_error("blosc_like: output overrun");
+    }
     out.insert(out.end(), in.begin() + pos, in.begin() + pos + lit_len);
     pos += lit_len;
     if (out.size() == raw_size && pos == in.size()) break;  // final token
@@ -147,12 +150,12 @@ std::vector<std::uint8_t> lz4ish_decompress_block(
     if (offset == 0 || offset > out.size()) {
       throw std::runtime_error("blosc_like: bad offset");
     }
+    if (out.size() + match_len > raw_size) {
+      throw std::runtime_error("blosc_like: output overrun");
+    }
     std::size_t src = out.size() - offset;
     for (std::uint32_t i = 0; i < match_len; ++i) {
       out.push_back(out[src + i]);
-    }
-    if (out.size() > raw_size) {
-      throw std::runtime_error("blosc_like: output overrun");
     }
   }
   if (out.size() != raw_size) {

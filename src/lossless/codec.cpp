@@ -1,6 +1,7 @@
 #include "lossless/codec.h"
 
 #include <array>
+#include <new>
 #include <stdexcept>
 
 #include "util/byte_io.h"
@@ -69,25 +70,45 @@ std::vector<std::uint8_t> compress_blosc(std::span<const std::uint8_t> data,
 }
 
 std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> frame_bytes) {
-  util::ByteReader r(frame_bytes);
-  auto id = static_cast<CodecId>(r.get<std::uint8_t>());
-  auto raw_size = static_cast<std::size_t>(r.get<std::uint64_t>());
-  auto payload = r.get_bytes(r.remaining());
-  switch (id) {
-    case CodecId::kStore: {
-      if (payload.size() != raw_size) {
-        throw std::runtime_error("store: size mismatch");
+  // Every header read is bounds-checked; corrupt or truncated frames must
+  // surface as std::runtime_error, never as an out-of-bounds read or an
+  // attacker-sized allocation escaping as bad_alloc.
+  try {
+    util::ByteReader r(frame_bytes);
+    auto id = static_cast<CodecId>(r.get<std::uint8_t>());
+    auto raw_size = static_cast<std::size_t>(r.get<std::uint64_t>());
+    auto payload = r.get_bytes(r.remaining());
+    std::vector<std::uint8_t> out;
+    switch (id) {
+      case CodecId::kStore: {
+        if (payload.size() != raw_size) {
+          throw std::runtime_error("store: size mismatch");
+        }
+        return std::vector<std::uint8_t>(payload.begin(), payload.end());
       }
-      return std::vector<std::uint8_t>(payload.begin(), payload.end());
+      case CodecId::kGzipLike:
+        out = raw::gzip_like_decompress(payload, raw_size);
+        break;
+      case CodecId::kZstdLike:
+        out = raw::zstd_like_decompress(payload, raw_size);
+        break;
+      case CodecId::kBloscLike:
+        out = raw::blosc_like_decompress(payload, raw_size);
+        break;
+      default:
+        throw std::runtime_error("decompress: unknown codec id");
     }
-    case CodecId::kGzipLike:
-      return raw::gzip_like_decompress(payload, raw_size);
-    case CodecId::kZstdLike:
-      return raw::zstd_like_decompress(payload, raw_size);
-    case CodecId::kBloscLike:
-      return raw::blosc_like_decompress(payload, raw_size);
+    if (out.size() != raw_size) {
+      throw std::runtime_error("decompress: corrupt frame (size mismatch)");
+    }
+    return out;
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("decompress: truncated frame");
+  } catch (const std::length_error&) {
+    throw std::runtime_error("decompress: corrupt frame");
+  } catch (const std::bad_alloc&) {
+    throw std::runtime_error("decompress: corrupt frame (implausible size)");
   }
-  throw std::runtime_error("decompress: unknown codec id");
 }
 
 }  // namespace deepsz::lossless

@@ -151,9 +151,19 @@ std::vector<std::uint8_t> gzip_like_decompress(
   std::vector<std::uint8_t> out;
   out.reserve(raw_size);
   for (;;) {
+    // A valid stream ends with kEndOfBlock before the reader runs dry; past
+    // the end BitReader yields zero bits, which a corrupt stream could keep
+    // decoding into literals forever, so both conditions are checked before
+    // any byte is appended.
+    if (br.bit_pos() > payload.size() * 8) {
+      throw std::runtime_error("gzip_like: truncated stream");
+    }
     std::uint32_t sym = litlen_dec.decode(br);
     if (sym == kEndOfBlock) break;
     if (sym < 256) {
+      if (out.size() >= raw_size) {
+        throw std::runtime_error("gzip_like: output overrun");
+      }
       out.push_back(static_cast<std::uint8_t>(sym));
       continue;
     }
@@ -172,12 +182,12 @@ std::vector<std::uint8_t> gzip_like_decompress(
     if (dist > out.size()) {
       throw std::runtime_error("gzip_like: distance beyond output");
     }
+    if (out.size() + len > raw_size) {
+      throw std::runtime_error("gzip_like: output overrun");
+    }
     std::size_t src = out.size() - dist;
     for (std::uint32_t i = 0; i < len; ++i) {
       out.push_back(out[src + i]);  // byte-serial: handles overlapping copies
-    }
-    if (out.size() > raw_size) {
-      throw std::runtime_error("gzip_like: output overrun");
     }
   }
   if (out.size() != raw_size) {

@@ -154,6 +154,12 @@ std::vector<std::uint8_t> zstd_like_decompress(
   util::BitReader br(payload);
   auto n_seq = static_cast<std::size_t>(br.read_bits(32));
   auto n_lit = static_cast<std::size_t>(br.read_bits(32));
+  // A valid parse never carries more literals than output bytes, nor more
+  // sequences than output bytes + 1; reject corrupt counts before they turn
+  // into allocations or long decode loops.
+  if (n_lit > raw_size || n_seq > raw_size + 1) {
+    throw std::runtime_error("zstd_like: corrupt section counts");
+  }
 
   HuffmanDecoder lit_dec, ll_dec, ml_dec, of_dec;
   lit_dec.read_table(br);
@@ -183,6 +189,9 @@ std::vector<std::uint8_t> zstd_like_decompress(
     if (lit_pos + lit_len > literals.size()) {
       throw std::runtime_error("zstd_like: literal overrun");
     }
+    if (out.size() + lit_len + match_len > raw_size) {
+      throw std::runtime_error("zstd_like: output overrun");
+    }
     out.insert(out.end(), literals.begin() + lit_pos,
                literals.begin() + lit_pos + lit_len);
     lit_pos += lit_len;
@@ -195,9 +204,6 @@ std::vector<std::uint8_t> zstd_like_decompress(
       for (std::uint32_t i = 0; i < match_len; ++i) {
         out.push_back(out[src + i]);
       }
-    }
-    if (out.size() > raw_size) {
-      throw std::runtime_error("zstd_like: output overrun");
     }
   }
   if (out.size() != raw_size) {

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <new>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -188,10 +189,20 @@ struct ParsedHeader {
   std::vector<std::uint8_t> payload;
 };
 
+// Ceiling on the element count a header may declare (4 TB of floats);
+// anything larger is treated as corruption rather than allocated.
+constexpr std::uint64_t kMaxDeclaredCount = 1ull << 40;
+
+/// Parses the outer frame and fixed header with every read bounds-checked.
+/// Corrupt or truncated input throws std::runtime_error, never reads past
+/// the buffer, and never triggers an attacker-sized allocation.
 ParsedHeader parse(std::span<const std::uint8_t> stream) {
   util::ByteReader outer(stream);
   if (outer.get<std::uint32_t>() != kMagic) {
     throw std::runtime_error("sz: bad magic");
+  }
+  if (outer.remaining() == 0) {
+    throw std::runtime_error("sz: truncated stream (missing backend frame)");
   }
   ParsedHeader ph;
   ph.info.backend =
@@ -209,16 +220,55 @@ ParsedHeader parse(std::span<const std::uint8_t> stream) {
   ph.info.predictor = static_cast<PredictorMode>(r.get<std::uint8_t>());
   ph.info.unpredictable = r.get<std::uint64_t>();
   ph.n_blocks = r.get<std::uint64_t>();
+
+  // Cross-field consistency: compress() enforces these invariants, so any
+  // violation means the header bytes are corrupt.
+  if (ph.info.count > kMaxDeclaredCount) {
+    throw std::runtime_error("sz: corrupt header (implausible count)");
+  }
+  if (ph.info.quant_bins < 16 || ph.info.block_size < 16) {
+    throw std::runtime_error("sz: corrupt header (bins/block_size too small)");
+  }
+  if (!(ph.info.abs_error_bound > 0.0) ||
+      !std::isfinite(ph.info.abs_error_bound)) {
+    throw std::runtime_error("sz: corrupt header (bad error bound)");
+  }
+  const std::uint64_t expect_blocks =
+      (ph.info.count + ph.info.block_size - 1) / ph.info.block_size;
+  if (ph.n_blocks != expect_blocks) {
+    throw std::runtime_error("sz: corrupt header (block count mismatch)");
+  }
+  if (ph.info.unpredictable > ph.info.count) {
+    throw std::runtime_error(
+        "sz: corrupt header (unpredictable exceeds count)");
+  }
   return ph;
+}
+
+/// Converts bounds-check and allocation failures escaping `fn` into
+/// std::runtime_error so corrupt input surfaces as one exception type.
+template <typename Fn>
+auto guard_corrupt(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error(std::string("sz: truncated ") + what);
+  } catch (const std::length_error&) {
+    throw std::runtime_error(std::string("sz: corrupt ") + what);
+  } catch (const std::bad_alloc&) {
+    throw std::runtime_error(std::string("sz: corrupt ") + what);
+  }
 }
 
 }  // namespace
 
 SzStreamInfo inspect(std::span<const std::uint8_t> stream) {
-  return parse(stream).info;
+  return guard_corrupt("header", [&] { return parse(stream).info; });
 }
 
-std::vector<float> decompress(std::span<const std::uint8_t> stream) {
+namespace {
+
+std::vector<float> decompress_checked(std::span<const std::uint8_t> stream) {
   ParsedHeader ph = parse(stream);
   const auto& info = ph.info;
   util::ByteReader r(ph.payload);
@@ -245,6 +295,9 @@ std::vector<float> decompress(std::span<const std::uint8_t> stream) {
   }
 
   auto n_fits = static_cast<std::size_t>(r.get<std::uint64_t>());
+  if (n_fits > n_blocks) {
+    throw std::runtime_error("sz: corrupt stream (more fits than blocks)");
+  }
   std::vector<LineFit> fits(n_fits);
   for (auto& f : fits) {
     f.a = r.get<float>();
@@ -309,6 +362,12 @@ std::vector<float> decompress(std::span<const std::uint8_t> stream) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<float> decompress(std::span<const std::uint8_t> stream) {
+  return guard_corrupt("stream", [&] { return decompress_checked(stream); });
 }
 
 double compression_ratio(std::span<const float> data, const SzParams& params) {

@@ -1,8 +1,17 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace deepsz::util {
+namespace {
+// Set while a thread is executing a pool task. Nested parallel_for calls
+// from inside a task must run inline: a worker blocking in wait_idle() for
+// tasks only workers can drain deadlocks the pool.
+thread_local bool tl_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -38,6 +47,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -56,7 +66,19 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // DEEPSZ_THREADS overrides the hardware-concurrency default: smaller to
+    // co-exist with other tenants, larger to exercise the parallel paths on
+    // hosts the OS reports as single-core.
+    if (const char* env = std::getenv("DEEPSZ_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0 && v <= 1024) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 
@@ -66,7 +88,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   auto& pool = ThreadPool::global();
   std::size_t n = end - begin;
-  if (pool.size() <= 1 || n <= grain) {
+  if (pool.size() <= 1 || n <= grain || ThreadPool::in_worker()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -89,7 +111,7 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   auto& pool = ThreadPool::global();
   std::size_t n = end - begin;
-  if (pool.size() <= 1 || n <= min_chunk) {
+  if (pool.size() <= 1 || n <= min_chunk || ThreadPool::in_worker()) {
     body(begin, end);
     return;
   }

@@ -35,8 +35,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Process-wide pool, sized to the host's hardware concurrency.
+  /// Process-wide pool, sized to the host's hardware concurrency (override
+  /// with the DEEPSZ_THREADS environment variable, read once at first use).
   static ThreadPool& global();
+
+  /// True on a thread currently executing a pool task. parallel_for uses
+  /// this to run nested parallel loops inline instead of deadlocking in
+  /// wait_idle().
+  static bool in_worker();
 
  private:
   void worker_loop();

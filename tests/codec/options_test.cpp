@@ -1,0 +1,65 @@
+#include "codec/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsz::codec {
+namespace {
+
+TEST(Options, ParsesKeyValueList) {
+  auto opts = Options::parse("quant_bins=1024,block_size=128,mode=rel");
+  EXPECT_EQ(opts.get("mode", ""), "rel");
+  EXPECT_EQ(opts.get_u64("quant_bins", 0), 1024u);
+  EXPECT_EQ(opts.get_u64("block_size", 0), 128u);
+  EXPECT_TRUE(opts.has("mode"));
+  EXPECT_FALSE(opts.has("backend"));
+}
+
+TEST(Options, EmptySpecYieldsEmptyOptions) {
+  auto opts = Options::parse("");
+  EXPECT_TRUE(opts.empty());
+  EXPECT_EQ(opts.get_u64("anything", 7), 7u);
+  EXPECT_DOUBLE_EQ(opts.get_f64("anything", 2.5), 2.5);
+}
+
+TEST(Options, RejectsMalformedItems) {
+  EXPECT_THROW(Options::parse("novalue"), BadOptions);
+  EXPECT_THROW(Options::parse("=value"), BadOptions);
+  EXPECT_THROW(Options::parse("a=1,,b=2"), BadOptions);
+  EXPECT_THROW(Options::parse("a=1,a=2"), BadOptions);
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  auto opts = Options::parse("n=12x,f=1.5.2");
+  EXPECT_THROW(opts.get_u64("n", 0), BadOptions);
+  EXPECT_THROW(opts.get_f64("f", 0.0), BadOptions);
+}
+
+TEST(Options, CheckKnownFlagsTypos) {
+  auto opts = Options::parse("quantbins=1024");
+  EXPECT_THROW(opts.check_known({"quant_bins", "block_size"}), BadOptions);
+  EXPECT_NO_THROW(opts.check_known({"quantbins"}));
+}
+
+TEST(Options, EmptyValueIsAllowed) {
+  auto opts = Options::parse("key=");
+  EXPECT_TRUE(opts.has("key"));
+  EXPECT_EQ(opts.get("key", "x"), "");
+}
+
+TEST(SpecGrammar, SplitsNameAndOptions) {
+  auto [name, opts] = CodecRegistry::split_spec("blosc:typesize=8");
+  EXPECT_EQ(name, "blosc");
+  EXPECT_EQ(opts.get_u64("typesize", 0), 8u);
+
+  auto [bare, none] = CodecRegistry::split_spec("zstd");
+  EXPECT_EQ(bare, "zstd");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(SpecGrammar, RejectsEmptyName) {
+  EXPECT_THROW(CodecRegistry::split_spec(""), BadOptions);
+  EXPECT_THROW(CodecRegistry::split_spec(":typesize=4"), BadOptions);
+}
+
+}  // namespace
+}  // namespace deepsz::codec

@@ -1,0 +1,177 @@
+// Registry resolution plus the round-trip property test the acceptance
+// criteria require: every registered codec, random data across distributions
+// and edge sizes (empty, 1 element, exactly one block, block_size + 1).
+#include "codec/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sz/sz.h"
+#include "util/rng.h"
+
+namespace deepsz::codec {
+namespace {
+
+std::vector<std::uint8_t> byte_data(const std::string& dist, std::size_t n,
+                                    std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  if (dist == "constant") {
+    std::fill(out.begin(), out.end(), 0x2a);
+  } else if (dist == "uniform") {
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.bounded(256));
+  } else {  // index-like: small deltas around a mode, rare 255s
+    for (auto& b : out) {
+      double u = rng.uniform();
+      b = u < 0.8   ? static_cast<std::uint8_t>(8 + rng.bounded(8))
+          : u < 0.99 ? static_cast<std::uint8_t>(1 + rng.bounded(64))
+                     : 255;
+    }
+  }
+  return out;
+}
+
+std::vector<float> float_data(const std::string& dist, std::size_t n,
+                              std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> out(n);
+  if (dist == "constant") {
+    std::fill(out.begin(), out.end(), 0.125f);
+  } else if (dist == "uniform") {
+    for (auto& v : out) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  } else if (dist == "weights") {  // pruned-weight-like: near-zero gaussian
+    for (auto& v : out) {
+      double g = rng.uniform() + rng.uniform() + rng.uniform() - 1.5;
+      v = static_cast<float>(0.05 * g);
+    }
+  } else {  // smooth
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::sin(0.01f * static_cast<float>(i));
+    }
+  }
+  return out;
+}
+
+TEST(CodecRegistry, ListsAllBuiltins) {
+  auto& reg = CodecRegistry::instance();
+  for (const char* name : {"store", "gzip", "zstd", "blosc"}) {
+    EXPECT_TRUE(reg.has_byte(name)) << name;
+  }
+  for (const char* name : {"sz", "zfp"}) {
+    EXPECT_TRUE(reg.has_float(name)) << name;
+  }
+  EXPECT_GE(reg.list().size(), 6u);
+}
+
+TEST(CodecRegistry, UnknownNamesThrow) {
+  auto& reg = CodecRegistry::instance();
+  EXPECT_THROW(reg.make_byte("lz99"), UnknownCodec);
+  EXPECT_THROW(reg.make_float("szx"), UnknownCodec);
+  EXPECT_THROW(reg.make_float("zstd"), UnknownCodec);  // wrong kind
+  EXPECT_THROW(reg.make_byte("sz"), UnknownCodec);     // wrong kind
+}
+
+TEST(CodecRegistry, BadOptionsThrow) {
+  auto& reg = CodecRegistry::instance();
+  EXPECT_THROW(reg.make_byte("zstd:level=3"), BadOptions);  // unknown key
+  EXPECT_THROW(reg.make_byte("blosc:typesize=abc"), BadOptions);
+  EXPECT_THROW(reg.make_byte("blosc:typesize=0"), BadOptions);
+  EXPECT_THROW(reg.make_float("sz:mode=weird"), BadOptions);
+  EXPECT_THROW(reg.make_float("sz:predictor=magic"), BadOptions);
+}
+
+TEST(CodecRegistry, EveryByteCodecRoundTripsEverything) {
+  auto& reg = CodecRegistry::instance();
+  // block_size=4096 puts the "exactly one block" / "block_size + 1" edges
+  // within test-sized inputs for the blocked codec as well.
+  std::vector<std::string> specs = {"blosc:block_size=4096,typesize=4"};
+  for (const auto& info : reg.list()) {
+    if (!info.error_bounded) specs.push_back(info.name);
+  }
+  const std::size_t sizes[] = {0, 1, 2, 255, 256, 257, 4096, 4097};
+  std::uint64_t seed = 1;
+  for (const auto& spec : specs) {
+    auto codec = reg.make_byte(spec);
+    for (std::size_t n : sizes) {
+      for (const char* dist : {"constant", "uniform", "index"}) {
+        auto data = byte_data(dist, n, seed++);
+        auto frame = codec->encode(data);
+        EXPECT_EQ(codec->decode(frame), data)
+            << spec << " " << dist << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CodecRegistry, EveryFloatCodecRoundTripsWithinTolerance) {
+  auto& reg = CodecRegistry::instance();
+  // sz block_size floor is 16, so 16/17 are its one-block edges; zfp blocks
+  // are 4 samples, covered by 4/5.
+  std::vector<std::string> specs = {"sz:block_size=16,quant_bins=256"};
+  for (const auto& info : reg.list()) {
+    if (info.error_bounded) specs.push_back(info.name);
+  }
+  const std::size_t sizes[] = {0, 1, 4, 5, 16, 17, 256, 257, 1000};
+  std::uint64_t seed = 1000;
+  for (const auto& spec : specs) {
+    auto codec = reg.make_float(spec);
+    for (double tol : {1e-2, 1e-4}) {
+      for (std::size_t n : sizes) {
+        for (const char* dist : {"constant", "uniform", "weights", "smooth"}) {
+          auto data = float_data(dist, n, seed++);
+          auto stream = codec->encode(data, FloatParams{tol});
+          auto back = codec->decode(stream);
+          ASSERT_EQ(back.size(), data.size())
+              << spec << " " << dist << " n=" << n;
+          double max_err = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            max_err = std::max(
+                max_err, std::abs(static_cast<double>(data[i]) - back[i]));
+          }
+          EXPECT_LE(max_err, tol * (1 + 1e-12))
+              << spec << " " << dist << " n=" << n << " tol=" << tol;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecRegistry, SzOptionsReachTheStream) {
+  auto& reg = CodecRegistry::instance();
+  auto codec = reg.make_float("sz:quant_bins=256,block_size=64,backend=gzip");
+  auto data = float_data("weights", 2000, 9);
+  auto stream = codec->encode(data, FloatParams{1e-3});
+  auto info = sz::inspect(stream);
+  EXPECT_EQ(info.quant_bins, 256u);
+  EXPECT_EQ(info.block_size, 64u);
+}
+
+TEST(CodecRegistry, ThirdPartyRegistrationIsVisible) {
+  auto& reg = CodecRegistry::instance();
+  if (!reg.has_byte("null-test")) {
+    CodecInfo info;
+    info.name = "null-test";
+    info.summary = "registration smoke test";
+    reg.register_byte(info, [](const Options& opts) {
+      opts.check_known({});
+      return CodecRegistry::instance().make_byte("store");
+    });
+  }
+  auto codec = reg.make_byte("null-test");
+  std::vector<std::uint8_t> data = {1, 2, 3};
+  EXPECT_EQ(codec->decode(codec->encode(data)), data);
+  EXPECT_THROW(
+      [&] {
+        CodecInfo dup;
+        dup.name = "null-test";
+        reg.register_byte(dup, nullptr);
+      }(),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepsz::codec

@@ -59,5 +59,23 @@ TEST(ParallelFor, ResultMatchesSerialReduction) {
   EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1));
 }
 
+TEST(ParallelFor, NestedCallsCompleteAndCoverTheRange) {
+  // A body that itself calls parallel_for (conv-over-batch calling parallel
+  // gemm, the container calling blocked codecs) must run the inner loop
+  // inline rather than deadlocking the pool in wait_idle(). Regression for
+  // a hang only reachable with a multi-worker pool (DEEPSZ_THREADS > 1).
+  const std::size_t rows = 64, cols = 4096;
+  std::vector<std::atomic<int>> hits(rows * cols);
+  parallel_for(0, rows, [&](std::size_t r) {
+    EXPECT_TRUE(ThreadPool::global().size() <= 1 || ThreadPool::in_worker());
+    parallel_for_chunks(0, cols, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) hits[r * cols + c].fetch_add(1);
+    }, 16);
+  });
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 }  // namespace
 }  // namespace deepsz::util

@@ -1,30 +1,40 @@
 // deepsz_tool — command-line front end for the compression stack.
 //
-//   deepsz_tool sz-compress   <in.f32> <out.sz>  [eb] [abs|rel|psnr] [bins]
+// Codecs are resolved by registry spec (`name` or `name:key=value,...`), so
+// every registered backend is reachable without new flags:
+//
+//   deepsz_tool codecs
+//   deepsz_tool sz-compress   <in.f32> <out> [eb] [float-codec-spec]
 //   deepsz_tool sz-decompress <in.sz>  <out.f32>
 //   deepsz_tool sz-info       <in.sz>
 //   deepsz_tool zfp-compress  <in.f32> <out.zfp> [tolerance]
 //   deepsz_tool zfp-decompress <in.zfp> <out.f32>
-//   deepsz_tool pack          <in> <out> [gzip|zstd|blosc]
+//   deepsz_tool pack          <in> <out> [byte-codec-spec]
 //   deepsz_tool unpack        <in> <out>
 //   deepsz_tool model-info    <model.dszc>
 //
 // Raw float files are little-endian fp32 with no header.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, corrupt stream), 2 bad
+// usage, 3 unknown codec name, 4 bad codec options or argument value.
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "codec/registry.h"
 #include "core/model_codec.h"
-#include "lossless/codec.h"
 #include "sz/sz.h"
 #include "util/timer.h"
-#include "zfp/zfp1d.h"
 
 namespace {
 
-using deepsz::lossless::CodecId;
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownCodec = 3;
+constexpr int kExitBadOptions = 4;
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -50,7 +60,7 @@ void write_file(const std::string& path, std::span<const std::uint8_t> data) {
 
 std::vector<float> as_floats(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() % sizeof(float) != 0) {
-    throw std::runtime_error("input size is not a multiple of 4 bytes");
+    throw std::invalid_argument("input size is not a multiple of 4 bytes");
   }
   std::vector<float> out(bytes.size() / sizeof(float));
   std::memcpy(out.data(), bytes.data(), bytes.size());
@@ -63,58 +73,77 @@ std::vector<std::uint8_t> as_bytes(const std::vector<float>& floats) {
   return out;
 }
 
-CodecId codec_from_name(const std::string& name) {
-  if (name == "gzip") return CodecId::kGzipLike;
-  if (name == "zstd") return CodecId::kZstdLike;
-  if (name == "blosc") return CodecId::kBloscLike;
-  if (name == "store") return CodecId::kStore;
-  throw std::runtime_error("unknown codec " + name);
+double parse_double(const char* arg, const char* what) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(arg, &used);
+    if (used != std::strlen(arg)) throw std::invalid_argument(arg);
+    return v;
+  } catch (const std::exception&) {
+    throw deepsz::codec::BadOptions(std::string(what) + ": \"" + arg +
+                                    "\" is not a number");
+  }
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: deepsz_tool <command> <args>\n"
-               "  sz-compress <in.f32> <out.sz> [eb=1e-3] [abs|rel|psnr] "
-               "[bins=65536]\n"
-               "  sz-decompress <in.sz> <out.f32>\n"
-               "  sz-info <in.sz>\n"
-               "  zfp-compress <in.f32> <out.zfp> [tolerance=1e-3]\n"
-               "  zfp-decompress <in.zfp> <out.f32>\n"
-               "  pack <in> <out> [gzip|zstd|blosc]\n"
-               "  unpack <in> <out>\n"
-               "  model-info <model.dszc>\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: deepsz_tool <command> <args>\n"
+      "  codecs                               list registered codecs\n"
+      "  sz-compress <in.f32> <out> [eb=1e-3] [codec=sz]\n"
+      "  sz-decompress <in.sz> <out.f32>\n"
+      "  sz-info <in.sz>\n"
+      "  zfp-compress <in.f32> <out.zfp> [tolerance=1e-3]\n"
+      "  zfp-decompress <in.zfp> <out.f32>\n"
+      "  pack <in> <out> [codec=zstd]\n"
+      "  unpack <in> <out>\n"
+      "  model-info <model.dszc>\n"
+      "codec specs are registry names with options, e.g. \"zstd\",\n"
+      "\"blosc:typesize=4\" or \"sz:quant_bins=1024,backend=gzip\";\n"
+      "run `deepsz_tool codecs` for the full list.\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 bad usage, 3 unknown codec,\n"
+      "4 bad codec options or argument value\n");
+  return kExitUsage;
 }
 
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  auto& registry = deepsz::codec::CodecRegistry::instance();
   deepsz::util::WallTimer timer;
 
-  if (cmd == "sz-compress" && argc >= 4) {
-    auto data = as_floats(read_file(argv[2]));
-    deepsz::sz::SzParams params;
-    if (argc >= 5) params.error_bound = std::stod(argv[4]);
-    if (argc >= 6) {
-      std::string mode = argv[5];
-      params.mode = mode == "rel"    ? deepsz::sz::ErrorBoundMode::kRel
-                    : mode == "psnr" ? deepsz::sz::ErrorBoundMode::kPsnr
-                                     : deepsz::sz::ErrorBoundMode::kAbs;
+  if (cmd == "codecs" && argc == 2) {
+    std::printf("%-8s %-6s %s\n", "name", "kind", "summary / options");
+    for (const auto& info : registry.list()) {
+      std::printf("%-8s %-6s %s\n", info.name.c_str(),
+                  info.error_bounded ? "lossy" : "lossless",
+                  info.summary.c_str());
+      if (!info.options_help.empty()) {
+        std::printf("%-8s %-6s   options: %s\n", "", "",
+                    info.options_help.c_str());
+      }
     }
-    if (argc >= 7) params.quant_bins = static_cast<std::uint32_t>(std::stoul(argv[6]));
-    auto stream = deepsz::sz::compress(data, params);
+    return kExitOk;
+  }
+  if (cmd == "sz-compress" && argc >= 4 && argc <= 6) {
+    auto data = as_floats(read_file(argv[2]));
+    const double eb = argc >= 5 ? parse_double(argv[4], "error bound") : 1e-3;
+    auto codec = registry.make_float(argc >= 6 ? argv[5] : "sz");
+    auto stream = codec->encode(data, deepsz::codec::FloatParams{eb});
     write_file(argv[3], stream);
-    std::printf("%zu floats -> %zu bytes (%.2fx) in %.0f ms\n", data.size(),
-                stream.size(),
+    std::printf("%zu floats -> %zu bytes (%.2fx, %s) in %.0f ms\n",
+                data.size(), stream.size(),
                 static_cast<double>(data.size() * 4) / stream.size(),
-                timer.millis());
-    return 0;
+                codec->name().c_str(), timer.millis());
+    return kExitOk;
   }
   if (cmd == "sz-decompress" && argc == 4) {
-    auto back = deepsz::sz::decompress(read_file(argv[2]));
+    auto codec = registry.make_float("sz");
+    auto back = codec->decode(read_file(argv[2]));
     write_file(argv[3], as_bytes(back));
-    std::printf("%zu floats restored in %.0f ms\n", back.size(), timer.millis());
-    return 0;
+    std::printf("%zu floats restored in %.0f ms\n", back.size(),
+                timer.millis());
+    return kExitOk;
   }
   if (cmd == "sz-info" && argc == 3) {
     auto info = deepsz::sz::inspect(read_file(argv[2]));
@@ -127,39 +156,42 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(info.unpredictable));
     std::printf("backend         %s\n",
                 deepsz::lossless::codec_name(info.backend).c_str());
-    return 0;
+    return kExitOk;
   }
-  if (cmd == "zfp-compress" && argc >= 4) {
+  if (cmd == "zfp-compress" && argc >= 4 && argc <= 5) {
     auto data = as_floats(read_file(argv[2]));
-    double tol = argc >= 5 ? std::stod(argv[4]) : 1e-3;
-    auto stream = deepsz::zfp::compress(data, tol);
+    const double tol = argc >= 5 ? parse_double(argv[4], "tolerance") : 1e-3;
+    auto codec = registry.make_float("zfp");
+    auto stream = codec->encode(data, deepsz::codec::FloatParams{tol});
     write_file(argv[3], stream);
     std::printf("%zu floats -> %zu bytes (%.2fx)\n", data.size(),
                 stream.size(),
                 static_cast<double>(data.size() * 4) / stream.size());
-    return 0;
+    return kExitOk;
   }
   if (cmd == "zfp-decompress" && argc == 4) {
-    auto back = deepsz::zfp::decompress(read_file(argv[2]));
+    auto codec = registry.make_float("zfp");
+    auto back = codec->decode(read_file(argv[2]));
     write_file(argv[3], as_bytes(back));
     std::printf("%zu floats restored\n", back.size());
-    return 0;
+    return kExitOk;
   }
-  if (cmd == "pack" && argc >= 4) {
+  if (cmd == "pack" && argc >= 4 && argc <= 5) {
     auto data = read_file(argv[2]);
-    CodecId codec = argc >= 5 ? codec_from_name(argv[4]) : CodecId::kZstdLike;
-    auto frame = deepsz::lossless::compress(codec, data);
+    auto codec = registry.make_byte(argc >= 5 ? argv[4] : "zstd");
+    auto frame = codec->encode(data);
     write_file(argv[3], frame);
     std::printf("%zu -> %zu bytes (%.3fx, %s)\n", data.size(), frame.size(),
                 static_cast<double>(data.size()) / frame.size(),
-                deepsz::lossless::codec_name(codec).c_str());
-    return 0;
+                codec->name().c_str());
+    return kExitOk;
   }
   if (cmd == "unpack" && argc == 4) {
-    auto data = deepsz::lossless::decompress(read_file(argv[2]));
+    auto codec = registry.make_byte("store");  // frames are self-describing
+    auto data = codec->decode(read_file(argv[2]));
     write_file(argv[3], data);
     std::printf("%zu bytes restored\n", data.size());
-    return 0;
+    return kExitOk;
   }
   if (cmd == "model-info" && argc == 3) {
     auto decoded = deepsz::core::decode_model(read_file(argv[2]), false);
@@ -173,7 +205,7 @@ int run(int argc, char** argv) {
     std::printf("decode: %.1f ms (lossless %.1f, SZ %.1f)\n",
                 decoded.timing.total_ms(), decoded.timing.lossless_ms,
                 decoded.timing.sz_ms);
-    return 0;
+    return kExitOk;
   }
   return usage();
 }
@@ -183,8 +215,20 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return run(argc, argv);
+  } catch (const deepsz::codec::UnknownCodec& e) {
+    std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
+    usage();
+    return kExitUnknownCodec;
+  } catch (const deepsz::codec::BadOptions& e) {
+    std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
+    usage();
+    return kExitBadOptions;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
+    usage();
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
 }
