@@ -1,8 +1,11 @@
 #include "core/model_codec.h"
 
+#include <algorithm>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "codec/registry.h"
 #include "util/byte_io.h"
@@ -18,6 +21,13 @@ constexpr std::uint32_t kMagic = 0x435a5344;  // "DSZC"
 // Version 3: per-stream registry codec specs (container v2 of the redesign).
 constexpr std::uint32_t kVersionLegacy = 2;
 constexpr std::uint32_t kVersionCurrent = 3;
+
+// Seekable-index footer: [body][crc32(body) u32][body_len u64][magic u32].
+// Appended after the last layer record; readers that predate it parse the
+// records and never look at the trailing bytes.
+constexpr std::uint32_t kFooterMagic = 0x585a5344;  // "DSZX"
+constexpr std::size_t kTrailerBytes = 16;
+constexpr std::size_t kHeaderBytes = 12;  // magic + version + layer count
 
 /// Runs fn(i) for i in [0, n), across the global pool when requested.
 /// Exceptions are captured per task and the first one rethrown, since
@@ -102,6 +112,7 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
   util::put_le<std::uint32_t>(out, kVersionCurrent);
   util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(n));
 
+  std::vector<ContainerEntry> directory(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& layer = layers[i];
     const auto& s = streams[i];
@@ -117,26 +128,70 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
     stats.index_bytes = s.index.size();
     model.stats.push_back(stats);
 
+    auto& entry = directory[i];
+    entry.name = layer.name;
+    entry.rows = layer.rows;
+    entry.cols = layer.cols;
+    entry.eb = s.eb;
+    entry.data.codec = options.data_codec;
+    entry.index.codec = options.index_codec;
+
+    const std::uint32_t data_crc = util::crc32(s.data);
+    const std::uint32_t index_crc = util::crc32(s.index);
     util::put_string(out, layer.name);
     util::put_le<std::int64_t>(out, layer.rows);
     util::put_le<std::int64_t>(out, layer.cols);
     util::put_le<double>(out, s.eb);
     util::put_string(out, options.data_codec);
     util::put_le<std::uint64_t>(out, s.data.size());
-    util::put_le<std::uint32_t>(out, util::crc32(s.data));
+    util::put_le<std::uint32_t>(out, data_crc);
+    entry.data.offset = out.size();
+    entry.data.length = s.data.size();
+    entry.data.crc = data_crc;
     util::put_bytes(out, s.data);
     util::put_string(out, options.index_codec);
     util::put_le<std::uint64_t>(out, s.index.size());
-    util::put_le<std::uint32_t>(out, util::crc32(s.index));
+    util::put_le<std::uint32_t>(out, index_crc);
+    entry.index.offset = out.size();
+    entry.index.length = s.index.size();
+    entry.index.crc = index_crc;
     util::put_bytes(out, s.index);
 
     auto bias_it = biases.find(layer.name);
     const std::uint64_t bias_count =
         bias_it != biases.end() ? bias_it->second.size() : 0;
     util::put_le<std::uint64_t>(out, bias_count);
+    entry.bias_count = bias_count;
+    entry.bias_offset = bias_count > 0 ? out.size() : 0;
     if (bias_count > 0) {
       for (float b : bias_it->second) util::put_le<float>(out, b);
     }
+  }
+
+  if (options.write_index) {
+    std::vector<std::uint8_t> footer;
+    util::put_le<std::uint32_t>(footer, static_cast<std::uint32_t>(n));
+    for (const auto& e : directory) {
+      util::put_string(footer, e.name);
+      util::put_le<std::int64_t>(footer, e.rows);
+      util::put_le<std::int64_t>(footer, e.cols);
+      util::put_le<double>(footer, e.eb);
+      util::put_string(footer, e.data.codec);
+      util::put_le<std::uint64_t>(footer, e.data.offset);
+      util::put_le<std::uint64_t>(footer, e.data.length);
+      util::put_le<std::uint32_t>(footer, e.data.crc);
+      util::put_string(footer, e.index.codec);
+      util::put_le<std::uint64_t>(footer, e.index.offset);
+      util::put_le<std::uint64_t>(footer, e.index.length);
+      util::put_le<std::uint32_t>(footer, e.index.crc);
+      util::put_le<std::uint64_t>(footer, e.bias_offset);
+      util::put_le<std::uint64_t>(footer, e.bias_count);
+    }
+    const std::uint32_t footer_crc = util::crc32(footer);
+    util::put_bytes(out, footer);
+    util::put_le<std::uint32_t>(out, footer_crc);
+    util::put_le<std::uint64_t>(out, footer.size());
+    util::put_le<std::uint32_t>(out, kFooterMagic);
   }
   return model;
 }
@@ -161,136 +216,340 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
   return encode_model(layers, eb_per_layer, options, biases);
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// ContainerReader
+// ---------------------------------------------------------------------------
 
-/// Byte views of one layer's record, collected during the serial parse so
-/// the expensive stream decodes can run in parallel.
-struct LayerRecord {
-  std::string data_codec;   // empty in legacy containers (implicit "sz")
-  std::string index_codec;  // empty in legacy containers (self-describing)
-  std::uint32_t data_crc = 0;
-  std::uint32_t index_crc = 0;
-  std::span<const std::uint8_t> data_stream;
-  std::span<const std::uint8_t> index_stream;
-};
+ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes,
+                                 DirectorySource source)
+    : bytes_(bytes) {
+  std::uint32_t version = 0;
+  std::uint32_t n_layers = 0;
+  try {
+    util::ByteReader r(bytes_);
+    if (r.get<std::uint32_t>() != kMagic) {
+      throw std::runtime_error("ContainerReader: bad magic");
+    }
+    version = r.get<std::uint32_t>();
+    if (version != kVersionLegacy && version != kVersionCurrent) {
+      throw std::runtime_error("ContainerReader: unsupported version " +
+                               std::to_string(version));
+    }
+    n_layers = r.get<std::uint32_t>();
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("ContainerReader: truncated container");
+  }
 
-}  // namespace
+  // Probe for the footer trailer. When the trailer magic is present the
+  // footer MUST be intact: a mangled footer is corruption, not a reason to
+  // silently fall back to scanning.
+  std::size_t payload_end = bytes_.size();
+  std::size_t body_start = 0;
+  std::size_t body_len = 0;
+  bool footer_present = false;
+  if (bytes_.size() >= kHeaderBytes + kTrailerBytes) {
+    util::ByteReader t(bytes_.subspan(bytes_.size() - kTrailerBytes));
+    const auto body_crc = t.get<std::uint32_t>();
+    const auto len = static_cast<std::size_t>(t.get<std::uint64_t>());
+    if (t.get<std::uint32_t>() == kFooterMagic) {
+      if (len > bytes_.size() - kHeaderBytes - kTrailerBytes) {
+        throw std::runtime_error(
+            "ContainerReader: footer length exceeds container");
+      }
+      body_len = len;
+      body_start = bytes_.size() - kTrailerBytes - body_len;
+      if (util::crc32(bytes_.subspan(body_start, body_len)) != body_crc) {
+        throw std::runtime_error("ContainerReader: footer checksum mismatch");
+      }
+      payload_end = body_start;
+      footer_present = true;
+    }
+  }
+
+  if (footer_present && source == DirectorySource::kAuto) {
+    parse_footer(body_start, body_len, n_layers);
+    has_footer_ = true;
+  } else {
+    scan_records(version, n_layers, payload_end);
+  }
+  validate_entries(payload_end);
+}
+
+void ContainerReader::parse_footer(std::size_t body_start,
+                                   std::size_t body_len,
+                                   std::uint32_t n_layers) {
+  try {
+    util::ByteReader r(bytes_.subspan(body_start, body_len));
+    const auto count = r.get<std::uint32_t>();
+    if (count != n_layers) {
+      throw std::runtime_error(
+          "ContainerReader: footer index count mismatch (header " +
+          std::to_string(n_layers) + ", footer " + std::to_string(count) +
+          ")");
+    }
+    // Each entry is > 96 fixed bytes even with empty strings; an implausible
+    // count must be rejected before any allocation sized by it.
+    if (count > body_len / 96) {
+      throw std::runtime_error("ContainerReader: implausible footer count");
+    }
+    entries_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ContainerEntry e;
+      e.name = r.get_string();
+      e.rows = r.get<std::int64_t>();
+      e.cols = r.get<std::int64_t>();
+      e.eb = r.get<double>();
+      e.data.codec = r.get_string();
+      e.data.offset = r.get<std::uint64_t>();
+      e.data.length = r.get<std::uint64_t>();
+      e.data.crc = r.get<std::uint32_t>();
+      e.index.codec = r.get_string();
+      e.index.offset = r.get<std::uint64_t>();
+      e.index.length = r.get<std::uint64_t>();
+      e.index.crc = r.get<std::uint32_t>();
+      e.bias_offset = r.get<std::uint64_t>();
+      e.bias_count = r.get<std::uint64_t>();
+      entries_.push_back(std::move(e));
+    }
+    if (!r.done()) {
+      throw std::runtime_error("ContainerReader: footer has trailing bytes");
+    }
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("ContainerReader: truncated footer index");
+  }
+}
+
+void ContainerReader::scan_records(std::uint32_t version,
+                                   std::uint32_t n_layers,
+                                   std::size_t payload_end) {
+  try {
+    util::ByteReader r(bytes_.first(payload_end));
+    r.get_bytes(kHeaderBytes);  // already validated by the constructor
+    for (std::uint32_t l = 0; l < n_layers; ++l) {
+      ContainerEntry e;
+      e.name = r.get_string();
+      e.rows = r.get<std::int64_t>();
+      e.cols = r.get<std::int64_t>();
+      e.eb = r.get<double>();
+      if (version == kVersionCurrent) e.data.codec = r.get_string();
+      e.data.length = r.get<std::uint64_t>();
+      e.data.crc = r.get<std::uint32_t>();
+      e.data.offset = r.pos();
+      r.get_bytes(static_cast<std::size_t>(e.data.length));
+      if (version == kVersionCurrent) e.index.codec = r.get_string();
+      e.index.length = r.get<std::uint64_t>();
+      e.index.crc = r.get<std::uint32_t>();
+      e.index.offset = r.pos();
+      r.get_bytes(static_cast<std::size_t>(e.index.length));
+      e.bias_count = r.get<std::uint64_t>();
+      if (e.bias_count > r.remaining() / sizeof(float)) {
+        throw std::runtime_error("ContainerReader: corrupt bias count in " +
+                                 e.name);
+      }
+      e.bias_offset = e.bias_count > 0 ? r.pos() : 0;
+      r.get_bytes(static_cast<std::size_t>(e.bias_count) * sizeof(float));
+      entries_.push_back(std::move(e));
+    }
+    // Only our own encoder emits these files, and it writes nothing between
+    // the last record and the footer: leftover bytes mean a truncated or
+    // corrupted footer whose trailer magic no longer matches.
+    if (!r.done()) {
+      throw std::runtime_error(
+          "ContainerReader: trailing bytes after layer records");
+    }
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error("ContainerReader: truncated container");
+  }
+}
+
+void ContainerReader::validate_entries(std::size_t payload_end) {
+  // (offset, end, what) extents; every stream and bias must lie inside the
+  // record payload area and no two may overlap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  auto add_extent = [&](const std::string& name, std::uint64_t offset,
+                        std::uint64_t length) {
+    if (length == 0) return;
+    if (offset < kHeaderBytes || length > payload_end ||
+        offset > payload_end - length) {
+      throw std::runtime_error(
+          "ContainerReader: stream extent out of range in " + name);
+    }
+    extents.emplace_back(offset, offset + length);
+  };
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (!by_name_.emplace(e.name, i).second) {
+      throw std::runtime_error("ContainerReader: duplicate layer name " +
+                               e.name);
+    }
+    if (e.rows < 0 || e.cols < 0) {
+      throw std::runtime_error("ContainerReader: negative shape in " + e.name);
+    }
+    add_extent(e.name, e.data.offset, e.data.length);
+    add_extent(e.name, e.index.offset, e.index.length);
+    // Guard the multiplication: a count near 2^62 would wrap to a small
+    // (even zero) byte extent and sail through the range check.
+    if (e.bias_count > payload_end / sizeof(float)) {
+      throw std::runtime_error(
+          "ContainerReader: stream extent out of range in " + e.name);
+    }
+    add_extent(e.name, e.bias_offset, e.bias_count * sizeof(float));
+  }
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].first < extents[i - 1].second) {
+      throw std::runtime_error(
+          "ContainerReader: overlapping stream extents in footer index");
+    }
+  }
+}
+
+const ContainerEntry& ContainerReader::entry(const std::string& name) const {
+  return entries_[index_of(name)];
+}
+
+std::size_t ContainerReader::index_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range("ContainerReader: no layer named " + name);
+  }
+  return it->second;
+}
+
+bool ContainerReader::contains(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::size_t ContainerReader::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.payload_bytes();
+  return total;
+}
+
+std::shared_ptr<codec::FloatCodec> ContainerReader::float_codec(
+    const std::string& spec) const {
+  std::lock_guard<std::mutex> lock(codec_mu_);
+  auto it = float_codecs_.find(spec);
+  if (it != float_codecs_.end()) return it->second;
+  try {
+    auto c = codec::CodecRegistry::instance().make_float(spec);
+    float_codecs_[spec] = c;
+    return c;
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(
+        std::string(
+            "ContainerReader: unresolvable codec spec in container (") +
+        e.what() + ")");
+  }
+}
+
+std::shared_ptr<codec::ByteCodec> ContainerReader::byte_codec(
+    const std::string& spec) const {
+  std::lock_guard<std::mutex> lock(codec_mu_);
+  auto it = byte_codecs_.find(spec);
+  if (it != byte_codecs_.end()) return it->second;
+  try {
+    auto c = codec::CodecRegistry::instance().make_byte(spec);
+    byte_codecs_[spec] = c;
+    return c;
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(
+        std::string(
+            "ContainerReader: unresolvable codec spec in container (") +
+        e.what() + ")");
+  }
+}
+
+sparse::PrunedLayer ContainerReader::decode_layer(std::size_t i,
+                                                  DecodeTiming* timing) const {
+  const auto& e = entries_.at(i);
+  const auto data_stream =
+      bytes_.subspan(static_cast<std::size_t>(e.data.offset),
+                     static_cast<std::size_t>(e.data.length));
+  const auto index_stream =
+      bytes_.subspan(static_cast<std::size_t>(e.index.offset),
+                     static_cast<std::size_t>(e.index.length));
+  if (util::crc32(data_stream) != e.data.crc ||
+      util::crc32(index_stream) != e.index.crc) {
+    throw std::runtime_error("ContainerReader: checksum mismatch in " +
+                             e.name);
+  }
+
+  sparse::PrunedLayer layer;
+  layer.name = e.name;
+  layer.rows = e.rows;
+  layer.cols = e.cols;
+
+  // Legacy containers carry no codec specs; their data streams are implicit
+  // SZ and their index frames self-describing, which "store" decodes.
+  util::WallTimer timer;
+  layer.index =
+      byte_codec(e.index.codec.empty() ? "store" : e.index.codec)
+          ->decode(index_stream);
+  const double lossless_ms = timer.millis();
+  timer.reset();
+  layer.data = float_codec(e.data.codec.empty() ? "sz" : e.data.codec)
+                   ->decode(data_stream);
+  const double sz_ms = timer.millis();
+
+  if (layer.data.size() != layer.index.size()) {
+    throw std::runtime_error("ContainerReader: data/index mismatch in " +
+                             e.name);
+  }
+  if (timing) {
+    timing->lossless_ms = lossless_ms;
+    timing->sz_ms = sz_ms;
+    timing->reconstruct_ms = 0.0;
+  }
+  return layer;
+}
+
+sparse::PrunedLayer ContainerReader::decode_layer(const std::string& name,
+                                                  DecodeTiming* timing) const {
+  return decode_layer(index_of(name), timing);
+}
+
+std::vector<float> ContainerReader::decode_bias(std::size_t i) const {
+  const auto& e = entries_.at(i);
+  std::vector<float> bias(static_cast<std::size_t>(e.bias_count));
+  if (!bias.empty()) {
+    std::memcpy(bias.data(),
+                bytes_.data() + static_cast<std::size_t>(e.bias_offset),
+                bias.size() * sizeof(float));
+  }
+  return bias;
+}
+
+std::vector<float> ContainerReader::decode_bias(const std::string& name) const {
+  return decode_bias(index_of(name));
+}
+
+// ---------------------------------------------------------------------------
+// Full decode
+// ---------------------------------------------------------------------------
 
 DecodedModel decode_model(std::span<const std::uint8_t> bytes,
                           bool reconstruct_dense, bool parallel) {
+  // A full decode walks every record (not the footer), so corruption in any
+  // record header — not just in stream payloads — is detected.
+  ContainerReader reader(bytes, ContainerReader::DirectorySource::kScanRecords);
+
   DecodedModel model;
-  std::vector<LayerRecord> records;
-  try {
-    util::ByteReader r(bytes);
-    if (r.get<std::uint32_t>() != kMagic) {
-      throw std::runtime_error("decode_model: bad magic");
-    }
-    const auto version = r.get<std::uint32_t>();
-    if (version != kVersionLegacy && version != kVersionCurrent) {
-      throw std::runtime_error("decode_model: unsupported version " +
-                               std::to_string(version));
-    }
-    const auto n_layers = r.get<std::uint32_t>();
-
-    for (std::uint32_t l = 0; l < n_layers; ++l) {
-      sparse::PrunedLayer layer;
-      LayerRecord rec;
-      layer.name = r.get_string();
-      layer.rows = r.get<std::int64_t>();
-      layer.cols = r.get<std::int64_t>();
-      r.get<double>();  // eb (informational)
-
-      if (version == kVersionCurrent) rec.data_codec = r.get_string();
-      auto data_len = static_cast<std::size_t>(r.get<std::uint64_t>());
-      rec.data_crc = r.get<std::uint32_t>();
-      rec.data_stream = r.get_bytes(data_len);
-      if (version == kVersionCurrent) rec.index_codec = r.get_string();
-      auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
-      rec.index_crc = r.get<std::uint32_t>();
-      rec.index_stream = r.get_bytes(index_len);
-
-      auto bias_count = static_cast<std::size_t>(r.get<std::uint64_t>());
-      if (bias_count > r.remaining() / sizeof(float)) {
-        throw std::runtime_error("decode_model: corrupt bias count in " +
-                                 layer.name);
-      }
-      if (bias_count > 0) {
-        std::vector<float> bias(bias_count);
-        for (auto& b : bias) b = r.get<float>();
-        model.biases[layer.name] = std::move(bias);
-      }
-      model.layers.push_back(std::move(layer));
-      records.push_back(rec);
-    }
-  } catch (const std::out_of_range&) {
-    throw std::runtime_error("decode_model: truncated container");
+  const std::size_t n = reader.num_layers();
+  model.layers.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = reader.entry(i);
+    if (e.bias_count > 0) model.biases[e.name] = reader.decode_bias(i);
   }
 
-  // Resolve each distinct codec spec once, before the parallel region. The
-  // specs come from the (CRC-unprotected) container header, so resolution
-  // failures are corruption, not caller error.
-  auto& registry = codec::CodecRegistry::instance();
-  std::map<std::string, std::shared_ptr<codec::FloatCodec>> float_codecs;
-  std::map<std::string, std::shared_ptr<codec::ByteCodec>> byte_codecs;
-  try {
-    for (const auto& rec : records) {
-      const std::string data_spec =
-          rec.data_codec.empty() ? "sz" : rec.data_codec;
-      if (!float_codecs.count(data_spec)) {
-        float_codecs[data_spec] = registry.make_float(data_spec);
-      }
-      // Legacy containers carry no index spec; their frames are builtin
-      // self-describing lossless frames, which "store" decodes.
-      const std::string index_spec =
-          rec.index_codec.empty() ? "store" : rec.index_codec;
-      if (!byte_codecs.count(index_spec)) {
-        byte_codecs[index_spec] = registry.make_byte(index_spec);
-      }
-    }
-  } catch (const std::invalid_argument& e) {
-    throw std::runtime_error(
-        std::string("decode_model: unresolvable codec spec in container (") +
-        e.what() + ")");
-  }
-
-  const std::size_t n = records.size();
-  struct LayerTiming {
-    double lossless_ms = 0.0;
-    double sz_ms = 0.0;
-    double reconstruct_ms = 0.0;
-  };
-  std::vector<LayerTiming> timings(n);
-
+  std::vector<DecodeTiming> timings(n);
   for_each_layer(n, parallel, [&](std::size_t i) {
-    const auto& rec = records[i];
-    auto& layer = model.layers[i];
     auto& t = timings[i];
-    if (util::crc32(rec.data_stream) != rec.data_crc ||
-        util::crc32(rec.index_stream) != rec.index_crc) {
-      throw std::runtime_error("decode_model: checksum mismatch in " +
-                               layer.name);
-    }
-
-    util::WallTimer timer;
-    const std::string index_spec =
-        rec.index_codec.empty() ? "store" : rec.index_codec;
-    layer.index = byte_codecs.at(index_spec)->decode(rec.index_stream);
-    t.lossless_ms = timer.millis();
-
-    const std::string spec = rec.data_codec.empty() ? "sz" : rec.data_codec;
-    timer.reset();
-    layer.data = float_codecs.at(spec)->decode(rec.data_stream);
-    t.sz_ms = timer.millis();
-
-    if (layer.data.size() != layer.index.size()) {
-      throw std::runtime_error("decode_model: data/index mismatch in " +
-                               layer.name);
-    }
-
+    model.layers[i] = reader.decode_layer(i, &t);
     if (reconstruct_dense) {
-      timer.reset();
+      util::WallTimer timer;
       volatile float sink = 0.0f;
-      auto dense = layer.to_dense();
+      auto dense = model.layers[i].to_dense();
       sink = sink + (dense.empty() ? 0.0f : dense[0]);  // keep the work
       t.reconstruct_ms = timer.millis();
     }

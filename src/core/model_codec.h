@@ -8,6 +8,13 @@
 // are guarded by a CRC-32. Layers are encoded and decoded in parallel via
 // util::ThreadPool::global().
 //
+// New containers additionally carry a seekable index: a per-stream
+// offset/length table appended as a footer (trailer magic "DSZX"), so
+// ContainerReader can decode one named layer without touching any other
+// layer's bytes — the substrate of the serving layer (serve/model_store.h).
+// Indexless containers are still read by a cheap record scan that never
+// decodes stream payloads. See docs/container_format.md for the wire layout.
+//
 // The decoder also accepts version-2 containers written before the codec
 // registry existed (implicit SZ data + self-describing lossless index
 // streams) and reports the Figure-7b timing breakdown: lossless
@@ -17,12 +24,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "lossless/codec.h"
 #include "sparse/pruned_layer.h"
 #include "sz/sz.h"
+
+namespace deepsz::codec {
+class ByteCodec;
+class FloatCodec;
+}  // namespace deepsz::codec
 
 namespace deepsz::core {
 
@@ -65,6 +80,10 @@ struct ContainerOptions {
   /// Encode/decode per-layer streams across ThreadPool::global(). Serial
   /// execution (for timing comparisons) when false or on a 1-thread host.
   bool parallel = true;
+  /// Append the seekable footer index (offset/length/CRC per stream). Old
+  /// readers ignore the trailing bytes; disabling produces an indexless
+  /// container that ContainerReader falls back to scanning.
+  bool write_index = true;
 };
 
 /// Encodes pruned layers with per-layer error bounds (missing layers use
@@ -117,5 +136,110 @@ struct DecodedModel {
 DecodedModel decode_model(std::span<const std::uint8_t> bytes,
                           bool reconstruct_dense = true,
                           bool parallel = true);
+
+// ---------------------------------------------------------------------------
+// Random access
+// ---------------------------------------------------------------------------
+
+/// Location and identity of one encoded stream inside a container.
+struct StreamRef {
+  std::string codec;           // registry spec; empty = legacy implicit codec
+  std::uint64_t offset = 0;    // absolute byte offset of the stream payload
+  std::uint64_t length = 0;    // payload length in bytes
+  std::uint32_t crc = 0;       // CRC-32 of the payload
+};
+
+/// One layer's directory entry: everything needed to decode the layer
+/// without parsing any other record.
+struct ContainerEntry {
+  std::string name;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  double eb = 0.0;
+  StreamRef data;              // error-bounded stream (weights)
+  StreamRef index;             // lossless stream (position deltas)
+  std::uint64_t bias_offset = 0;  // absolute offset of the raw fp32 bias
+  std::uint64_t bias_count = 0;   // number of bias floats (0 = none stored)
+
+  /// Compressed payload cost of this layer (both streams).
+  std::size_t payload_bytes() const {
+    return static_cast<std::size_t>(data.length + index.length);
+  }
+};
+
+/// Random access into a model container: decodes a single named layer
+/// without touching any other layer's stream bytes.
+///
+/// Construction parses the footer index when present (O(#layers), no stream
+/// bytes read); indexless containers — both legacy version 2 and version 3
+/// written with write_index=false — are scanned record by record, which reads
+/// record headers only and still never decodes or checksums stream payloads.
+/// The reader is non-owning: `bytes` must outlive it. decode_layer() is
+/// const and thread-safe; distinct layers decode concurrently.
+class ContainerReader {
+ public:
+  /// Where the layer directory comes from. kAuto prefers the footer index
+  /// and falls back to scanning; kScanRecords always walks the records —
+  /// decode_model uses it so corruption anywhere in a record (not just in
+  /// stream payloads) is still detected on a full decode.
+  enum class DirectorySource { kAuto, kScanRecords };
+
+  /// Parses the directory. Throws std::runtime_error on a corrupt or
+  /// truncated container (bad magic, malformed footer, out-of-range or
+  /// overlapping stream extents, duplicate layer names, count mismatch).
+  explicit ContainerReader(std::span<const std::uint8_t> bytes,
+                           DirectorySource source = DirectorySource::kAuto);
+
+  /// True when the container carried a footer index (seek, no scan).
+  bool has_footer_index() const { return has_footer_; }
+
+  std::size_t num_layers() const { return entries_.size(); }
+  const std::vector<ContainerEntry>& entries() const { return entries_; }
+  const ContainerEntry& entry(std::size_t i) const { return entries_.at(i); }
+
+  /// Directory entry by layer name; throws std::out_of_range if absent.
+  const ContainerEntry& entry(const std::string& name) const;
+  /// Position of the named layer in entries(); throws std::out_of_range.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// Sum of all layers' compressed stream bytes.
+  std::size_t payload_bytes() const;
+
+  /// Decodes exactly one layer: CRC-checks and decodes that layer's two
+  /// streams and nothing else. `timing`, when given, receives the lossless /
+  /// error-bounded phase split for this layer alone.
+  sparse::PrunedLayer decode_layer(std::size_t i,
+                                   DecodeTiming* timing = nullptr) const;
+  sparse::PrunedLayer decode_layer(const std::string& name,
+                                   DecodeTiming* timing = nullptr) const;
+
+  /// Copies the layer's stored bias out of the container ({} when absent).
+  std::vector<float> decode_bias(std::size_t i) const;
+  std::vector<float> decode_bias(const std::string& name) const;
+
+ private:
+  void parse_footer(std::size_t body_start, std::size_t body_len,
+                    std::uint32_t n_layers);
+  void scan_records(std::uint32_t version, std::uint32_t n_layers,
+                    std::size_t payload_end);
+  void validate_entries(std::size_t payload_end);
+
+  std::shared_ptr<codec::FloatCodec> float_codec(const std::string& spec) const;
+  std::shared_ptr<codec::ByteCodec> byte_codec(const std::string& spec) const;
+
+  std::span<const std::uint8_t> bytes_;
+  bool has_footer_ = false;
+  std::vector<ContainerEntry> entries_;
+  std::map<std::string, std::size_t> by_name_;
+
+  // Codec instances are stateless; memoize resolution per distinct spec so
+  // concurrent decode_layer calls don't re-parse option strings.
+  mutable std::mutex codec_mu_;
+  mutable std::map<std::string, std::shared_ptr<codec::FloatCodec>>
+      float_codecs_;
+  mutable std::map<std::string, std::shared_ptr<codec::ByteCodec>>
+      byte_codecs_;
+};
 
 }  // namespace deepsz::core

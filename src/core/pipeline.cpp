@@ -104,7 +104,18 @@ DeepSzReport run_deepsz(nn::Network& net, const nn::Tensor& train_images,
 DecodeTiming load_compressed_model(std::span<const std::uint8_t> bytes,
                                    nn::Network& net) {
   DecodedModel decoded = decode_model(bytes, /*reconstruct_dense=*/false);
+  // Repeated loads are idempotent: the network ends up in the same state no
+  // matter how many times (or into what prior state) the model is loaded,
+  // and each call reports only its own timing — decode_model starts from a
+  // zeroed DecodeTiming (reconstruct_ms stays 0 with reconstruct_dense off),
+  // so the reload cost below is assigned, never accumulated, and a
+  // DeepSzReport that stores the result never double-reports a phase.
   util::WallTimer timer;
+  // A serving session may have left bound (externally owned) weights on any
+  // fc-layer — including ones this container does not cover — which would
+  // shadow the layer's own weights in forward(). Loading a model puts the
+  // whole network back on its own storage.
+  for (auto* d : net.dense_layers()) d->unbind_weights();
   load_layers_into_network(decoded.layers, net);
   for (const auto& [name, bias] : decoded.biases) {
     if (auto* d = net.find_dense(name)) {

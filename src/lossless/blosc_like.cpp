@@ -30,9 +30,12 @@ std::vector<std::uint8_t> shuffle(std::span<const std::uint8_t> in,
       out[j * n + i] = in[i * typesize + j];
     }
   }
-  // Trailing bytes that do not form a whole element pass through.
-  std::memcpy(out.data() + n * typesize, in.data() + n * typesize,
-              in.size() - n * typesize);
+  // Trailing bytes that do not form a whole element pass through. (Guard:
+  // memcpy with a null source/destination is UB even for zero bytes, and an
+  // empty input's vector data() is null.)
+  if (const std::size_t tail = in.size() - n * typesize; tail > 0) {
+    std::memcpy(out.data() + n * typesize, in.data() + n * typesize, tail);
+  }
   return out;
 }
 
@@ -45,8 +48,9 @@ std::vector<std::uint8_t> unshuffle(std::span<const std::uint8_t> in,
       out[i * typesize + j] = in[j * n + i];
     }
   }
-  std::memcpy(out.data() + n * typesize, in.data() + n * typesize,
-              in.size() - n * typesize);
+  if (const std::size_t tail = in.size() - n * typesize; tail > 0) {
+    std::memcpy(out.data() + n * typesize, in.data() + n * typesize, tail);
+  }
   return out;
 }
 
@@ -124,7 +128,7 @@ std::vector<std::uint8_t> lz4ish_compress_block(std::span<const std::uint8_t> in
 std::vector<std::uint8_t> lz4ish_decompress_block(
     std::span<const std::uint8_t> in, std::size_t raw_size) {
   std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
+  out.reserve(untrusted_reserve_hint(raw_size, in.size()));
   std::size_t pos = 0;
   while (pos < in.size()) {
     std::uint8_t token = in[pos++];
@@ -205,7 +209,11 @@ std::vector<std::uint8_t> blosc_like_decompress(
   auto typesize = r.get<std::uint32_t>();
   auto block = static_cast<std::size_t>(r.get<std::uint64_t>());
   auto n_blocks = static_cast<std::size_t>(r.get<std::uint64_t>());
-  if (block == 0 || n_blocks > raw_size / 1 + 1) {
+  // Every block needs an 8-byte size field in the payload, so bounding
+  // n_blocks by the bytes actually present rejects a forged count before
+  // the n_blocks-sized allocations below.
+  if (block == 0 || n_blocks > raw_size / 1 + 1 ||
+      n_blocks > r.remaining() / 8) {
     throw std::runtime_error("blosc_like: corrupt header");
   }
   std::vector<std::size_t> sizes(n_blocks);
@@ -224,7 +232,7 @@ std::vector<std::uint8_t> blosc_like_decompress(
   });
 
   std::vector<std::uint8_t> shuffled;
-  shuffled.reserve(raw_size);
+  shuffled.reserve(untrusted_reserve_hint(raw_size, payload.size()));
   for (auto& blk : blocks) {
     shuffled.insert(shuffled.end(), blk.begin(), blk.end());
   }

@@ -50,6 +50,20 @@ struct BloscOptions {
 std::vector<std::uint8_t> compress_blosc(std::span<const std::uint8_t> data,
                                          const BloscOptions& opts);
 
+/// Reserve hint for an output buffer whose final size comes from an
+/// untrusted header field. Never exceeds a small multiple of the compressed
+/// payload actually present, so a mutated raw_size cannot trigger a giant
+/// upfront allocation (every decode loop still bounds-checks real growth
+/// against raw_size as it goes, and the frame-level size check rejects any
+/// mismatch). Upfront allocations must use this — a plain reserve(raw_size)
+/// aborts the ASan CI job on a fuzzed frame instead of throwing.
+inline std::size_t untrusted_reserve_hint(std::size_t claimed_raw_size,
+                                          std::size_t payload_size) {
+  const std::size_t cap =
+      payload_size > 4096 ? payload_size * 64 : std::size_t{1} << 18;
+  return claimed_raw_size < cap ? claimed_raw_size : cap;
+}
+
 // Raw (frameless) codec entry points, used internally and by the micro
 // benchmarks. Each returns only the payload; raw_size bookkeeping is the
 // caller's job.

@@ -149,7 +149,7 @@ std::vector<std::uint8_t> gzip_like_decompress(
   dist_dec.read_table(br);
 
   std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
+  out.reserve(untrusted_reserve_hint(raw_size, payload.size()));
   for (;;) {
     // A valid stream ends with kEndOfBlock before the reader runs dry; past
     // the end BitReader yields zero bits, which a corrupt stream could keep

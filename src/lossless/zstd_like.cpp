@@ -155,9 +155,12 @@ std::vector<std::uint8_t> zstd_like_decompress(
   auto n_seq = static_cast<std::size_t>(br.read_bits(32));
   auto n_lit = static_cast<std::size_t>(br.read_bits(32));
   // A valid parse never carries more literals than output bytes, nor more
-  // sequences than output bytes + 1; reject corrupt counts before they turn
-  // into allocations or long decode loops.
-  if (n_lit > raw_size || n_seq > raw_size + 1) {
+  // sequences than output bytes + 1; and every literal/sequence costs at
+  // least one payload bit, so counts are also bounded by the bytes actually
+  // present. Reject corrupt counts before they turn into allocations or
+  // long decode loops (raw_size alone is untrusted too).
+  if (n_lit > raw_size || n_seq > raw_size + 1 ||
+      n_lit > payload.size() * 8 || n_seq > payload.size() * 8) {
     throw std::runtime_error("zstd_like: corrupt section counts");
   }
 
@@ -173,7 +176,7 @@ std::vector<std::uint8_t> zstd_like_decompress(
   }
 
   std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
+  out.reserve(untrusted_reserve_hint(raw_size, payload.size()));
   std::size_t lit_pos = 0;
   for (std::size_t s = 0; s < n_seq; ++s) {
     std::uint32_t bl = ll_dec.decode(br);

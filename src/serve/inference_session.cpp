@@ -1,0 +1,86 @@
+#include "serve/inference_session.h"
+
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "util/timer.h"
+
+namespace deepsz::serve {
+
+InferenceSession::InferenceSession(ModelStore& store, nn::Network& net)
+    : store_(store), net_(net), pinned_(net.num_layers()) {
+  for (const auto& layer : net_.layers()) {
+    auto* dense = dynamic_cast<nn::Dense*>(layer.get());
+    if (dense != nullptr && store_.reader().contains(dense->name())) {
+      const auto& entry = store_.reader().entry(dense->name());
+      if (entry.rows != dense->out_features() ||
+          entry.cols != dense->in_features()) {
+        throw std::invalid_argument(
+            "InferenceSession: container layer " + dense->name() +
+            " does not match the network's " + dense->name() + " shape");
+      }
+    }
+  }
+}
+
+InferenceSession::~InferenceSession() { release_layers(); }
+
+void InferenceSession::release_layers() {
+  const auto& layers = net_.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (!pinned_[i]) continue;
+    if (auto* dense = dynamic_cast<nn::Dense*>(layers[i].get())) {
+      dense->unbind_weights();
+    }
+    pinned_[i].reset();
+  }
+}
+
+nn::Tensor InferenceSession::infer(const nn::Tensor& batch) {
+  nn::Tensor x = batch;
+  const auto& layers = net_.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    auto* layer = layers[i].get();
+    auto* dense = dynamic_cast<nn::Dense*>(layer);
+    if (dense != nullptr && !pinned_[i] &&
+        store_.reader().contains(dense->name())) {
+      // First time this request path reaches the layer: fetch the decoded
+      // form (cache hit, coalesced wait, or an actual decode) and bind it.
+      util::WallTimer wait;
+      auto served = store_.get(dense->name());
+      stats_.decode_wait_ms += wait.millis();
+      dense->bind_weights(served->dense, served->bias);
+      pinned_[i] = std::move(served);
+      ++stats_.layer_installs;
+    }
+    util::WallTimer compute;
+    x = layer->forward(x, /*train=*/false);
+    stats_.compute_ms += compute.millis();
+  }
+  ++stats_.requests;
+  stats_.samples += static_cast<std::uint64_t>(batch.dim(0));
+  return x;
+}
+
+nn::Network make_fc_network(const core::ContainerReader& reader,
+                            const std::string& name) {
+  const auto& entries = reader.entries();
+  if (entries.empty()) {
+    throw std::invalid_argument("make_fc_network: container has no layers");
+  }
+  nn::Network net(name);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i > 0 && entries[i - 1].rows != e.cols) {
+      throw std::invalid_argument(
+          "make_fc_network: " + entries[i - 1].name + " [" +
+          std::to_string(entries[i - 1].rows) + " out] does not feed " +
+          e.name + " [" + std::to_string(e.cols) + " in]");
+    }
+    net.add<nn::Dense>(e.cols, e.rows)->set_name(e.name);
+    if (i + 1 < entries.size()) net.add<nn::ReLU>();
+  }
+  return net;
+}
+
+}  // namespace deepsz::serve

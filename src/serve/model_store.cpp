@@ -1,0 +1,179 @@
+#include "serve/model_store.h"
+
+#include <condition_variable>
+#include <exception>
+
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+namespace deepsz::serve {
+
+/// Rendezvous for callers that requested a layer already being decoded.
+struct ModelStore::InFlight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const ServedLayer> result;
+  std::exception_ptr error;
+};
+
+ModelStore::ModelStore(std::vector<std::uint8_t> container,
+                       ModelStoreOptions options)
+    : container_(std::move(container)),
+      options_(options),
+      reader_(container_) {}
+
+std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
+  // Unknown names throw std::out_of_range before any cache bookkeeping.
+  const std::size_t entry_index = reader_.index_of(name);
+
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(name);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.layer;
+    }
+    auto fit = in_flight_.find(name);
+    if (fit != in_flight_.end()) {
+      ++stats_.coalesced;
+      flight = fit->second;
+    } else {
+      ++stats_.misses;
+      flight = std::make_shared<InFlight>();
+      in_flight_[name] = flight;
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->m);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  // Decode outside mu_ so distinct layers decode concurrently.
+  std::shared_ptr<const ServedLayer> layer;
+  std::exception_ptr error;
+  try {
+    layer = decode_now(entry_index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(name);
+    if (layer) {
+      stats_.decode_ms += layer->timing.total_ms();
+      insert_and_evict(name, layer);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->m);
+    flight->result = layer;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+
+  if (error) std::rethrow_exception(error);
+  return layer;
+}
+
+std::shared_ptr<const ServedLayer> ModelStore::decode_now(
+    std::size_t entry_index) {
+  auto served = std::make_shared<ServedLayer>();
+  core::DecodeTiming timing;
+  auto sparse_layer = reader_.decode_layer(entry_index, &timing);
+
+  util::WallTimer timer;
+  served->name = sparse_layer.name;
+  served->rows = sparse_layer.rows;
+  served->cols = sparse_layer.cols;
+  served->dense = sparse_layer.to_dense();
+  served->bias = reader_.decode_bias(entry_index);
+  timing.reconstruct_ms = timer.millis();
+  served->timing = timing;
+  if (options_.keep_sparse) served->sparse = std::move(sparse_layer);
+  return served;
+}
+
+void ModelStore::insert_and_evict(const std::string& name,
+                                  std::shared_ptr<const ServedLayer> layer) {
+  // Called under mu_.
+  const std::size_t layer_bytes = layer->bytes();
+  lru_.push_front(name);
+  cache_[name] = CacheEntry{std::move(layer), lru_.begin()};
+  stats_.cached_bytes += layer_bytes;
+  stats_.cached_layers = cache_.size();
+
+  // Evict from the LRU tail until the budget holds. A single layer larger
+  // than the whole budget evicts itself: it was still served, just never
+  // retained.
+  while (stats_.cached_bytes > options_.cache_budget_bytes && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    auto it = cache_.find(victim);
+    stats_.cached_bytes -= it->second.layer->bytes();
+    cache_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.cached_layers = cache_.size();
+}
+
+std::shared_ptr<const ServedLayer> ModelStore::peek(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(name);
+  return it != cache_.end() ? it->second.layer : nullptr;
+}
+
+void ModelStore::warmup(bool parallel) {
+  const std::size_t n = reader_.num_layers();
+  if (!parallel || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) get(reader_.entry(i).name);
+    return;
+  }
+  // Exceptions must not escape pool tasks; surface the first one here.
+  std::vector<std::exception_ptr> errors(n);
+  util::parallel_for(0, n, [&](std::size_t i) {
+    try {
+      get(reader_.entry(i).name);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ModelStore::evict_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += cache_.size();
+  cache_.clear();
+  lru_.clear();
+  stats_.cached_bytes = 0;
+  stats_.cached_layers = 0;
+}
+
+CacheStats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ModelStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t bytes = stats_.cached_bytes;
+  const std::size_t layers = stats_.cached_layers;
+  stats_ = CacheStats{};
+  stats_.cached_bytes = bytes;
+  stats_.cached_layers = layers;
+}
+
+}  // namespace deepsz::serve

@@ -1,0 +1,136 @@
+// Random-access model serving: a byte-budgeted, thread-safe layer-decode
+// cache over a compressed container.
+//
+// The paper's deployment story (Section 5.4, Figure 7b) decodes the whole
+// container before the first inference; at serving scale that front-loads
+// every layer's codec cost onto the first request and re-pays it whenever a
+// model is reloaded. ModelStore instead decodes layers on first use through
+// core::ContainerReader's seekable index and memoizes the inference-ready
+// (dense) form behind an LRU cache with a byte budget:
+//
+//   - get() on a cached layer is a map lookup (zero codec work);
+//   - concurrent get() of distinct layers decode in parallel (the lock is
+//     not held during codec work);
+//   - concurrent get() of the same layer coalesces: one caller decodes,
+//     the rest wait for its result;
+//   - entries are shared_ptr, so eviction never invalidates a layer an
+//     inference thread is still reading.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model_codec.h"
+
+namespace deepsz::serve {
+
+struct ModelStoreOptions {
+  /// Cache budget over ServedLayer::bytes(). Layers larger than the whole
+  /// budget are still served (decoded, returned, dropped immediately).
+  std::size_t cache_budget_bytes = 256ull << 20;
+  /// Keep the sparse (data/index) arrays alongside the dense matrix. Off by
+  /// default: serving only needs the dense form.
+  bool keep_sparse = false;
+};
+
+/// One decoded, inference-ready fc-layer. Immutable after publication;
+/// handed out as shared_ptr<const> so readers outlive eviction.
+struct ServedLayer {
+  std::string name;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<float> dense;  // row-major [rows x cols]
+  std::vector<float> bias;   // empty when the container stores none
+  sparse::PrunedLayer sparse;       // populated iff keep_sparse
+  core::DecodeTiming timing;        // codec cost paid to produce this entry
+
+  std::size_t bytes() const {
+    return dense.size() * sizeof(float) + bias.size() * sizeof(float) +
+           sparse.data.size() * sizeof(float) + sparse.index.size() +
+           name.size();
+  }
+};
+
+/// Cache counters. hits/misses/coalesced count get() outcomes; decode_ms is
+/// the cumulative codec time paid by misses (zero in a warm steady state).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;   // waited on another caller's decode
+  std::uint64_t evictions = 0;
+  std::size_t cached_bytes = 0;
+  std::size_t cached_layers = 0;
+  double decode_ms = 0.0;
+
+  std::uint64_t lookups() const { return hits + misses + coalesced; }
+  /// Fraction of lookups served without this caller running a codec.
+  double hit_rate() const {
+    const auto n = lookups();
+    return n ? static_cast<double>(hits + coalesced) / n : 0.0;
+  }
+};
+
+class ModelStore {
+ public:
+  /// Takes ownership of the container bytes. Throws std::runtime_error on a
+  /// corrupt container (directory parsing happens here; stream payloads are
+  /// only touched when a layer is first requested).
+  explicit ModelStore(std::vector<std::uint8_t> container,
+                      ModelStoreOptions options = {});
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  const core::ContainerReader& reader() const { return reader_; }
+  const ModelStoreOptions& options() const { return options_; }
+
+  /// Returns the decoded layer, decoding on miss. Thread-safe; duplicate
+  /// in-flight decodes of one layer coalesce onto a single codec run.
+  /// Throws std::out_of_range for an unknown name and std::runtime_error
+  /// for a corrupt layer (every waiter observes the same failure).
+  std::shared_ptr<const ServedLayer> get(const std::string& name);
+
+  /// Cache probe without decoding; nullptr on miss. Does not touch LRU
+  /// order or the stats counters.
+  std::shared_ptr<const ServedLayer> peek(const std::string& name) const;
+
+  /// Decodes every layer into the cache, in parallel on ThreadPool::global()
+  /// when `parallel` (distinct layers decode concurrently; the budget still
+  /// applies, so a model larger than the budget warms only its LRU tail).
+  void warmup(bool parallel = true);
+
+  /// Drops every cached entry (outstanding shared_ptrs stay valid).
+  void evict_all();
+
+  CacheStats stats() const;
+  /// Zeroes the counters (cached_bytes/cached_layers are recomputed).
+  void reset_stats();
+
+ private:
+  struct InFlight;
+
+  std::shared_ptr<const ServedLayer> decode_now(std::size_t entry_index);
+  void insert_and_evict(const std::string& name,
+                        std::shared_ptr<const ServedLayer> layer);
+
+  const std::vector<std::uint8_t> container_;
+  const ModelStoreOptions options_;
+  core::ContainerReader reader_;  // views container_; declared after it
+
+  mutable std::mutex mu_;
+  struct CacheEntry {
+    std::shared_ptr<const ServedLayer> layer;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  CacheStats stats_;
+};
+
+}  // namespace deepsz::serve

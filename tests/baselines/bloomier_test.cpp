@@ -18,7 +18,8 @@ std::vector<std::pair<std::uint64_t, std::uint32_t>> random_entries(
     keys.insert(rng.next_u64() % (n * 100));
   }
   std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
-  const std::uint32_t vmask = (1u << value_bits) - 1;
+  const std::uint32_t vmask =
+      value_bits >= 32 ? 0xffffffffu : (1u << value_bits) - 1u;
   for (auto k : keys) {
     entries.emplace_back(k, rng.next_u32() & vmask);
   }

@@ -1,0 +1,272 @@
+// ModelStore: byte-budgeted LRU over decoded layers, thread-safe lookup,
+// coalesced in-flight decodes, and eviction that never invalidates readers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/registry.h"
+#include "core/model_codec.h"
+#include "data/weight_synthesis.h"
+#include "serve/model_store.h"
+
+namespace deepsz::serve {
+namespace {
+
+std::vector<sparse::PrunedLayer> some_layers(int n = 3) {
+  std::vector<sparse::PrunedLayer> layers;
+  for (int i = 0; i < n; ++i) {
+    layers.push_back(data::synthesize_pruned_layer(
+        "fc" + std::to_string(6 + i), 64, 128, 0.15, 21 + i));
+  }
+  return layers;
+}
+
+std::vector<std::uint8_t> encode(const std::vector<sparse::PrunedLayer>& ls,
+                                 core::ContainerOptions opts = {}) {
+  return core::encode_model(ls, {}, opts).bytes;
+}
+
+/// The exact dense matrix a full decode reconstructs for one layer (the
+/// data arrays are lossy-coded, so the original layer is NOT the oracle).
+std::vector<float> decoded_dense(const std::vector<std::uint8_t>& bytes,
+                                 std::size_t i) {
+  return core::decode_model(bytes).layers[i].to_dense();
+}
+
+TEST(ModelStore, MissThenHitAndPeek) {
+  auto layers = some_layers();
+  auto bytes = encode(layers);
+  ModelStore store(bytes);
+  EXPECT_EQ(store.peek("fc6"), nullptr);
+
+  auto first = store.get("fc6");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->dense, decoded_dense(bytes, 0));
+  auto second = store.get("fc6");
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  EXPECT_EQ(store.peek("fc6").get(), first.get());
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.cached_layers, 1u);
+  EXPECT_GT(stats.cached_bytes, 0u);
+  EXPECT_GT(stats.decode_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  EXPECT_THROW(store.get("nope"), std::out_of_range);
+}
+
+TEST(ModelStore, ServesBiasFromContainer) {
+  auto layers = some_layers(1);
+  std::map<std::string, std::vector<float>> biases = {
+      {"fc6", std::vector<float>(64, 0.125f)}};
+  auto model = core::encode_model(layers, {}, {}, biases);
+  ModelStore store(model.bytes);
+  auto served = store.get("fc6");
+  EXPECT_EQ(served->bias, biases["fc6"]);
+}
+
+TEST(ModelStore, LruEvictsUnderByteBudget) {
+  auto layers = some_layers(3);
+  // Probe one layer's cached footprint, then budget for exactly two.
+  std::size_t per_layer = 0;
+  {
+    ModelStore probe(encode(layers));
+    per_layer = probe.get("fc6")->bytes();
+  }
+  ModelStoreOptions opts;
+  opts.cache_budget_bytes = 2 * per_layer + per_layer / 2;
+  ModelStore store(encode(layers), opts);
+
+  store.get("fc6");
+  store.get("fc7");
+  store.get("fc8");  // evicts fc6, the least recently used
+  EXPECT_EQ(store.peek("fc6"), nullptr);
+  EXPECT_NE(store.peek("fc7"), nullptr);
+  EXPECT_NE(store.peek("fc8"), nullptr);
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.cached_layers, 2u);
+  EXPECT_LE(stats.cached_bytes, opts.cache_budget_bytes);
+
+  // Touching fc7 makes fc8 the LRU victim when fc6 reloads.
+  store.get("fc7");
+  store.get("fc6");
+  EXPECT_EQ(store.peek("fc8"), nullptr);
+  EXPECT_NE(store.peek("fc7"), nullptr);
+}
+
+TEST(ModelStore, OversizedLayerServedButNotRetained) {
+  auto layers = some_layers(1);
+  auto bytes = encode(layers);
+  ModelStoreOptions opts;
+  opts.cache_budget_bytes = 0;
+  ModelStore store(bytes, opts);
+  auto served = store.get("fc6");
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->dense, decoded_dense(bytes, 0));
+  auto stats = store.stats();
+  EXPECT_EQ(stats.cached_layers, 0u);
+  EXPECT_EQ(stats.cached_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ModelStore, EvictionKeepsOutstandingReadersValid) {
+  auto layers = some_layers(1);
+  ModelStore store(encode(layers));
+  auto served = store.get("fc6");
+  const auto snapshot = served->dense;
+  store.evict_all();
+  EXPECT_EQ(store.peek("fc6"), nullptr);
+  EXPECT_EQ(served->dense, snapshot);  // shared_ptr pins the memory
+}
+
+namespace {
+
+class CountingCodec : public codec::ByteCodec {
+ public:
+  static std::atomic<int>& decodes() {
+    static std::atomic<int> count{0};
+    return count;
+  }
+  std::string name() const override { return "countdec-store"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const override {
+    std::vector<std::uint8_t> out = {0xCE};
+    out.insert(out.end(), data.begin(), data.end());
+    return out;
+  }
+  std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> frame) const override {
+    if (frame.empty() || frame[0] != 0xCE) {
+      throw std::runtime_error("countdec-store: bad frame");
+    }
+    ++decodes();
+    return std::vector<std::uint8_t>(frame.begin() + 1, frame.end());
+  }
+};
+
+void ensure_counting_codec() {
+  auto& reg = codec::CodecRegistry::instance();
+  if (reg.has_byte("countdec-store")) return;
+  codec::CodecInfo info;
+  info.name = "countdec-store";
+  info.summary = "decode-counting identity codec (tests)";
+  reg.register_byte(info, [](const codec::Options& opts) {
+    opts.check_known({});
+    return std::make_shared<CountingCodec>();
+  });
+}
+
+}  // namespace
+
+TEST(ModelStore, DuplicateInFlightDecodesCoalesce) {
+  ensure_counting_codec();
+  auto layers = some_layers(1);
+  core::ContainerOptions copts;
+  copts.index_codec = "countdec-store";
+  ModelStore store(encode(layers, copts));
+
+  CountingCodec::decodes() = 0;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ServedLayer>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { results[t] = store.get("fc6"); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  // The layer's index stream ran through the codec exactly once, no matter
+  // how the eight lookups raced.
+  EXPECT_EQ(CountingCodec::decodes(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1u);
+}
+
+TEST(ModelStore, ConcurrentDistinctLayersAllDecodeCorrectly) {
+  auto layers = some_layers(3);
+  auto bytes = encode(layers);
+  ModelStore store(bytes);
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const ServedLayer>> results(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = store.get(layers[t].name); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    EXPECT_EQ(results[t]->dense, decoded_dense(bytes, t));
+  }
+  EXPECT_EQ(store.stats().misses, 3u);
+}
+
+TEST(ModelStore, WarmupFillsCacheInParallel) {
+  auto layers = some_layers(3);
+  ModelStore store(encode(layers));
+  store.warmup();
+  auto stats = store.stats();
+  EXPECT_EQ(stats.cached_layers, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+
+  store.reset_stats();
+  for (const auto& l : layers) store.get(l.name);
+  stats = store.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.decode_ms, 0.0);
+}
+
+TEST(ModelStore, CorruptLayerFailsEveryWaiterAndCachesNothing) {
+  auto layers = some_layers(2);
+  auto bytes = encode(layers);
+  core::ContainerReader pristine(bytes);
+  const auto& target = pristine.entry("fc6");
+  bytes[static_cast<std::size_t>(target.data.offset + target.data.length / 2)] ^=
+      0x01;
+
+  ModelStore store(std::move(bytes));
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        store.get("fc6");
+      } catch (const std::runtime_error&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures, kThreads);
+  EXPECT_EQ(store.peek("fc6"), nullptr);
+  EXPECT_EQ(store.stats().cached_layers, 0u);
+  // The intact layer still serves.
+  EXPECT_NE(store.get("fc7"), nullptr);
+}
+
+TEST(ModelStore, KeepSparseRetainsTwoArrayForm) {
+  auto layers = some_layers(1);
+  ModelStoreOptions opts;
+  opts.keep_sparse = true;
+  ModelStore store(encode(layers), opts);
+  auto served = store.get("fc6");
+  EXPECT_EQ(served->sparse.index, layers[0].index);
+  EXPECT_EQ(served->sparse.data.size(), layers[0].data.size());
+}
+
+}  // namespace
+}  // namespace deepsz::serve

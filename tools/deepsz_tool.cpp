@@ -12,11 +12,13 @@
 //   deepsz_tool pack          <in> <out> [byte-codec-spec]
 //   deepsz_tool unpack        <in> <out>
 //   deepsz_tool model-info    <model.dszc>
+//   deepsz_tool serve-bench   <model.dszc> [requests] [batch] [cache-mb]
 //
 // Raw float files are little-endian fp32 with no header.
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, corrupt stream), 2 bad
 // usage, 3 unknown codec name, 4 bad codec options or argument value.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -25,7 +27,10 @@
 
 #include "codec/registry.h"
 #include "core/model_codec.h"
+#include "serve/inference_session.h"
+#include "serve/model_store.h"
 #include "sz/sz.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace {
@@ -98,6 +103,7 @@ int usage() {
       "  pack <in> <out> [codec=zstd]\n"
       "  unpack <in> <out>\n"
       "  model-info <model.dszc>\n"
+      "  serve-bench <model.dszc> [requests=64] [batch=8] [cache-mb=64]\n"
       "codec specs are registry names with options, e.g. \"zstd\",\n"
       "\"blosc:typesize=4\" or \"sz:quant_bins=1024,backend=gzip\";\n"
       "run `deepsz_tool codecs` for the full list.\n"
@@ -194,8 +200,12 @@ int run(int argc, char** argv) {
     return kExitOk;
   }
   if (cmd == "model-info" && argc == 3) {
-    auto decoded = deepsz::core::decode_model(read_file(argv[2]), false);
-    std::printf("%zu fc-layer(s)\n", decoded.layers.size());
+    auto bytes = read_file(argv[2]);
+    deepsz::core::ContainerReader reader(bytes);
+    auto decoded = deepsz::core::decode_model(bytes, false);
+    std::printf("%zu fc-layer(s), seekable index: %s\n",
+                decoded.layers.size(),
+                reader.has_footer_index() ? "yes" : "no");
     for (const auto& l : decoded.layers) {
       std::printf("  %-8s %lld x %lld, %zu stored entries%s\n",
                   l.name.c_str(), static_cast<long long>(l.rows),
@@ -205,6 +215,81 @@ int run(int argc, char** argv) {
     std::printf("decode: %.1f ms (lossless %.1f, SZ %.1f)\n",
                 decoded.timing.total_ms(), decoded.timing.lossless_ms,
                 decoded.timing.sz_ms);
+    return kExitOk;
+  }
+  if (cmd == "serve-bench" && argc >= 3 && argc <= 6) {
+    // Range-check the doubles BEFORE casting: an out-of-range float-to-int
+    // conversion is UB (the sanitizer CI job would abort on it).
+    const double requests_d =
+        argc >= 4 ? parse_double(argv[3], "requests") : 64.0;
+    const double batch_d = argc >= 5 ? parse_double(argv[4], "batch") : 8.0;
+    const double cache_mb =
+        argc >= 6 ? parse_double(argv[5], "cache-mb") : 64.0;
+    if (!(requests_d >= 2 && requests_d <= 1e6) ||
+        !(batch_d >= 1 && batch_d <= 1e5) ||
+        !(cache_mb >= 0 && cache_mb <= 1e6)) {
+      throw deepsz::codec::BadOptions(
+          "serve-bench: need 2 <= requests <= 1e6, 1 <= batch <= 1e5, "
+          "0 <= cache-mb <= 1e6");
+    }
+    const int requests = static_cast<int>(requests_d);
+    const int batch = static_cast<int>(batch_d);
+
+    deepsz::serve::ModelStoreOptions sopts;
+    sopts.cache_budget_bytes =
+        static_cast<std::size_t>(cache_mb * (1 << 20));
+    deepsz::serve::ModelStore store(read_file(argv[2]), sopts);
+    auto net = deepsz::serve::make_fc_network(store.reader());
+    const auto in_features = store.reader().entry(std::size_t{0}).cols;
+
+    deepsz::util::Pcg32 rng(0xbe9c);
+    auto make_batch = [&] {
+      deepsz::nn::Tensor x({batch, in_features});
+      for (std::int64_t i = 0; i < x.numel(); ++i) {
+        x[i] = static_cast<float>(rng.normal(0.0, 1.0));
+      }
+      return x;
+    };
+
+    // One fresh session per request, as a request-scoped server would: every
+    // request re-binds through the store, so the warm numbers measure the
+    // cache, not a session that privately pinned the whole model.
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(requests));
+    for (int r = 0; r < requests; ++r) {
+      if (r == 1) store.reset_stats();  // split cold stats from warm stats
+      auto x = make_batch();
+      deepsz::serve::InferenceSession session(store, net);
+      timer.reset();
+      auto y = session.infer(x);
+      latencies.push_back(timer.millis());
+      (void)y;
+    }
+
+    auto warm = std::vector<double>(latencies.begin() + 1, latencies.end());
+    std::sort(warm.begin(), warm.end());
+    auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(p * (warm.size() - 1));
+      return warm[idx];
+    };
+    const auto stats = store.stats();
+    std::printf("%zu layer(s), %d requests x batch %d, cache budget %.1f MB\n",
+                store.reader().num_layers(), requests, batch, cache_mb);
+    for (const auto& e : store.reader().entries()) {
+      auto served = store.peek(e.name);
+      std::printf("  %-8s %lld x %lld, %zu compressed bytes%s\n",
+                  e.name.c_str(), static_cast<long long>(e.rows),
+                  static_cast<long long>(e.cols), e.payload_bytes(),
+                  served ? ", cached" : "");
+    }
+    std::printf("cold request:  %.2f ms (codec work included)\n",
+                latencies.front());
+    std::printf("warm requests: p50 %.2f ms, p95 %.2f ms\n", pct(0.50),
+                pct(0.95));
+    std::printf("warm cache:    hit rate %.2f, codec time %.2f ms, "
+                "%llu eviction(s)\n",
+                stats.hit_rate(), stats.decode_ms,
+                static_cast<unsigned long long>(stats.evictions));
     return kExitOk;
   }
   return usage();

@@ -1,0 +1,128 @@
+// Regenerates the golden wire-format fixtures under tests/fixtures/.
+//
+//   make_golden_fixtures [output-dir]
+//
+// Writes two tiny containers with fully deterministic content and prints the
+// CRC-32s golden_container_test.cpp asserts:
+//
+//   legacy_v2.dszc   pre-registry version-2 layout (implicit SZ data stream,
+//                    self-describing lossless index frame, no footer)
+//   indexed_v3.dszc  current version-3 layout with the seekable footer index
+//
+// The fixtures lock the decoder against silent wire-format breakage: they
+// are checked in, never rewritten by CI, and the test decodes them
+// bit-exactly. Rerun this tool ONLY for a deliberate, versioned format
+// change, and update the constants in the test from its output.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model_codec.h"
+#include "data/weight_synthesis.h"
+#include "lossless/codec.h"
+#include "sz/sz.h"
+#include "util/byte_io.h"
+#include "util/crc32.h"
+
+using namespace deepsz;
+
+namespace {
+
+std::vector<sparse::PrunedLayer> fixture_layers() {
+  std::vector<sparse::PrunedLayer> layers;
+  layers.push_back(data::synthesize_pruned_layer("fc6", 24, 32, 0.25, 1001));
+  layers.push_back(data::synthesize_pruned_layer("fc7", 16, 24, 0.30, 1002));
+  return layers;
+}
+
+std::vector<float> fixture_bias() {
+  std::vector<float> bias(24);
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = 0.01f * static_cast<float>(i) - 0.05f;
+  }
+  return bias;
+}
+
+std::vector<std::uint8_t> encode_legacy_v2() {
+  const auto layers = fixture_layers();
+  const auto bias = fixture_bias();
+  std::vector<std::uint8_t> out;
+  util::put_le<std::uint32_t>(out, 0x435a5344);  // "DSZC"
+  util::put_le<std::uint32_t>(out, 2);
+  util::put_le<std::uint32_t>(out, static_cast<std::uint32_t>(layers.size()));
+  for (const auto& layer : layers) {
+    sz::SzParams params;
+    params.mode = sz::ErrorBoundMode::kAbs;
+    params.error_bound = 1e-3;
+    auto data_stream = sz::compress(layer.data, params);
+    auto index_stream =
+        lossless::compress(lossless::CodecId::kZstdLike, layer.index);
+    util::put_string(out, layer.name);
+    util::put_le<std::int64_t>(out, layer.rows);
+    util::put_le<std::int64_t>(out, layer.cols);
+    util::put_le<double>(out, 1e-3);
+    util::put_le<std::uint64_t>(out, data_stream.size());
+    util::put_le<std::uint32_t>(out, util::crc32(data_stream));
+    util::put_bytes(out, data_stream);
+    util::put_le<std::uint64_t>(out, index_stream.size());
+    util::put_le<std::uint32_t>(out, util::crc32(index_stream));
+    util::put_bytes(out, index_stream);
+    const bool has_bias = layer.name == "fc6";
+    util::put_le<std::uint64_t>(out, has_bias ? bias.size() : 0);
+    if (has_bias) {
+      for (float b : bias) util::put_le<float>(out, b);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_indexed_v3() {
+  const auto layers = fixture_layers();
+  std::map<std::string, double> ebs = {{"fc6", 1e-3}, {"fc7", 5e-4}};
+  std::map<std::string, std::vector<float>> biases = {
+      {"fc6", fixture_bias()}};
+  return core::encode_model(layers, ebs, core::ContainerOptions{}, biases)
+      .bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+}
+
+std::uint32_t float_crc(const std::vector<float>& v) {
+  return util::crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(v.data()),
+      v.size() * sizeof(float)));
+}
+
+void report(const char* label, const std::vector<std::uint8_t>& bytes) {
+  auto decoded = core::decode_model(bytes);
+  std::printf("%s: %zu bytes, file crc 0x%08x\n", label, bytes.size(),
+              util::crc32(bytes));
+  for (const auto& l : decoded.layers) {
+    std::printf("  %-4s entries %zu  data crc 0x%08x  index crc 0x%08x\n",
+                l.name.c_str(), l.stored_entries(), float_crc(l.data),
+                util::crc32(l.index));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/fixtures";
+  auto legacy = encode_legacy_v2();
+  auto indexed = encode_indexed_v3();
+  write_file(dir + "/legacy_v2.dszc", legacy);
+  write_file(dir + "/indexed_v3.dszc", indexed);
+  report("legacy_v2.dszc", legacy);
+  report("indexed_v3.dszc", indexed);
+  return 0;
+}
