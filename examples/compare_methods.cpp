@@ -1,86 +1,46 @@
-// Head-to-head on one network: DeepSZ vs Deep Compression vs Weightless,
-// applied to the same pruned LeNet-5, reporting compressed size and the
-// accuracy each method retains without retraining — the trade-off at the
-// heart of the paper's Tables 4 and 5.
+// Head-to-head on one network: DeepSZ vs Deep Compression vs Weightless
+// (plus the ZFP variant and the uncompressed reference), applied to the same
+// pruned LeNet-5 — the trade-off at the heart of the paper's Tables 4 and 5.
+//
+// Built on the pluggable compressor API: every method is a registered
+// strategy run through compress::compare_strategies, every emitted container
+// is verified to serve through ModelStore + InferenceSession with zero codec
+// work on warm requests.
 #include <cstdio>
 
-#include "baselines/deep_compression.h"
-#include "baselines/weightless.h"
-#include "core/accuracy.h"
-#include "core/assessment.h"
-#include "core/model_codec.h"
-#include "core/optimizer.h"
-#include "core/pruner.h"
+#include "compress/compare.h"
 #include "modelzoo/pretrained.h"
 
 int main() {
   using namespace deepsz;
   auto m = modelzoo::pretrained("lenet5");
 
-  core::PruneConfig prune_cfg;
-  prune_cfg.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.19}};
-  prune_cfg.retrain_epochs = 2;
-  core::prune_and_retrain(m.net, m.train.images, m.train.labels, prune_cfg);
-  auto layers = core::extract_pruned_layers(m.net);
-  core::CachedHeadOracle oracle(m.net, m.test.images, m.test.labels);
-  const double baseline = oracle.top1();
+  compress::CompareOptions options;
+  options.specs = {"deepsz:expected_acc=0.002", "deep-compression:bits=5",
+                   "weightless:cluster_bits=4", "zfp:expected_acc=0.002",
+                   "store"};
+  options.spec.prune.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.19}};
+  options.spec.prune.retrain_epochs = 2;
+  options.spec.expected_acc_loss = 0.002;
 
-  std::size_t dense_bytes = 0;
-  for (const auto& l : layers) dense_bytes += l.dense_bytes();
-  std::printf("pruned LeNet-5: top-1 %.2f%%, fc dense %.0f KB\n\n",
-              baseline * 100, dense_bytes / 1024.0);
-  std::printf("%-16s %-14s %-12s %-12s\n", "method", "compressed", "ratio",
-              "top-1 after");
+  auto rows = compress::compare_strategies(m.net, m.train.images,
+                                           m.train.labels, m.test.images,
+                                           m.test.labels, options);
 
-  // DeepSZ: assessment + optimization + container.
-  {
-    core::AssessmentConfig cfg;
-    cfg.expected_acc_loss = 0.002;
-    auto assessments = core::assess_error_bounds(m.net, layers, oracle, cfg);
-    auto chosen = core::optimize_for_accuracy(assessments, 0.002);
-    std::map<std::string, double> ebs;
-    for (const auto& c : chosen.choices) ebs[c.layer] = c.eb;
-    auto model = core::encode_model(layers, ebs, core::ContainerOptions{});
-    auto decoded = core::decode_model(model.bytes, false);
-    core::load_layers_into_network(decoded.layers, m.net);
-    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "DeepSZ",
-                model.compressed_payload_bytes() / 1024.0,
-                model.compression_ratio(), oracle.top1() * 100);
-    core::load_layers_into_network(layers, m.net);
-  }
-
-  // Deep Compression at its paper setting (5-bit codebook).
-  {
-    std::size_t total = 0;
-    std::vector<sparse::PrunedLayer> decoded;
-    for (const auto& l : layers) {
-      auto enc = baselines::dc_encode(l);
-      total += enc.blob.size();
-      decoded.push_back(baselines::dc_decode(enc.blob));
+  std::printf("pruned LeNet-5: top-1 %.2f%% after pruning\n\n",
+              rows.empty() ? 0.0 : rows.front().top1_pruned * 100);
+  std::printf("%-28s %-12s %-8s %-12s %-10s %-10s %s\n", "strategy",
+              "compressed", "ratio", "top-1 after", "encode(s)", "decode(ms)",
+              "serving");
+  for (const auto& row : rows) {
+    if (!row.error.empty()) {
+      std::printf("%-28s failed: %s\n", row.spec.c_str(), row.error.c_str());
+      continue;
     }
-    core::load_layers_into_network(decoded, m.net);
-    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "DeepCompression",
-                total / 1024.0, static_cast<double>(dense_bytes) / total,
-                oracle.top1() * 100);
-    core::load_layers_into_network(layers, m.net);
-  }
-
-  // Weightless (4-bit clusters + Bloomier filter).
-  {
-    std::size_t total = 0;
-    std::vector<sparse::PrunedLayer> decoded;
-    for (const auto& l : layers) {
-      auto enc = baselines::weightless_encode(l);
-      total += enc.blob.size();
-      auto dense = baselines::weightless_decode(enc.blob);
-      decoded.push_back(
-          sparse::PrunedLayer::from_dense(dense, l.rows, l.cols, l.name));
-    }
-    core::load_layers_into_network(decoded, m.net);
-    std::printf("%-16s %-14.1f %-12.1f %.2f%%\n", "Weightless",
-                total / 1024.0, static_cast<double>(dense_bytes) / total,
-                oracle.top1() * 100);
-    core::load_layers_into_network(layers, m.net);
+    std::printf("%-28s %-12.1f %-8.1f %-12.2f %-10.2f %-10.2f %s\n",
+                row.spec.c_str(), row.payload_bytes / 1024.0, row.ratio,
+                row.top1_decoded * 100, row.encode_seconds, row.decode_ms,
+                row.serve_ok ? "warm-ok" : "WARM-MISS");
   }
   return 0;
 }

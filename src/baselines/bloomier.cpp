@@ -168,17 +168,33 @@ std::vector<std::uint8_t> BloomierFilter::serialize() const {
 }
 
 BloomierFilter BloomierFilter::deserialize(std::span<const std::uint8_t> bytes) {
+  // The stream may come from an untrusted model container: every header
+  // field is validated before it can size an allocation, index the table
+  // (get_slot reads up to word (m_*t_+63)/64 - 1 plus one spill word), or
+  // reach the `h % m_` in slots_for_key (m_ == 0 would be a SIGFPE, not a
+  // throw).
   util::ByteReader r(bytes);
   BloomierFilter f;
   f.m_ = r.get<std::uint64_t>();
   f.t_ = static_cast<int>(r.get<std::uint32_t>());
   f.seed_ = r.get<std::uint64_t>();
-  auto words = static_cast<std::size_t>(r.get<std::uint64_t>());
-  f.table_.resize(words);
-  for (auto& w : f.table_) w = r.get<std::uint64_t>();
-  if (f.t_ < 1 || f.t_ > 32) {
+  const auto words = static_cast<std::size_t>(r.get<std::uint64_t>());
+  if (f.t_ < 1 || f.t_ > 32 || f.m_ == 0) {
     throw std::runtime_error("BloomierFilter: corrupt header");
   }
+  // Exact word count the writer emits for (m_, t_), +1 spill word when the
+  // last slot's bits cross a word boundary (see get_slot/set_slot).
+  const std::uint64_t bits =
+      f.m_ * static_cast<std::uint64_t>(f.t_);  // m_ <= 2^58 after checks
+  if (f.m_ > (std::uint64_t{1} << 58) ||
+      words != static_cast<std::size_t>((bits + 63) / 64 + 1)) {
+    throw std::runtime_error("BloomierFilter: corrupt table size");
+  }
+  if (words > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::runtime_error("BloomierFilter: truncated table");
+  }
+  f.table_.resize(words);
+  for (auto& w : f.table_) w = r.get<std::uint64_t>();
   return f;
 }
 

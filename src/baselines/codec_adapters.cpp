@@ -1,0 +1,229 @@
+#include "baselines/codec_adapters.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/bloomier.h"
+#include "baselines/kmeans.h"
+#include "codec/registry.h"
+#include "lossless/entropy.h"
+#include "util/byte_io.h"
+
+namespace deepsz::baselines {
+namespace {
+
+constexpr std::uint32_t kDcMagic = 0x56514344;       // "DCQV"
+constexpr std::uint32_t kBloomierMagic = 0x464d4c42;  // "BLMF"
+
+// Any decoded array longer than this is corruption, not a model: the paper's
+// largest fc-layer (VGG-16 fc6) is ~1e8 dense weights.
+constexpr std::uint64_t kMaxElements = 1ull << 31;
+
+/// Deep Compression's value pipeline as a FloatCodec: k-means codebook
+/// (2^bits centroids, linear init) + canonical-Huffman coded cluster ids.
+class DcCodec : public codec::FloatCodec {
+ public:
+  explicit DcCodec(const codec::Options& opts) {
+    opts.check_known({"bits", "iters"});
+    bits_ = static_cast<int>(opts.get_u64("bits", 5));
+    iters_ = static_cast<int>(opts.get_u64("iters", 30));
+    if (bits_ < 1 || bits_ > 16) {
+      throw codec::BadOptions("dc: bits must be in [1, 16]");
+    }
+    if (iters_ < 1 || iters_ > 1000) {
+      throw codec::BadOptions("dc: iters must be in [1, 1000]");
+    }
+  }
+
+  std::string name() const override { return "dc"; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const float> data,
+      const codec::FloatParams& /*tolerance has no meaning for a codebook*/)
+      const override {
+    std::vector<std::uint8_t> out;
+    util::put_le<std::uint32_t>(out, kDcMagic);
+    util::put_le<std::uint64_t>(out, data.size());
+    if (data.empty()) return out;
+
+    auto km = kmeans_1d(data, 1u << bits_, iters_);
+    auto stream =
+        lossless::huffman_encode_symbols(km.assignments, km.centroids.size());
+    util::put_le<std::uint32_t>(
+        out, static_cast<std::uint32_t>(km.centroids.size()));
+    for (float c : km.centroids) util::put_le<float>(out, c);
+    util::put_le<std::uint64_t>(out, stream.size());
+    util::put_bytes(out, stream);
+    return out;
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    util::ByteReader r(stream);
+    if (r.get<std::uint32_t>() != kDcMagic) {
+      throw std::runtime_error("dc decode: bad magic");
+    }
+    const auto count = r.get<std::uint64_t>();
+    if (count == 0) return {};
+    // Every symbol costs >= 1 bit, so a plausible count is bounded by the
+    // stream's bit length — reject bombs before sizing any allocation.
+    if (count > kMaxElements || count > 8 * stream.size()) {
+      throw std::runtime_error("dc decode: implausible element count");
+    }
+    const auto k = r.get<std::uint32_t>();
+    if (k == 0 || k > (1u << 16)) {
+      throw std::runtime_error("dc decode: bad codebook size");
+    }
+    std::vector<float> centroids(k);
+    for (auto& c : centroids) c = r.get<float>();
+    const auto len = static_cast<std::size_t>(r.get<std::uint64_t>());
+    // max_alphabet = k also bounds every decoded symbol below k.
+    auto assignments = lossless::huffman_decode_symbols(
+        r.get_bytes(len), static_cast<std::size_t>(count), k);
+
+    std::vector<float> out(static_cast<std::size_t>(count));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = centroids[assignments[i]];
+    }
+    return out;
+  }
+
+ private:
+  int bits_ = 5;
+  int iters_ = 30;
+};
+
+/// Weightless as a FloatCodec: the array's nonzero positions are Bloomier
+/// keys mapped to (cluster id + 1); zero positions are absent keys. Decode
+/// queries every position, so absent keys return 0 except for the filter's
+/// false positives — the lossiness the Weightless paper accepts.
+class BloomierCodec : public codec::FloatCodec {
+ public:
+  explicit BloomierCodec(const codec::Options& opts) {
+    opts.check_known({"cluster_bits", "guard_bits", "slots_per_key"});
+    cluster_bits_ = static_cast<int>(opts.get_u64("cluster_bits", 4));
+    guard_bits_ = static_cast<int>(opts.get_u64("guard_bits", 4));
+    slots_per_key_ = opts.get_f64("slots_per_key", 1.35);
+    if (cluster_bits_ < 1 || cluster_bits_ > 16) {
+      throw codec::BadOptions("bloomier: cluster_bits must be in [1, 16]");
+    }
+    if (guard_bits_ < 0 || guard_bits_ > 16) {
+      throw codec::BadOptions("bloomier: guard_bits must be in [0, 16]");
+    }
+    if (!(slots_per_key_ > 1.30) || slots_per_key_ > 8.0) {
+      throw codec::BadOptions(
+          "bloomier: slots_per_key must be in (1.30, 8.0]");
+    }
+  }
+
+  std::string name() const override { return "bloomier"; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const float> data,
+      const codec::FloatParams& /*no error bound: lossiness is discrete*/)
+      const override {
+    std::vector<std::uint64_t> positions;
+    std::vector<float> values;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] != 0.0f) {
+        positions.push_back(i);
+        values.push_back(data[i]);
+      }
+    }
+
+    std::vector<std::uint8_t> out;
+    util::put_le<std::uint32_t>(out, kBloomierMagic);
+    util::put_le<std::uint64_t>(out, data.size());
+    if (positions.empty()) {
+      util::put_le<std::uint32_t>(out, 0);  // no keys, no filter
+      return out;
+    }
+
+    const auto n_clusters = static_cast<std::uint32_t>(std::min<std::size_t>(
+        (1u << cluster_bits_) - 1, values.size()));
+    auto km = kmeans_1d(values, n_clusters);
+
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(
+        positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      entries[i] = {positions[i], km.assignments[i] + 1};  // 0 = absent
+    }
+    auto filter = BloomierFilter::build(entries, cluster_bits_ + guard_bits_,
+                                        slots_per_key_);
+
+    util::put_le<std::uint32_t>(out, n_clusters);
+    for (float c : km.centroids) util::put_le<float>(out, c);
+    auto fbytes = filter.serialize();
+    util::put_le<std::uint64_t>(out, fbytes.size());
+    util::put_bytes(out, fbytes);
+    return out;
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    util::ByteReader r(stream);
+    if (r.get<std::uint32_t>() != kBloomierMagic) {
+      throw std::runtime_error("bloomier decode: bad magic");
+    }
+    const auto count = r.get<std::uint64_t>();
+    if (count > kMaxElements) {
+      throw std::runtime_error("bloomier decode: implausible element count");
+    }
+    const auto n_clusters = r.get<std::uint32_t>();
+    std::vector<float> dense(static_cast<std::size_t>(count), 0.0f);
+    if (n_clusters == 0) return dense;
+    if (n_clusters > (1u << 16)) {
+      throw std::runtime_error("bloomier decode: bad codebook size");
+    }
+    std::vector<float> centroids(n_clusters);
+    for (auto& c : centroids) c = r.get<float>();
+    const auto flen = static_cast<std::size_t>(r.get<std::uint64_t>());
+    auto filter = BloomierFilter::deserialize(r.get_bytes(flen));
+
+    for (std::uint64_t p = 0; p < count; ++p) {
+      const std::uint32_t v = filter.query(p);
+      if (v >= 1 && v <= n_clusters) {
+        dense[static_cast<std::size_t>(p)] = centroids[v - 1];
+      }
+    }
+    return dense;
+  }
+
+ private:
+  int cluster_bits_ = 4;
+  int guard_bits_ = 4;
+  double slots_per_key_ = 1.35;
+};
+
+}  // namespace
+
+void register_baseline_codecs(codec::CodecRegistry& reg) {
+  {
+    codec::CodecInfo info;
+    info.name = "dc";
+    info.bounded = false;
+    info.summary =
+        "Deep Compression values: k-means codebook + Huffman indices (lossy, "
+        "not error-bounded)";
+    info.options_help = "bits=<1..16>,iters=<n>";
+    reg.register_float(info, [](const codec::Options& opts) {
+      return std::make_shared<DcCodec>(opts);
+    });
+  }
+  {
+    codec::CodecInfo info;
+    info.name = "bloomier";
+    info.bounded = false;
+    info.summary =
+        "Weightless: Bloomier filter over nonzero positions -> cluster ids "
+        "(lossy, not error-bounded)";
+    info.options_help =
+        "cluster_bits=<1..16>,guard_bits=<0..16>,slots_per_key=<f>";
+    reg.register_float(info, [](const codec::Options& opts) {
+      return std::make_shared<BloomierCodec>(opts);
+    });
+  }
+}
+
+}  // namespace deepsz::baselines

@@ -1,0 +1,30 @@
+// Registry adapters that re-home the baseline encoders (Deep Compression's
+// codebook quantization, Weightless's Bloomier filter) behind the FloatCodec
+// interface, so baseline-compressed layers travel in the same v3 model
+// container as DeepSZ output and decode through the same ContainerReader.
+//
+//   dc       — k-means codebook over the stored values + canonical-Huffman
+//              coded cluster indices (the value half of Han et al.'s Deep
+//              Compression; the position half is the container's index
+//              stream, Huffman-coded by the "huffman" ByteCodec).
+//   bloomier — Weightless-style lossy map: the nonzero positions of the
+//              input array become Bloomier-filter keys mapping to a k-means
+//              cluster id; decode queries every position, so false positives
+//              surface as small weight noise exactly as in Reagen et al.
+//
+// Both are lossy but NOT error-bounded: FloatParams::tolerance is ignored
+// (the paper's Tables 4/5 comparison point — DeepSZ's knob is continuous,
+// the baselines' are discrete bit widths).
+#pragma once
+
+namespace deepsz::codec {
+class CodecRegistry;
+}
+
+namespace deepsz::baselines {
+
+/// Registers "dc" and "bloomier" float codecs. Called once by
+/// CodecRegistry::instance(); safe to call on a fresh registry only.
+void register_baseline_codecs(codec::CodecRegistry& reg);
+
+}  // namespace deepsz::baselines

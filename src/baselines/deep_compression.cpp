@@ -9,31 +9,7 @@
 
 namespace deepsz::baselines {
 namespace {
-
 constexpr std::uint32_t kMagic = 0x43504344;  // "DCPC"
-
-std::vector<std::uint8_t> huffman_encode_stream(
-    std::span<const std::uint32_t> symbols, std::size_t alphabet) {
-  std::vector<std::uint64_t> freq(alphabet, 0);
-  for (auto s : symbols) ++freq[s];
-  lossless::HuffmanEncoder enc;
-  enc.init(freq);
-  util::BitWriter bw;
-  enc.write_table(bw);
-  for (auto s : symbols) enc.encode(bw, s);
-  return bw.finish();
-}
-
-std::vector<std::uint32_t> huffman_decode_stream(
-    std::span<const std::uint8_t> bytes, std::size_t count) {
-  util::BitReader br(bytes);
-  lossless::HuffmanDecoder dec;
-  dec.read_table(br);
-  std::vector<std::uint32_t> out(count);
-  for (auto& s : out) s = dec.decode(br);
-  return out;
-}
-
 }  // namespace
 
 DeepCompressionEncoded dc_encode(const sparse::PrunedLayer& layer,
@@ -47,9 +23,9 @@ DeepCompressionEncoded dc_encode(const sparse::PrunedLayer& layer,
   // exactly as Deep Compression treats its padded representation).
   auto km = kmeans_1d(layer.data, k, params.kmeans_iters);
 
-  auto index_stream = huffman_encode_stream(km.assignments, k);
+  auto index_stream = lossless::huffman_encode_symbols(km.assignments, k);
   std::vector<std::uint32_t> deltas(layer.index.begin(), layer.index.end());
-  auto position_stream = huffman_encode_stream(deltas, 256);
+  auto position_stream = lossless::huffman_encode_symbols(deltas, 256);
 
   DeepCompressionEncoded enc;
   enc.codebook_bytes = km.centroids.size() * sizeof(float);
@@ -88,11 +64,11 @@ sparse::PrunedLayer dc_decode(std::span<const std::uint8_t> blob) {
 
   auto index_len = static_cast<std::size_t>(r.get<std::uint64_t>());
   auto index_bytes = r.get_bytes(index_len);
-  auto assignments = huffman_decode_stream(index_bytes, n);
+  auto assignments = lossless::huffman_decode_symbols(index_bytes, n, k);
 
   auto pos_len = static_cast<std::size_t>(r.get<std::uint64_t>());
   auto pos_bytes = r.get_bytes(pos_len);
-  auto deltas = huffman_decode_stream(pos_bytes, n);
+  auto deltas = lossless::huffman_decode_symbols(pos_bytes, n, 256);
 
   layer.data.resize(n);
   layer.index.resize(n);

@@ -2,9 +2,13 @@
 // lossless implementations behind the ByteCodec/FloatCodec interfaces. The
 // legacy free functions (sz::compress, zfp::compress, lossless::compress)
 // remain as the implementation layer these adapters call into.
+#include <cstring>
+
 #include "codec/registry.h"
 #include "lossless/codec.h"
+#include "lossless/entropy.h"
 #include "sz/sz.h"
+#include "util/byte_io.h"
 #include "zfp/zfp1d.h"
 
 namespace deepsz::codec {
@@ -75,6 +79,49 @@ class BloscCodec : public ByteCodec {
   lossless::BloscOptions opts_;
 };
 
+/// huffman: order-0 canonical Huffman over bytes. No match finding — the
+/// entropy-only coder Deep Compression applies to its position deltas; also
+/// a useful lower bound when benchmarking the LZ-based codecs.
+class HuffmanCodec : public ByteCodec {
+ public:
+  explicit HuffmanCodec(const Options& opts) { opts.check_known({}); }
+
+  std::string name() const override { return "huffman"; }
+
+  std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const override {
+    std::vector<std::uint8_t> out;
+    util::put_le<std::uint32_t>(out, kHuffMagic);
+    util::put_le<std::uint64_t>(out, data.size());
+    if (data.empty()) return out;
+
+    std::vector<std::uint32_t> symbols(data.begin(), data.end());
+    util::put_bytes(out, lossless::huffman_encode_symbols(symbols, 256));
+    return out;
+  }
+
+  std::vector<std::uint8_t> decode(
+      std::span<const std::uint8_t> frame) const override {
+    util::ByteReader r(frame);
+    if (r.get<std::uint32_t>() != kHuffMagic) {
+      throw std::runtime_error("huffman decode: bad magic");
+    }
+    const auto count = r.get<std::uint64_t>();
+    if (count == 0) return {};
+    // >= 1 bit per symbol bounds any plausible count by the frame size.
+    if (count > 8 * frame.size()) {
+      throw std::runtime_error("huffman decode: implausible symbol count");
+    }
+    // max_alphabet = 256 also bounds every decoded symbol to a byte.
+    auto symbols = lossless::huffman_decode_symbols(
+        r.get_bytes(r.remaining()), static_cast<std::size_t>(count), 256);
+    return std::vector<std::uint8_t>(symbols.begin(), symbols.end());
+  }
+
+ private:
+  static constexpr std::uint32_t kHuffMagic = 0x30465548;  // "HUF0"
+};
+
 // ----------------------------------------------------------------------- sz
 
 sz::ErrorBoundMode sz_mode(const std::string& s) {
@@ -128,6 +175,33 @@ class SzCodec : public FloatCodec {
   sz::SzParams params_;
 };
 
+/// f32: verbatim little-endian fp32 floats. The lossless end of the
+/// FloatCodec family — the "store" strategy's data stream, and the exact
+/// reference when measuring what a lossy codec bought.
+class F32Codec : public FloatCodec {
+ public:
+  explicit F32Codec(const Options& opts) { opts.check_known({}); }
+
+  std::string name() const override { return "f32"; }
+
+  std::vector<std::uint8_t> encode(std::span<const float> data,
+                                   const FloatParams&) const override {
+    std::vector<std::uint8_t> out(data.size() * sizeof(float));
+    if (!data.empty()) std::memcpy(out.data(), data.data(), out.size());
+    return out;
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    if (stream.size() % sizeof(float) != 0) {
+      throw std::runtime_error("f32 decode: size not a multiple of 4");
+    }
+    std::vector<float> out(stream.size() / sizeof(float));
+    if (!out.empty()) std::memcpy(out.data(), stream.data(), stream.size());
+    return out;
+  }
+};
+
 // ---------------------------------------------------------------------- zfp
 
 class ZfpCodec : public FloatCodec {
@@ -171,6 +245,22 @@ void register_builtins(CodecRegistry& reg) {
     info.options_help = "typesize=<bytes>,block_size=<bytes>";
     reg.register_byte(info, [](const Options& opts) {
       return std::make_shared<BloscCodec>(opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "huffman";
+    info.summary = "order-0 canonical Huffman over bytes (no match finding)";
+    reg.register_byte(info, [](const Options& opts) {
+      return std::make_shared<HuffmanCodec>(opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "f32";
+    info.summary = "verbatim fp32 floats (lossless; tolerance ignored)";
+    reg.register_float(info, [](const Options& opts) {
+      return std::make_shared<F32Codec>(opts);
     });
   }
   {

@@ -96,9 +96,12 @@ struct FloatParams {
   double tolerance = 1e-3;
 };
 
-/// Error-bounded lossy codec over 1-D float arrays. decode() restores the
-/// same element count with every element within the encode tolerance; it
-/// throws std::runtime_error on corrupt or truncated input.
+/// Lossy codec over 1-D float arrays. decode() restores the same element
+/// count; it throws std::runtime_error on corrupt or truncated input.
+/// Codecs registered with CodecInfo::bounded (sz, zfp, f32) additionally
+/// keep every element within the encode tolerance; the fixed-rate
+/// quantizers behind the baselines (dc, bloomier) ignore the tolerance —
+/// their loss is set by discrete construction options.
 class FloatCodec {
  public:
   virtual ~FloatCodec() = default;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "baselines/codec_adapters.h"
+
 namespace deepsz::codec {
 
 namespace detail {
@@ -13,6 +15,10 @@ CodecRegistry& CodecRegistry::instance() {
   static CodecRegistry* reg = [] {
     auto* r = new CodecRegistry();
     detail::register_builtins(*r);
+    // Baseline-derived codecs (dc, bloomier) register here too, so every
+    // consumer that resolves by name — the model container above all — can
+    // decode baseline-compressed streams.
+    baselines::register_baseline_codecs(*r);
     return r;
   }();
   return *reg;

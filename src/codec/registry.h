@@ -35,6 +35,11 @@ class UnknownCodec : public std::invalid_argument {
 struct CodecInfo {
   std::string name;
   bool error_bounded = false;  // FloatCodec (lossy) vs ByteCodec (lossless)
+  /// For FloatCodecs: decode honors FloatParams::tolerance pointwise
+  /// (max|x - x'| <= tolerance). False for the fixed-rate quantizers behind
+  /// the baselines (dc, bloomier), whose loss is set by discrete options,
+  /// not by the per-stream tolerance. Meaningless for ByteCodecs.
+  bool bounded = true;
   std::string summary;         // one-line description
   std::string options_help;    // accepted keys, "" when the codec has none
 };

@@ -1,0 +1,68 @@
+#include "compress/registry.h"
+
+#include <algorithm>
+
+#include "codec/registry.h"
+
+namespace deepsz::compress {
+
+namespace detail {
+// Defined in strategies.cpp; populates the registry with the builtin
+// strategies (deepsz, deep-compression, weightless, zfp, store).
+void register_builtin_compressors(CompressorRegistry& reg);
+}  // namespace detail
+
+CompressorRegistry& CompressorRegistry::instance() {
+  static CompressorRegistry* reg = [] {
+    auto* r = new CompressorRegistry();
+    detail::register_builtin_compressors(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void CompressorRegistry::register_compressor(CompressorInfo info,
+                                             Factory factory) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string name = info.name;
+  if (!strategies_
+           .emplace(name, std::make_pair(std::move(info), std::move(factory)))
+           .second) {
+    throw std::invalid_argument("compressor registry: strategy \"" + name +
+                                "\" already registered");
+  }
+}
+
+std::shared_ptr<ModelCompressor> CompressorRegistry::make(
+    std::string_view spec) const {
+  auto [name, opts] = codec::CodecRegistry::split_spec(spec);
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = strategies_.find(name);
+    if (it == strategies_.end()) {
+      throw UnknownCompressor("unknown compressor strategy \"" + name + "\"");
+    }
+    factory = it->second.second;
+  }
+  return factory(opts);
+}
+
+bool CompressorRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return strategies_.count(name) != 0;
+}
+
+std::vector<CompressorInfo> CompressorRegistry::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CompressorInfo> out;
+  out.reserve(strategies_.size());
+  for (const auto& [name, entry] : strategies_) out.push_back(entry.first);
+  std::sort(out.begin(), out.end(),
+            [](const CompressorInfo& a, const CompressorInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace deepsz::compress

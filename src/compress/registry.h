@@ -1,0 +1,61 @@
+// Name-based strategy resolution, mirroring codec/registry.h: the one place
+// that maps stable strategy names to ModelCompressor factories.
+//
+// A strategy spec is `name` or `name:key=value[,key=value...]`, e.g.
+//
+//   "deepsz"                         paper defaults (expected-accuracy mode)
+//   "deepsz:expected_acc=0.004"      explicit accuracy-loss budget
+//   "deepsz:target_ratio=50"         expected-ratio mode
+//   "deep-compression:bits=5"        Han et al. 5-bit codebook
+//   "weightless:cluster_bits=4"      Reagen et al. Bloomier filter
+//   "zfp"                            ZFP data streams through Algorithms 1-2
+//   "store"                          pruning only, verbatim streams
+//
+// The registry is process-global and pre-populated with the builtin
+// strategies; additional strategies register under new names without
+// touching any call site. Registration and lookup are thread-safe.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "codec/codec.h"
+#include "compress/compressor.h"
+
+namespace deepsz::compress {
+
+class CompressorRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<ModelCompressor>(const codec::Options&)>;
+
+  /// Process-wide registry with the builtin strategies pre-registered.
+  static CompressorRegistry& instance();
+
+  /// Registers a factory under info.name. Throws std::invalid_argument if
+  /// the name is already taken.
+  void register_compressor(CompressorInfo info, Factory factory);
+
+  /// Resolves a spec into a configured strategy. Throws UnknownCompressor
+  /// for an unregistered name and codec::BadOptions for a malformed option
+  /// string.
+  std::shared_ptr<ModelCompressor> make(std::string_view spec) const;
+
+  bool has(const std::string& name) const;
+
+  /// All registered strategies, sorted by name.
+  std::vector<CompressorInfo> list() const;
+
+ private:
+  CompressorRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<CompressorInfo, Factory>> strategies_;
+};
+
+}  // namespace deepsz::compress

@@ -1,0 +1,303 @@
+#include "compress/session.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace deepsz::compress {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kPrune: return "prune";
+    case Stage::kAssess: return "assess";
+    case Stage::kOptimize: return "optimize";
+    case Stage::kEncode: return "encode";
+  }
+  return "?";
+}
+
+CompressionSession::CompressionSession(
+    std::shared_ptr<ModelCompressor> strategy, nn::Network& net,
+    const nn::Tensor& train_images, const std::vector<int>& train_labels,
+    const nn::Tensor& test_images, const std::vector<int>& test_labels,
+    CompressSpec spec)
+    : strategy_(std::move(strategy)) {
+  if (!strategy_) {
+    throw std::invalid_argument("CompressionSession: null strategy");
+  }
+  info_ = strategy_->info();
+  state_.net = &net;
+  state_.train_images = &train_images;
+  state_.train_labels = &train_labels;
+  state_.test_images = &test_images;
+  state_.test_labels = &test_labels;
+  state_.spec = std::move(spec);
+  strategy_->configure(state_.spec);
+  for (int i = 0; i < kNumStages; ++i) {
+    reports_[i].stage = static_cast<Stage>(i);
+  }
+}
+
+StageReport& CompressionSession::mutable_report(Stage stage) {
+  return reports_[static_cast<int>(stage)];
+}
+
+bool CompressionSession::stage_done(Stage stage) const {
+  return reports_[static_cast<int>(stage)].done;
+}
+
+const StageReport& CompressionSession::stage_report(Stage stage) const {
+  return reports_[static_cast<int>(stage)];
+}
+
+void CompressionSession::require_done(Stage stage, const char* by) const {
+  if (!stage_done(stage)) {
+    throw std::logic_error(std::string("CompressionSession: ") + by +
+                           " requires the " + stage_name(stage) +
+                           " stage to have run");
+  }
+}
+
+void CompressionSession::checkpoint() {
+  if (cancel_.load(std::memory_order_relaxed)) throw Cancelled();
+}
+
+void CompressionSession::prepare_state_hooks(Stage stage) {
+  state_.checkpoint = [this] { checkpoint(); };
+  state_.progress = [this](Stage s, const std::string& msg) {
+    if (progress_) progress_(s, msg);
+  };
+  if (progress_) progress_(stage, std::string(stage_name(stage)) + ": start");
+}
+
+void CompressionSession::begin_stage(Stage stage) {
+  checkpoint();
+  prepare_state_hooks(stage);
+}
+
+void CompressionSession::finish_stage(Stage stage, bool skipped,
+                                      double seconds, std::string detail) {
+  auto& r = mutable_report(stage);
+  r.done = true;
+  r.skipped = skipped;
+  ++r.runs;
+  r.seconds = seconds;
+  r.detail = std::move(detail);
+  if (progress_) {
+    progress_(stage, std::string(stage_name(stage)) + ": " +
+                         (skipped ? "skipped" : "done") +
+                         (r.detail.empty() ? "" : " — " + r.detail));
+  }
+}
+
+void CompressionSession::restore_pruned_weights() {
+  if (!state_.layers.empty()) {
+    core::load_layers_into_network(state_.layers, *state_.net);
+  }
+}
+
+void CompressionSession::invalidate_from(Stage stage) {
+  for (int i = static_cast<int>(stage); i < kNumStages; ++i) {
+    reports_[i].done = false;
+    reports_[i].skipped = false;
+  }
+}
+
+void CompressionSession::run_prune() {
+  begin_stage(Stage::kPrune);
+  util::WallTimer timer;
+  auto& s = state_;
+  s.acc_original = nn::evaluate(*s.net, *s.test_images, *s.test_labels);
+  s.prune = core::prune_and_retrain(*s.net, *s.train_images, *s.train_labels,
+                                    s.spec.prune);
+  s.acc_pruned = nn::evaluate(*s.net, *s.test_images, *s.test_labels);
+  s.layers = core::extract_pruned_layers(*s.net);
+  if (s.layers.empty()) {
+    throw std::invalid_argument(
+        "CompressionSession: no fc-layers pruned — set prune.keep_ratio for "
+        "at least one named Dense layer");
+  }
+  s.dense_fc_bytes = s.csr_bytes = 0;
+  for (const auto& l : s.layers) {
+    s.dense_fc_bytes += l.dense_bytes();
+    s.csr_bytes += l.csr_bytes();
+  }
+  s.oracle = std::make_shared<core::CachedHeadOracle>(
+      *s.net, *s.test_images, *s.test_labels);
+  s.baseline_top1 = s.oracle->top1();
+  invalidate_from(Stage::kAssess);
+
+  std::ostringstream detail;
+  detail << s.layers.size() << " fc-layer(s), top-1 " << s.acc_original.top1
+         << " -> " << s.acc_pruned.top1;
+  finish_stage(Stage::kPrune, false, timer.seconds(), detail.str());
+}
+
+void CompressionSession::adopt_pruned() {
+  adopt_pruned(nullptr, {});
+}
+
+void CompressionSession::adopt_pruned(
+    std::shared_ptr<core::CachedHeadOracle> oracle,
+    const nn::Accuracy& acc_pruned) {
+  begin_stage(Stage::kPrune);
+  util::WallTimer timer;
+  auto& s = state_;
+  s.layers = core::extract_pruned_layers(*s.net);
+  if (s.layers.empty()) {
+    throw std::invalid_argument(
+        "CompressionSession: adopt_pruned on a network with no masked "
+        "fc-layers");
+  }
+  s.acc_original = s.acc_pruned =
+      oracle ? acc_pruned
+             : nn::evaluate(*s.net, *s.test_images, *s.test_labels);
+  s.prune = {};
+  s.dense_fc_bytes = s.csr_bytes = 0;
+  for (const auto& l : s.layers) {
+    s.dense_fc_bytes += l.dense_bytes();
+    s.csr_bytes += l.csr_bytes();
+  }
+  s.oracle = oracle ? std::move(oracle)
+                    : std::make_shared<core::CachedHeadOracle>(
+                          *s.net, *s.test_images, *s.test_labels);
+  s.baseline_top1 = s.oracle->top1();
+  invalidate_from(Stage::kAssess);
+
+  std::ostringstream detail;
+  detail << "adopted " << s.layers.size() << " pre-pruned fc-layer(s)";
+  finish_stage(Stage::kPrune, false, timer.seconds(), detail.str());
+}
+
+void CompressionSession::run_assess() {
+  require_done(Stage::kPrune, "assess");
+  begin_stage(Stage::kAssess);
+  util::WallTimer timer;
+  restore_pruned_weights();  // Encode may have left decoded weights behind
+  bool ran = false;
+  try {
+    ran = strategy_->assess(state_);
+  } catch (...) {
+    // A cancelled (or failed) assessment leaves some layer reconstructed in
+    // the network; put the pruned weights back so the session stays usable.
+    restore_pruned_weights();
+    state_.assessments.clear();
+    throw;
+  }
+  invalidate_from(Stage::kOptimize);
+
+  std::ostringstream detail;
+  if (ran) {
+    std::size_t points = 0;
+    for (const auto& a : state_.assessments) points += a.points.size();
+    detail << state_.assessments.size() << " layer(s), " << points
+           << " tested bound(s)";
+  } else {
+    detail << "no tunable error bound";
+  }
+  finish_stage(Stage::kAssess, !ran, timer.seconds(), detail.str());
+}
+
+void CompressionSession::run_optimize() {
+  require_done(Stage::kAssess, "optimize");
+  begin_stage(Stage::kOptimize);
+  util::WallTimer timer;
+  restore_pruned_weights();
+  bool ran = false;
+  try {
+    ran = strategy_->optimize(state_);
+  } catch (...) {
+    restore_pruned_weights();
+    state_.chosen = {};
+    throw;
+  }
+  restore_pruned_weights();  // joint validation perturbs the network
+  invalidate_from(Stage::kEncode);
+
+  std::ostringstream detail;
+  if (ran) {
+    detail << state_.chosen.choices.size() << " choice(s), "
+           << state_.chosen.total_bytes << " data bytes, expected drop "
+           << state_.chosen.expected_total_drop;
+  } else {
+    detail << "nothing to optimize";
+  }
+  finish_stage(Stage::kOptimize, !ran, timer.seconds(), detail.str());
+}
+
+void CompressionSession::run_encode() {
+  require_done(Stage::kOptimize, "encode");
+  begin_stage(Stage::kEncode);
+  restore_pruned_weights();
+  // Only the container generation counts as encode time (the paper's
+  // Figure-7a definition); the decode + accuracy measurement below is
+  // bookkeeping for the tables, reported separately as decode_timing.
+  util::WallTimer timer;
+  state_.model = strategy_->encode(state_);
+  const double encode_seconds = timer.seconds();
+
+  // Decode + reload, and measure the decoded accuracy the tables report.
+  auto& s = state_;
+  s.decode_timing = core::load_compressed_model(s.model.bytes, *s.net);
+  s.acc_decoded = nn::evaluate(*s.net, *s.test_images, *s.test_labels);
+  DSZ_LOG_INFO << info_.name << ": ratio " << s.model.compression_ratio()
+               << "x, top-1 " << s.acc_original.top1 << " -> "
+               << s.acc_decoded.top1;
+
+  std::ostringstream detail;
+  detail << s.model.compressed_payload_bytes() << " bytes, ratio "
+         << s.model.compression_ratio() << "x, decoded top-1 "
+         << s.acc_decoded.top1;
+  finish_stage(Stage::kEncode, false, encode_seconds, detail.str());
+}
+
+CompressReport CompressionSession::run() {
+  if (!stage_done(Stage::kPrune)) run_prune();
+  if (!stage_done(Stage::kAssess)) run_assess();
+  if (!stage_done(Stage::kOptimize)) run_optimize();
+  if (!stage_done(Stage::kEncode)) run_encode();
+  return report();
+}
+
+void CompressionSession::set_expected_acc_loss(double expected_acc_loss) {
+  state_.spec.expected_acc_loss = expected_acc_loss;
+  state_.spec.target_ratio.reset();
+  invalidate_from(Stage::kOptimize);
+}
+
+void CompressionSession::set_target_ratio(std::optional<double> target_ratio) {
+  state_.spec.target_ratio = target_ratio;
+  invalidate_from(Stage::kOptimize);
+}
+
+CompressReport CompressionSession::report() const {
+  if (!stage_done(Stage::kEncode)) {
+    throw std::logic_error(
+        "CompressionSession: report() before the encode stage ran");
+  }
+  CompressReport r;
+  r.strategy = info_.name;
+  r.acc_original = state_.acc_original;
+  r.acc_pruned = state_.acc_pruned;
+  r.acc_decoded = state_.acc_decoded;
+  r.prune = state_.prune;
+  r.assessments = state_.assessments;
+  r.chosen = state_.chosen;
+  r.model = state_.model;
+  r.dense_fc_bytes = state_.dense_fc_bytes;
+  r.csr_bytes = state_.csr_bytes;
+  r.compression_ratio = state_.model.compression_ratio();
+  r.decode_timing = state_.decode_timing;
+  r.stages = reports_;
+  // Encode seconds in the paper's Figure-7a sense: everything after pruning.
+  for (Stage s : {Stage::kAssess, Stage::kOptimize, Stage::kEncode}) {
+    r.encode_seconds += reports_[static_cast<int>(s)].seconds;
+  }
+  return r;
+}
+
+}  // namespace deepsz::compress

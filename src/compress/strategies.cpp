@@ -1,0 +1,328 @@
+// Builtin compression strategies. Each maps one method from the paper's
+// evaluation onto the staged session API and the v3 container:
+//
+//   deepsz            Algorithms 1+2 over SZ data streams (the paper);
+//   zfp               the same pipeline over ZFP data streams (Figure 2's
+//                     transform-codec alternative, now first-class);
+//   deep-compression  Han et al.: k-means codebook + Huffman ("dc" float
+//                     codec for values, "huffman" byte codec for deltas);
+//   weightless        Reagen et al.: Bloomier filter over dense positions
+//                     ("bloomier" float codec on dense-framed layers);
+//   store             pruning only, verbatim streams — the reference point.
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/registry.h"
+#include "compress/registry.h"
+#include "core/optimizer.h"
+
+namespace deepsz::compress {
+namespace detail {
+void register_builtin_compressors(CompressorRegistry& reg);
+}  // namespace detail
+
+namespace {
+
+/// Bias vectors of the layers being encoded, copied out of the network so
+/// the container is a complete deployment artifact for the fc-layers.
+std::map<std::string, std::vector<float>> collect_biases(
+    const SessionState& state) {
+  std::map<std::string, std::vector<float>> biases;
+  for (const auto& layer : state.layers) {
+    if (auto* d = state.net->find_dense(layer.name)) {
+      biases[layer.name] = std::vector<float>(d->bias().flat().begin(),
+                                              d->bias().flat().end());
+    }
+  }
+  return biases;
+}
+
+/// Emits the container, honoring the session's data/index codec overrides.
+core::EncodedModel encode_container(
+    const SessionState& state, const std::vector<sparse::PrunedLayer>& layers,
+    const std::string& default_data_codec,
+    const std::string& default_index_codec,
+    const std::map<std::string, double>& eb_per_layer, double default_eb) {
+  core::ContainerOptions copts;
+  copts.data_codec = state.spec.data_codec.empty() ? default_data_codec
+                                                   : state.spec.data_codec;
+  copts.index_codec = state.spec.index_codec.empty() ? default_index_codec
+                                                     : state.spec.index_codec;
+  copts.default_eb = default_eb;
+  return core::encode_model(layers, eb_per_layer, copts,
+                            collect_biases(state));
+}
+
+// ---------------------------------------------------------------- deepsz/zfp
+
+/// The paper's pipeline over any error-bounded FloatCodec: Algorithm 1
+/// assessment, Algorithm 2 optimization (with closed-loop joint validation
+/// in expected-accuracy mode), container with per-layer bounds.
+class ErrorBoundedStrategy : public ModelCompressor {
+ public:
+  ErrorBoundedStrategy(CompressorInfo info, bool derive_sz_spec,
+                       const codec::Options& opts)
+      : info_(std::move(info)), derive_sz_spec_(derive_sz_spec) {
+    opts.check_known({"expected_acc", "target_ratio"});
+    if (opts.has("expected_acc")) {
+      expected_acc_ = opts.get_f64("expected_acc", 0.004);
+      if (!(*expected_acc_ > 0.0)) {
+        throw codec::BadOptions(info_.name +
+                                ": expected_acc must be positive");
+      }
+    }
+    if (opts.has("target_ratio")) {
+      target_ratio_ = opts.get_f64("target_ratio", 0.0);
+      if (!(*target_ratio_ > 1.0)) {
+        throw codec::BadOptions(info_.name + ": target_ratio must be > 1");
+      }
+    }
+  }
+
+  CompressorInfo info() const override { return info_; }
+
+  void configure(CompressSpec& spec) const override {
+    if (expected_acc_) spec.expected_acc_loss = *expected_acc_;
+    if (target_ratio_) spec.target_ratio = *target_ratio_;
+  }
+
+  bool assess(SessionState& state) override {
+    core::AssessmentConfig cfg = state.spec.assessment;
+    cfg.expected_acc_loss = state.spec.expected_acc_loss;
+    cfg.codec = make_codec(state);
+    cfg.checkpoint = state.checkpoint;
+    cfg.progress = [&state](const std::string& msg) {
+      state.progress(Stage::kAssess, msg);
+    };
+    state.assess_codec = cfg.codec;
+    state.assessments = core::assess_error_bounds(*state.net, state.layers,
+                                                  *state.oracle, cfg);
+    return true;
+  }
+
+  bool optimize(SessionState& state) override {
+    if (state.spec.target_ratio.has_value()) {
+      const auto budget = static_cast<std::size_t>(
+          static_cast<double>(state.dense_fc_bytes) /
+          *state.spec.target_ratio);
+      state.chosen = core::optimize_for_size(state.assessments, budget);
+      return true;
+    }
+    // Closed-loop joint validation (see optimize_for_accuracy_validated):
+    // reconstruct every layer at the candidate bounds with the SAME codec
+    // the assessment used and measure the actual joint drop.
+    auto codec = state.assess_codec ? state.assess_codec : make_codec(state);
+    auto joint_drop = [&state, &codec](const core::OptimizerResult& cand) {
+      state.checkpoint();
+      std::vector<sparse::PrunedLayer> reconstructed;
+      reconstructed.reserve(cand.choices.size());
+      for (std::size_t i = 0; i < cand.choices.size(); ++i) {
+        auto decoded = codec->decode(codec->encode(
+            state.layers[i].data, codec::FloatParams{cand.choices[i].eb}));
+        reconstructed.push_back(state.layers[i].with_data(std::move(decoded)));
+      }
+      core::load_layers_into_network(reconstructed, *state.net);
+      const double drop = state.baseline_top1 - state.oracle->top1();
+      core::load_layers_into_network(state.layers, *state.net);
+      std::ostringstream os;
+      os << "joint validation: candidate drop " << drop;
+      state.progress(Stage::kOptimize, os.str());
+      return drop;
+    };
+    state.chosen = core::optimize_for_accuracy_validated(
+        state.assessments, state.spec.expected_acc_loss, joint_drop);
+    return true;
+  }
+
+  core::EncodedModel encode(SessionState& state) override {
+    std::map<std::string, double> eb_per_layer;
+    for (const auto& c : state.chosen.choices) eb_per_layer[c.layer] = c.eb;
+    return encode_container(state, state.layers, data_spec(state), "zstd",
+                            eb_per_layer, /*default_eb=*/1e-3);
+  }
+
+ private:
+  /// Data-codec spec consistent with what the assessment measured: deepsz
+  /// derives an "sz:..." spec from the assessment SzParams, zfp is "zfp".
+  std::string data_spec(const SessionState& state) const {
+    return derive_sz_spec_ ? core::sz_codec_spec(state.spec.assessment.sz)
+                           : info_.name;
+  }
+
+  std::shared_ptr<codec::FloatCodec> make_codec(
+      const SessionState& state) const {
+    return codec::CodecRegistry::instance().make_float(data_spec(state));
+  }
+
+  CompressorInfo info_;
+  bool derive_sz_spec_;
+  std::optional<double> expected_acc_;
+  std::optional<double> target_ratio_;
+};
+
+// ------------------------------------------------------- deep-compression
+
+class DeepCompressionStrategy : public ModelCompressor {
+ public:
+  explicit DeepCompressionStrategy(const codec::Options& opts) {
+    opts.check_known({"bits", "iters"});
+    bits_ = static_cast<int>(opts.get_u64("bits", 5));
+    iters_ = static_cast<int>(opts.get_u64("iters", 30));
+    if (bits_ < 1 || bits_ > 16) {
+      throw codec::BadOptions("deep-compression: bits must be in [1, 16]");
+    }
+  }
+
+  CompressorInfo info() const override {
+    CompressorInfo info;
+    info.name = "deep-compression";
+    info.summary =
+        "Han et al. ICLR'16: k-means codebook + Huffman-coded indices and "
+        "position deltas";
+    info.options_help = "bits=<1..16>,iters=<n>";
+    return info;
+  }
+
+  core::EncodedModel encode(SessionState& state) override {
+    std::ostringstream data_codec;
+    data_codec << "dc:bits=" << bits_ << ",iters=" << iters_;
+    return encode_container(state, state.layers, data_codec.str(), "huffman",
+                            {}, /*default_eb=*/0.0);
+  }
+
+ private:
+  int bits_ = 5;
+  int iters_ = 30;
+};
+
+// -------------------------------------------------------------- weightless
+
+class WeightlessStrategy : public ModelCompressor {
+ public:
+  explicit WeightlessStrategy(const codec::Options& opts) {
+    opts.check_known({"cluster_bits", "guard_bits", "slots_per_key"});
+    cluster_bits_ = static_cast<int>(opts.get_u64("cluster_bits", 4));
+    guard_bits_ = static_cast<int>(opts.get_u64("guard_bits", 4));
+    slots_per_key_ = opts.get_f64("slots_per_key", 1.35);
+  }
+
+  CompressorInfo info() const override {
+    CompressorInfo info;
+    info.name = "weightless";
+    info.summary =
+        "Reagen et al. ICML'18: Bloomier filter mapping dense positions to "
+        "cluster ids";
+    info.options_help =
+        "cluster_bits=<1..16>,guard_bits=<0..16>,slots_per_key=<f>";
+    return info;
+  }
+
+  core::EncodedModel encode(SessionState& state) override {
+    // Weightless stores sparsity inside the filter, not in an index array.
+    // Re-frame each layer densely: the data stream is the full dense matrix
+    // (the "bloomier" codec keys on its nonzero positions) and the index
+    // stream degenerates to all-1 deltas, which the lossless codec collapses
+    // to almost nothing.
+    std::vector<sparse::PrunedLayer> dense_framed;
+    dense_framed.reserve(state.layers.size());
+    for (const auto& l : state.layers) {
+      sparse::PrunedLayer d;
+      d.name = l.name;
+      d.rows = l.rows;
+      d.cols = l.cols;
+      d.data = l.to_dense();
+      d.index.assign(d.data.size(), 1);
+      dense_framed.push_back(std::move(d));
+    }
+    std::ostringstream data_codec;
+    data_codec << "bloomier:cluster_bits=" << cluster_bits_
+               << ",guard_bits=" << guard_bits_
+               << ",slots_per_key=" << slots_per_key_;
+    return encode_container(state, dense_framed, data_codec.str(), "zstd",
+                            {}, /*default_eb=*/0.0);
+  }
+
+ private:
+  int cluster_bits_ = 4;
+  int guard_bits_ = 4;
+  double slots_per_key_ = 1.35;
+};
+
+// ------------------------------------------------------------------- store
+
+class StoreStrategy : public ModelCompressor {
+ public:
+  explicit StoreStrategy(const codec::Options& opts) { opts.check_known({}); }
+
+  CompressorInfo info() const override {
+    CompressorInfo info;
+    info.name = "store";
+    info.summary =
+        "pruning only: verbatim fp32 data + raw index streams (reference "
+        "point)";
+    return info;
+  }
+
+  core::EncodedModel encode(SessionState& state) override {
+    return encode_container(state, state.layers, "f32", "store", {},
+                            /*default_eb=*/0.0);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_compressors(CompressorRegistry& reg) {
+  {
+    CompressorInfo info;
+    info.name = "deepsz";
+    info.error_bounded = true;
+    info.summary =
+        "the paper: SZ error-bounded data streams, Algorithm 1 assessment + "
+        "Algorithm 2 optimization";
+    info.options_help = "expected_acc=<frac>,target_ratio=<r>";
+    reg.register_compressor(info, [info](const codec::Options& opts) {
+      return std::make_shared<ErrorBoundedStrategy>(
+          info, /*derive_sz_spec=*/true, opts);
+    });
+  }
+  {
+    CompressorInfo info;
+    info.name = "zfp";
+    info.error_bounded = true;
+    info.summary =
+        "DeepSZ pipeline over ZFP transform-codec data streams (Figure 2 "
+        "alternative)";
+    info.options_help = "expected_acc=<frac>,target_ratio=<r>";
+    reg.register_compressor(info, [info](const codec::Options& opts) {
+      return std::make_shared<ErrorBoundedStrategy>(
+          info, /*derive_sz_spec=*/false, opts);
+    });
+  }
+  {
+    CompressorInfo info = DeepCompressionStrategy(codec::Options{}).info();
+    reg.register_compressor(info, [](const codec::Options& opts) {
+      return std::make_shared<DeepCompressionStrategy>(opts);
+    });
+  }
+  {
+    CompressorInfo info = WeightlessStrategy(codec::Options{}).info();
+    reg.register_compressor(info, [](const codec::Options& opts) {
+      return std::make_shared<WeightlessStrategy>(opts);
+    });
+  }
+  {
+    CompressorInfo info = StoreStrategy(codec::Options{}).info();
+    reg.register_compressor(info, [](const codec::Options& opts) {
+      return std::make_shared<StoreStrategy>(opts);
+    });
+  }
+}
+
+}  // namespace detail
+}  // namespace deepsz::compress

@@ -2,24 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "codec/registry.h"
+#include "core/model_codec.h"
 #include "core/pruner.h"
 #include "util/log.h"
 
 namespace deepsz::core {
 namespace {
 
-/// Compresses the layer's data array at `eb`, swaps the reconstruction into
-/// the network, and measures the accuracy drop; restores nothing (callers
-/// restore once per layer).
+/// Compresses the layer's data array at `eb` with the configured codec,
+/// swaps the reconstruction into the network, and measures the accuracy
+/// drop; restores nothing (callers restore once per layer).
 EbPoint test_error_bound(nn::Network& net, const sparse::PrunedLayer& layer,
                          double eb, double baseline_top1,
-                         AccuracyOracle& oracle, const AssessmentConfig& cfg) {
-  sz::SzParams params = cfg.sz;
-  params.mode = sz::ErrorBoundMode::kAbs;
-  params.error_bound = eb;
-  auto stream = sz::compress(layer.data, params);
-  auto decoded = sz::decompress(stream);
+                         AccuracyOracle& oracle,
+                         const codec::FloatCodec& codec) {
+  auto stream = codec.encode(layer.data, codec::FloatParams{eb});
+  auto decoded = codec.decode(stream);
 
   load_layers_into_network({layer.with_data(std::move(decoded))}, net);
 
@@ -35,6 +36,19 @@ EbPoint test_error_bound(nn::Network& net, const sparse::PrunedLayer& layer,
 std::vector<LayerAssessment> assess_error_bounds(
     nn::Network& net, const std::vector<sparse::PrunedLayer>& layers,
     AccuracyOracle& oracle, const AssessmentConfig& config) {
+  // sz_codec_spec omits the error-bound mode; the "sz" codec defaults to
+  // abs, matching the kAbs the pre-registry assessment forced per test.
+  auto codec = config.codec
+                   ? config.codec
+                   : codec::CodecRegistry::instance().make_float(
+                         sz_codec_spec(config.sz));
+  auto note_progress = [&](const EbPoint& p, const std::string& layer_name) {
+    if (!config.progress) return;
+    std::ostringstream os;
+    os << layer_name << " eb=" << p.eb << " -> " << p.data_bytes
+       << " bytes, drop " << p.acc_drop;
+    config.progress(os.str());
+  };
   const double baseline = oracle.top1();
   std::vector<LayerAssessment> results;
   results.reserve(layers.size());
@@ -51,7 +65,9 @@ std::vector<LayerAssessment> assess_error_bounds(
         start = beta / 10.0;
         break;
       }
-      EbPoint p = test_error_bound(net, layer, beta, baseline, oracle, config);
+      if (config.checkpoint) config.checkpoint();
+      EbPoint p = test_error_bound(net, layer, beta, baseline, oracle, *codec);
+      note_progress(p, layer.name);
       if (p.acc_drop > config.distortion_criterion) {
         start = beta / 10.0;
         break;
@@ -67,7 +83,9 @@ std::vector<LayerAssessment> assess_error_bounds(
     double eb = start;
     for (int i = 0; i < config.max_points_per_layer && eb <= config.max_eb;
          ++i) {
-      EbPoint p = test_error_bound(net, layer, eb, baseline, oracle, config);
+      if (config.checkpoint) config.checkpoint();
+      EbPoint p = test_error_bound(net, layer, eb, baseline, oracle, *codec);
+      note_progress(p, layer.name);
       la.points.push_back(p);
       la.feasible_hi = eb;
       if (p.acc_drop > config.expected_acc_loss) break;

@@ -9,8 +9,12 @@
 // the per-layer independence analysis of Section 3.4.
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "codec/codec.h"
 #include "core/accuracy.h"
 #include "sparse/pruned_layer.h"
 #include "sz/sz.h"
@@ -47,8 +51,23 @@ struct AssessmentConfig {
   /// the per-layer independence (and hence additivity) argument, and the
   /// paper therefore keeps every bound below 0.1.
   double max_eb = 0.1;
-  /// SZ parameters (error_bound is overwritten per test).
+  /// SZ parameters (error_bound is overwritten per test), used when `codec`
+  /// is null.
   sz::SzParams sz;
+
+  /// Error-bounded codec tested per bound. Null builds an "sz:..." codec
+  /// from `sz` — the paper's configuration; a CompressionSession strategy
+  /// substitutes its own backend (e.g. "zfp") so assessed sizes match what
+  /// the container will actually store.
+  std::shared_ptr<codec::FloatCodec> codec;
+
+  /// Invoked before each tested bound; throw (e.g. compress::Cancelled) to
+  /// abort mid-assessment. The network is left holding some layer's
+  /// reconstruction — callers that continue must restore the pruned weights.
+  std::function<void()> checkpoint;
+
+  /// Per-tested-bound progress note ("fc6 eb=1e-3 drop=0.0002 ...").
+  std::function<void(const std::string&)> progress;
 };
 
 /// Runs Algorithm 1. `net` must already hold the pruned weights that

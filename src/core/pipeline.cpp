@@ -2,102 +2,52 @@
 
 #include <stdexcept>
 
+#include "compress/registry.h"
+#include "compress/session.h"
 #include "util/log.h"
 #include "util/timer.h"
 
 namespace deepsz::core {
 
+// run_deepsz predates the pluggable compressor API and is kept as a thin
+// shim: it maps DeepSzOptions onto a CompressSpec, drives the "deepsz"
+// strategy through a CompressionSession (compress/session.h), and repackages
+// the session report in the shape the evaluation tables consume. New code
+// should use the session API directly — it exposes the stages, progress and
+// cancellation this facade hides.
 DeepSzReport run_deepsz(nn::Network& net, const nn::Tensor& train_images,
                         const std::vector<int>& train_labels,
                         const nn::Tensor& test_images,
                         const std::vector<int>& test_labels,
                         const DeepSzOptions& options) {
+  compress::CompressSpec spec;
+  spec.prune.keep_ratio = options.keep_ratio;
+  spec.prune.retrain_epochs = options.retrain_epochs;
+  spec.prune.sgd = options.retrain_sgd;
+  spec.expected_acc_loss = options.expected_acc_loss;
+  spec.target_ratio = options.target_ratio;
+  spec.assessment = options.assessment;
+  spec.data_codec = options.data_codec;  // empty = derive "sz:..." spec
+  spec.index_codec = options.index_codec;
+
+  compress::CompressionSession session(
+      compress::CompressorRegistry::instance().make("deepsz"), net,
+      train_images, train_labels, test_images, test_labels, std::move(spec));
+  auto result = session.run();
+
   DeepSzReport report;
-  report.acc_original = nn::evaluate(net, test_images, test_labels);
-
-  // Step 1: prune + masked retraining.
-  PruneConfig prune_cfg;
-  prune_cfg.keep_ratio = options.keep_ratio;
-  prune_cfg.retrain_epochs = options.retrain_epochs;
-  prune_cfg.sgd = options.retrain_sgd;
-  report.prune =
-      prune_and_retrain(net, train_images, train_labels, prune_cfg);
-  report.acc_pruned = nn::evaluate(net, test_images, test_labels);
-
-  auto layers = extract_pruned_layers(net);
-  if (layers.empty()) {
-    throw std::invalid_argument(
-        "run_deepsz: no fc-layers pruned — set keep_ratio for at least one "
-        "named Dense layer");
-  }
-  for (const auto& l : layers) {
-    report.dense_fc_bytes += l.dense_bytes();
-    report.csr_bytes += l.csr_bytes();
-  }
-
-  util::WallTimer encode_timer;
-
-  // Step 2: error bound assessment (Algorithm 1), with cached conv features.
-  CachedHeadOracle oracle(net, test_images, test_labels);
-  const double baseline_top1 = oracle.top1();
-  AssessmentConfig assess_cfg = options.assessment;
-  assess_cfg.expected_acc_loss = options.expected_acc_loss;
-  report.assessments = assess_error_bounds(net, layers, oracle, assess_cfg);
-
-  // Step 3: error-bound configuration optimization (Algorithm 2), with
-  // closed-loop joint validation (see optimize_for_accuracy_validated).
-  auto joint_drop = [&](const OptimizerResult& candidate) {
-    std::vector<sparse::PrunedLayer> reconstructed;
-    reconstructed.reserve(candidate.choices.size());
-    for (std::size_t i = 0; i < candidate.choices.size(); ++i) {
-      sz::SzParams params = assess_cfg.sz;
-      params.mode = sz::ErrorBoundMode::kAbs;
-      params.error_bound = candidate.choices[i].eb;
-      auto decoded = sz::decompress(sz::compress(layers[i].data, params));
-      reconstructed.push_back(layers[i].with_data(std::move(decoded)));
-    }
-    load_layers_into_network(reconstructed, net);
-    const double drop = baseline_top1 - oracle.top1();
-    load_layers_into_network(layers, net);
-    return drop;
-  };
-  if (options.target_ratio.has_value()) {
-    const auto budget = static_cast<std::size_t>(
-        static_cast<double>(report.dense_fc_bytes) / *options.target_ratio);
-    report.chosen = optimize_for_size(report.assessments, budget);
-  } else {
-    report.chosen = optimize_for_accuracy_validated(
-        report.assessments, options.expected_acc_loss, joint_drop);
-  }
-
-  // Step 4: compressed model generation. Biases ride along verbatim so the
-  // container is a complete deployment artifact for the fc-layers.
-  std::map<std::string, double> eb_per_layer;
-  for (const auto& c : report.chosen.choices) {
-    eb_per_layer[c.layer] = c.eb;
-  }
-  std::map<std::string, std::vector<float>> biases;
-  for (const auto& layer : layers) {
-    if (auto* d = net.find_dense(layer.name)) {
-      biases[layer.name] = std::vector<float>(d->bias().flat().begin(),
-                                              d->bias().flat().end());
-    }
-  }
-  ContainerOptions copts;
-  copts.data_codec = options.data_codec.empty() ? sz_codec_spec(assess_cfg.sz)
-                                                : options.data_codec;
-  copts.index_codec = options.index_codec;
-  report.model = encode_model(layers, eb_per_layer, copts, biases);
-  report.encode_seconds = encode_timer.seconds();
-  report.compression_ratio = report.model.compression_ratio();
-
-  // Decode + reload, and measure the decoded accuracy the tables report.
-  report.decode_timing = load_compressed_model(report.model.bytes, net);
-  report.acc_decoded = nn::evaluate(net, test_images, test_labels);
-
-  DSZ_LOG_INFO << "DeepSZ: ratio " << report.compression_ratio << "x, top-1 "
-               << report.acc_original.top1 << " -> "
-               << report.acc_decoded.top1;
+  report.acc_original = result.acc_original;
+  report.acc_pruned = result.acc_pruned;
+  report.acc_decoded = result.acc_decoded;
+  report.prune = result.prune;
+  report.assessments = std::move(result.assessments);
+  report.chosen = std::move(result.chosen);
+  report.model = std::move(result.model);
+  report.dense_fc_bytes = result.dense_fc_bytes;
+  report.csr_bytes = result.csr_bytes;
+  report.compression_ratio = result.compression_ratio;
+  report.encode_seconds = result.encode_seconds;
+  report.decode_timing = result.decode_timing;
   return report;
 }
 
@@ -118,10 +68,16 @@ DecodeTiming load_compressed_model(std::span<const std::uint8_t> bytes,
   for (auto* d : net.dense_layers()) d->unbind_weights();
   load_layers_into_network(decoded.layers, net);
   for (const auto& [name, bias] : decoded.biases) {
-    if (auto* d = net.find_dense(name)) {
-      if (static_cast<std::int64_t>(bias.size()) == d->bias().numel()) {
-        std::copy(bias.begin(), bias.end(), d->bias().data());
-      }
+    auto* d = net.find_dense(name);
+    if (d == nullptr) continue;
+    if (static_cast<std::int64_t>(bias.size()) == d->bias().numel()) {
+      std::copy(bias.begin(), bias.end(), d->bias().data());
+    } else {
+      // A mismatched bias cannot be applied, but skipping it silently hides
+      // a malformed (or wrong-architecture) container from the operator.
+      DSZ_LOG_WARN << "load_compressed_model: bias for layer \"" << name
+                   << "\" has " << bias.size() << " element(s), layer expects "
+                   << d->bias().numel() << " — keeping the layer's own bias";
     }
   }
   decoded.timing.reconstruct_ms = timer.millis();

@@ -6,6 +6,12 @@
 // Two operating modes, as in Section 3.4: expected-accuracy (maximize
 // compression subject to an accuracy-loss budget; the default) and
 // expected-ratio (maximize accuracy subject to a size budget).
+//
+// run_deepsz is now a thin shim over the pluggable compressor API
+// (compress/session.h): it drives the "deepsz" strategy through a
+// CompressionSession. Prefer the session API in new code — it exposes the
+// stages individually (re-optimize without re-assessing), progress
+// callbacks, cancellation, and every other registered strategy.
 #pragma once
 
 #include <map>

@@ -208,4 +208,32 @@ std::uint32_t HuffmanDecoder::decode(util::BitReader& br) const {
   throw std::runtime_error("HuffmanDecoder: invalid code in stream");
 }
 
+std::vector<std::uint8_t> huffman_encode_symbols(
+    std::span<const std::uint32_t> symbols, std::size_t alphabet) {
+  std::vector<std::uint64_t> freq(alphabet, 0);
+  for (auto s : symbols) ++freq[s];
+  HuffmanEncoder enc;
+  enc.init(freq);
+  util::BitWriter bw;
+  enc.write_table(bw);
+  for (auto s : symbols) enc.encode(bw, s);
+  return bw.finish();
+}
+
+std::vector<std::uint32_t> huffman_decode_symbols(
+    std::span<const std::uint8_t> bytes, std::size_t count,
+    std::size_t max_alphabet) {
+  util::BitReader br(bytes);
+  HuffmanDecoder dec;
+  dec.read_table(br);
+  if (dec.alphabet_size() > max_alphabet) {
+    throw std::runtime_error(
+        "huffman_decode_symbols: table alphabet exceeds the stream's "
+        "declared symbol range");
+  }
+  std::vector<std::uint32_t> out(count);
+  for (auto& s : out) s = dec.decode(br);
+  return out;
+}
+
 }  // namespace deepsz::lossless

@@ -77,4 +77,18 @@ class HuffmanDecoder {
 /// Reverses the low `nbits` bits of `v`.
 std::uint32_t reverse_bits(std::uint32_t v, int nbits);
 
+/// Self-contained [table][codes] framing of one symbol stream, built from
+/// the stream's own frequencies — the framing shared by Deep Compression's
+/// value/position streams (baselines) and the "huffman" byte codec.
+std::vector<std::uint8_t> huffman_encode_symbols(
+    std::span<const std::uint32_t> symbols, std::size_t alphabet);
+
+/// Decodes `count` symbols written by huffman_encode_symbols. Throws
+/// std::runtime_error when the embedded table declares an alphabet beyond
+/// `max_alphabet` (decoded symbols are always below the declared alphabet,
+/// so the cap bounds them too) or when a code is invalid.
+std::vector<std::uint32_t> huffman_decode_symbols(
+    std::span<const std::uint8_t> bytes, std::size_t count,
+    std::size_t max_alphabet);
+
 }  // namespace deepsz::lossless

@@ -25,6 +25,15 @@ Network make_lenet300() {
   return net;
 }
 
+Network make_tiny_fc() {
+  Network net("tiny-fc");
+  net.add<Flatten>();
+  net.add<Dense>(784, 32)->set_name("fc1");
+  net.add<ReLU>();
+  net.add<Dense>(32, 10)->set_name("fc2");
+  return net;
+}
+
 Network make_lenet5() {
   Network net("LeNet-5");
   net.add<Conv2D>(1, 20, 5)->set_name("conv1");  // 28 -> 24

@@ -19,6 +19,10 @@ namespace deepsz::modelzoo {
 /// fc-layers named ip1, ip2, ip3.
 nn::Network make_lenet300();
 
+/// Tiny 784 -> 32 -> 10 MLP (fc-layers fc1, fc2) for smoke tests and tool
+/// demos: every pipeline stage runs in milliseconds on it.
+nn::Network make_tiny_fc();
+
 /// LeNet-5 (full scale, Caffe variant): conv20@5 -> pool -> conv50@5 -> pool
 /// -> ip1(800->500) -> ip2(500->10). fc-layers named ip1, ip2.
 nn::Network make_lenet5();

@@ -1,0 +1,196 @@
+// Unit tests for the codecs added for the pluggable compressor API: the
+// baseline-derived float codecs (dc, bloomier), the verbatim float codec
+// (f32) and the order-0 huffman byte codec — round-trips, determinism,
+// option validation, and corrupt-input robustness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/bloomier.h"
+#include "codec/registry.h"
+#include "util/rng.h"
+
+namespace deepsz {
+namespace {
+
+std::vector<float> sparse_values(std::size_t n, double density,
+                                 std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<float> v(n, 0.0f);
+  for (auto& x : v) {
+    if (rng.uniform() < density) {
+      x = static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  return v;
+}
+
+codec::CodecRegistry& reg() { return codec::CodecRegistry::instance(); }
+
+TEST(F32CodecTest, RoundTripsBitExactly) {
+  auto c = reg().make_float("f32");
+  auto data = sparse_values(1000, 1.0, 0x11);
+  auto stream = c->encode(data, {});
+  EXPECT_EQ(stream.size(), data.size() * sizeof(float));
+  EXPECT_EQ(c->decode(stream), data);
+  EXPECT_TRUE(c->decode(c->encode({}, {})).empty());
+}
+
+TEST(F32CodecTest, RejectsMisalignedStream) {
+  auto c = reg().make_float("f32");
+  std::vector<std::uint8_t> bad(7, 0);
+  EXPECT_THROW(c->decode(bad), std::runtime_error);
+}
+
+TEST(HuffmanCodecTest, RoundTripsSkewedAndRandomBytes) {
+  auto c = reg().make_byte("huffman");
+  util::Pcg32 rng(0x22);
+  // Skewed: mostly small deltas, the Deep Compression position profile.
+  std::vector<std::uint8_t> skewed(20000);
+  for (auto& b : skewed) {
+    b = static_cast<std::uint8_t>(rng.uniform() < 0.9 ? rng.bounded(8)
+                                                      : rng.bounded(256));
+  }
+  auto frame = c->encode(skewed);
+  EXPECT_LT(frame.size(), skewed.size());  // entropy coding pays off
+  EXPECT_EQ(c->decode(frame), skewed);
+
+  std::vector<std::uint8_t> random(4096);
+  for (auto& b : random) b = static_cast<std::uint8_t>(rng.bounded(256));
+  EXPECT_EQ(c->decode(c->encode(random)), random);
+
+  std::vector<std::uint8_t> single(100, 42);
+  EXPECT_EQ(c->decode(c->encode(single)), single);
+  EXPECT_TRUE(c->decode(c->encode({})).empty());
+}
+
+TEST(HuffmanCodecTest, RejectsCorruptFrames) {
+  auto c = reg().make_byte("huffman");
+  std::vector<std::uint8_t> data(100, 7);
+  auto frame = c->encode(data);
+  EXPECT_THROW(c->decode({}), std::exception);
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(c->decode(bad_magic), std::runtime_error);
+  auto bomb = frame;
+  bomb[4] = 0xff;  // implausible count vs frame size
+  bomb[5] = 0xff;
+  bomb[6] = 0xff;
+  EXPECT_THROW(c->decode(bomb), std::runtime_error);
+}
+
+TEST(DcCodecTest, QuantizesToAtMost2PowBitsValues) {
+  auto c = reg().make_float("dc:bits=4,iters=20");
+  auto data = sparse_values(5000, 1.0, 0x33);
+  auto stream = c->encode(data, {});
+  auto decoded = c->decode(stream);
+  ASSERT_EQ(decoded.size(), data.size());
+
+  std::set<float> distinct(decoded.begin(), decoded.end());
+  EXPECT_LE(distinct.size(), 16u);
+  // Codebook quantization: every value maps to a nearby centroid.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(decoded[i], data[i], 0.2f);
+  }
+  // Deterministic decode (the container property test relies on this).
+  EXPECT_EQ(c->decode(stream), decoded);
+  EXPECT_TRUE(c->decode(c->encode({}, {})).empty());
+}
+
+TEST(DcCodecTest, OptionsAndCorruptionAreRejected) {
+  EXPECT_THROW(reg().make_float("dc:bits=0"), codec::BadOptions);
+  EXPECT_THROW(reg().make_float("dc:bits=17"), codec::BadOptions);
+  EXPECT_THROW(reg().make_float("dc:nope=1"), codec::BadOptions);
+
+  auto c = reg().make_float("dc");
+  auto frame = c->encode(sparse_values(100, 1.0, 0x44), {});
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(c->decode(bad_magic), std::runtime_error);
+  auto bomb = frame;
+  for (int i = 4; i < 12; ++i) bomb[i] = 0xff;  // absurd count
+  EXPECT_THROW(c->decode(bomb), std::runtime_error);
+  EXPECT_THROW(c->decode(std::vector<std::uint8_t>(6, 0)), std::exception);
+}
+
+TEST(BloomierCodecTest, NonzeroPositionsSurviveZerosMostlyStayZero) {
+  auto c = reg().make_float("bloomier:cluster_bits=4,guard_bits=6");
+  auto data = sparse_values(10000, 0.1, 0x55);
+  auto stream = c->encode(data, {});
+  auto decoded = c->decode(stream);
+  ASSERT_EQ(decoded.size(), data.size());
+
+  std::size_t nnz = 0, false_positives = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != 0.0f) {
+      ++nnz;
+      // Inserted keys answer exactly: a centroid near the true value.
+      EXPECT_NE(decoded[i], 0.0f);
+      EXPECT_NEAR(decoded[i], data[i], 0.2f);
+    } else if (decoded[i] != 0.0f) {
+      ++false_positives;
+    }
+  }
+  ASSERT_GT(nnz, 0u);
+  // With 6 guard bits the false-positive rate is ~2^-6 per absent key.
+  EXPECT_LT(false_positives, data.size() / 16);
+  // The filter beats storing nnz fp32 values.
+  EXPECT_LT(stream.size(), nnz * sizeof(float));
+  // Deterministic decode.
+  EXPECT_EQ(c->decode(stream), decoded);
+}
+
+TEST(BloomierCodecTest, AllZeroAndEmptyInputs) {
+  auto c = reg().make_float("bloomier");
+  std::vector<float> zeros(500, 0.0f);
+  auto decoded = c->decode(c->encode(zeros, {}));
+  EXPECT_EQ(decoded, zeros);
+  EXPECT_TRUE(c->decode(c->encode({}, {})).empty());
+}
+
+TEST(BloomierCodecTest, OptionsAndCorruptionAreRejected) {
+  EXPECT_THROW(reg().make_float("bloomier:cluster_bits=0"),
+               codec::BadOptions);
+  EXPECT_THROW(reg().make_float("bloomier:slots_per_key=1.0"),
+               codec::BadOptions);
+  EXPECT_THROW(reg().make_float("bloomier:zzz=1"), codec::BadOptions);
+
+  auto c = reg().make_float("bloomier");
+  auto frame = c->encode(sparse_values(500, 0.2, 0x66), {});
+  auto bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(c->decode(bad_magic), std::runtime_error);
+  auto truncated = frame;
+  truncated.resize(frame.size() / 2);
+  EXPECT_THROW(c->decode(truncated), std::exception);
+}
+
+TEST(BloomierCodecTest, FilterHeaderFieldsAreValidated) {
+  // The filter travels inside untrusted containers: a corrupt header must
+  // throw, never divide by zero, read out of bounds, or size an allocation.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries = {
+      {3, 1}, {10, 2}, {40, 1}, {77, 3}};
+  auto filter = baselines::BloomierFilter::build(entries, 8);
+  auto bytes = filter.serialize();
+  ASSERT_NO_THROW(baselines::BloomierFilter::deserialize(bytes));
+
+  auto zero_slots = bytes;  // m_ = 0 -> would SIGFPE in query's h % m_
+  std::fill(zero_slots.begin(), zero_slots.begin() + 8, 0);
+  EXPECT_THROW(baselines::BloomierFilter::deserialize(zero_slots),
+               std::runtime_error);
+
+  auto grown_slots = bytes;  // m_ inflated -> get_slot would read past table
+  grown_slots[0] = 0xff;
+  grown_slots[1] = 0xff;
+  EXPECT_THROW(baselines::BloomierFilter::deserialize(grown_slots),
+               std::runtime_error);
+
+  auto bomb = bytes;  // word count inflated -> unbounded resize
+  for (int i = 20; i < 28; ++i) bomb[i] = 0xff;
+  EXPECT_THROW(baselines::BloomierFilter::deserialize(bomb),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deepsz

@@ -110,11 +110,14 @@ TEST(CodecRegistry, EveryByteCodecRoundTripsEverything) {
 TEST(CodecRegistry, EveryFloatCodecRoundTripsWithinTolerance) {
   auto& reg = CodecRegistry::instance();
   // sz block_size floor is 16, so 16/17 are its one-block edges; zfp blocks
-  // are 4 samples, covered by 4/5.
+  // are 4 samples, covered by 4/5. Only tolerance-bounded codecs join: the
+  // fixed-rate quantizers (dc, bloomier) ignore FloatParams::tolerance by
+  // design and are covered by baseline_codecs_test.cpp.
   std::vector<std::string> specs = {"sz:block_size=16,quant_bins=256"};
   for (const auto& info : reg.list()) {
-    if (info.error_bounded) specs.push_back(info.name);
+    if (info.error_bounded && info.bounded) specs.push_back(info.name);
   }
+  EXPECT_GE(specs.size(), 4u);  // sz (twice), zfp, f32 at minimum
   const std::size_t sizes[] = {0, 1, 4, 5, 16, 17, 256, 257, 1000};
   std::uint64_t seed = 1000;
   for (const auto& spec : specs) {
@@ -135,6 +138,33 @@ TEST(CodecRegistry, EveryFloatCodecRoundTripsWithinTolerance) {
           EXPECT_LE(max_err, tol * (1 + 1e-12))
               << spec << " " << dist << " n=" << n << " tol=" << tol;
         }
+      }
+    }
+  }
+}
+
+TEST(CodecRegistry, UnboundedFloatCodecsPreserveCountAndDeterminism) {
+  auto& reg = CodecRegistry::instance();
+  std::vector<std::string> specs;
+  for (const auto& info : reg.list()) {
+    if (info.error_bounded && !info.bounded) specs.push_back(info.name);
+  }
+  EXPECT_GE(specs.size(), 2u);  // dc, bloomier
+  std::uint64_t seed = 5000;
+  for (const auto& spec : specs) {
+    auto codec = reg.make_float(spec);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{257},
+                          std::size_t{1000}}) {
+      for (const char* dist : {"constant", "weights"}) {
+        auto data = float_data(dist, n, seed++);
+        auto stream = codec->encode(data, FloatParams{1e-3});
+        auto back = codec->decode(stream);
+        ASSERT_EQ(back.size(), data.size())
+            << spec << " " << dist << " n=" << n;
+        // Deterministic decode is what the model container's bit-exact
+        // round-trip property rests on.
+        EXPECT_EQ(codec->decode(stream), back)
+            << spec << " " << dist << " n=" << n;
       }
     }
   }

@@ -1,0 +1,180 @@
+// CompressionSession semantics: stage ordering, per-stage reports, stage
+// re-use (re-optimize under a new budget without re-assessing), cooperative
+// cancellation, and the run_deepsz shim's equivalence to a full session run.
+#include <gtest/gtest.h>
+
+#include "compress/registry.h"
+#include "compress/session.h"
+#include "core/pipeline.h"
+#include "tests/compress/tiny_model.h"
+
+namespace deepsz {
+namespace {
+
+using compress::CompressionSession;
+using compress::Stage;
+
+compress::CompressSpec tiny_spec() {
+  compress::CompressSpec spec;
+  spec.prune.keep_ratio = {{"fc1", 0.10}, {"fc2", 0.30}};
+  spec.prune.retrain_epochs = 1;
+  spec.expected_acc_loss = 0.02;
+  return spec;
+}
+
+CompressionSession make_session(testing::TinyModel& m,
+                                const std::string& strategy,
+                                compress::CompressSpec spec) {
+  return CompressionSession(
+      compress::CompressorRegistry::instance().make(strategy), m.net,
+      m.train.images, m.train.labels, m.test.images, m.test.labels,
+      std::move(spec));
+}
+
+TEST(CompressionSessionTest, StagesRequireTheirPredecessors) {
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  auto session = make_session(m, "deepsz", tiny_spec());
+  EXPECT_THROW(session.run_assess(), std::logic_error);
+  EXPECT_THROW(session.run_optimize(), std::logic_error);
+  EXPECT_THROW(session.run_encode(), std::logic_error);
+  EXPECT_THROW(session.report(), std::logic_error);
+}
+
+TEST(CompressionSessionTest, FullRunReportsEveryStage) {
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  auto session = make_session(m, "deepsz", tiny_spec());
+  auto report = session.run();
+
+  for (int i = 0; i < compress::kNumStages; ++i) {
+    const auto& r = report.stages[i];
+    EXPECT_TRUE(r.done) << stage_name(static_cast<Stage>(i));
+    EXPECT_FALSE(r.skipped) << stage_name(static_cast<Stage>(i));
+    EXPECT_EQ(r.runs, 1) << stage_name(static_cast<Stage>(i));
+    EXPECT_FALSE(r.detail.empty());
+  }
+  EXPECT_FALSE(report.model.bytes.empty());
+  EXPECT_FALSE(report.assessments.empty());
+  EXPECT_FALSE(report.chosen.choices.empty());
+  EXPECT_GT(report.compression_ratio, 1.0);
+}
+
+TEST(CompressionSessionTest, BaselinesSkipAssessAndOptimize) {
+  auto m = testing::make_tiny_pruned();
+  auto session = make_session(m, "deep-compression", tiny_spec());
+  session.adopt_pruned();
+  auto report = session.run();
+
+  EXPECT_FALSE(report.stages[static_cast<int>(Stage::kPrune)].skipped);
+  EXPECT_TRUE(report.stages[static_cast<int>(Stage::kAssess)].skipped);
+  EXPECT_TRUE(report.stages[static_cast<int>(Stage::kOptimize)].skipped);
+  EXPECT_FALSE(report.stages[static_cast<int>(Stage::kEncode)].skipped);
+  EXPECT_TRUE(report.assessments.empty());
+  EXPECT_FALSE(report.model.bytes.empty());
+}
+
+TEST(CompressionSessionTest, ReOptimizeWithNewBudgetReusesAssessment) {
+  auto m = testing::make_tiny_pruned();
+  auto session = make_session(m, "deepsz", tiny_spec());
+  session.adopt_pruned();
+  auto first = session.run();
+  ASSERT_EQ(session.stage_report(Stage::kAssess).runs, 1);
+  const auto assessments_before = first.assessments;
+
+  // Tighten the accuracy budget: Optimize+Encode rerun, Assess does not.
+  session.set_expected_acc_loss(0.004);
+  EXPECT_TRUE(session.stage_done(Stage::kAssess));
+  EXPECT_FALSE(session.stage_done(Stage::kOptimize));
+  EXPECT_FALSE(session.stage_done(Stage::kEncode));
+  auto second = session.run();
+
+  EXPECT_EQ(session.stage_report(Stage::kAssess).runs, 1);
+  EXPECT_EQ(session.stage_report(Stage::kOptimize).runs, 2);
+  EXPECT_EQ(session.stage_report(Stage::kEncode).runs, 2);
+  ASSERT_EQ(second.assessments.size(), assessments_before.size());
+  for (std::size_t i = 0; i < assessments_before.size(); ++i) {
+    // Bit-for-bit the same assessment objects — nothing re-measured.
+    EXPECT_EQ(second.assessments[i].points.size(),
+              assessments_before[i].points.size());
+  }
+  // A tighter budget can only shrink the permitted degradation.
+  EXPECT_LE(second.chosen.expected_total_drop, 0.004 + 1e-12);
+  EXPECT_FALSE(second.model.bytes.empty());
+
+  // Expected-ratio mode over the same assessment: payload fits the budget.
+  session.set_target_ratio(8.0);
+  auto third = session.run();
+  EXPECT_EQ(session.stage_report(Stage::kAssess).runs, 1);
+  EXPECT_EQ(session.stage_report(Stage::kOptimize).runs, 3);
+  EXPECT_LE(third.chosen.total_bytes, third.dense_fc_bytes / 8);
+}
+
+TEST(CompressionSessionTest, CancelBeforeAStageThrowsAndIsRecoverable) {
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  auto session = make_session(m, "deepsz", tiny_spec());
+  session.request_cancel();
+  EXPECT_THROW(session.run_prune(), compress::Cancelled);
+  EXPECT_FALSE(session.stage_done(Stage::kPrune));
+
+  session.clear_cancel();
+  EXPECT_NO_THROW(session.run_prune());
+  EXPECT_TRUE(session.stage_done(Stage::kPrune));
+}
+
+TEST(CompressionSessionTest, CancelMidAssessLeavesSessionUsable) {
+  auto m = testing::make_tiny_pruned();
+  auto session = make_session(m, "deepsz", tiny_spec());
+  session.adopt_pruned();
+  const auto pruned_top1 = session.state().acc_pruned.top1;
+
+  // Cancel from inside the assessment via the progress callback, after the
+  // first tested bound reports progress.
+  int assess_events = 0;
+  session.set_progress([&](Stage stage, const std::string&) {
+    if (stage == Stage::kAssess && ++assess_events == 2) {
+      session.request_cancel();
+    }
+  });
+  EXPECT_THROW(session.run_assess(), compress::Cancelled);
+  EXPECT_FALSE(session.stage_done(Stage::kAssess));
+  EXPECT_TRUE(session.state().assessments.empty());
+
+  // The cancelled assessment restored the pruned weights: the network
+  // still measures the same accuracy, and the session can rerun cleanly.
+  EXPECT_DOUBLE_EQ(nn::evaluate(m.net, m.test.images, m.test.labels).top1,
+                   pruned_top1);
+  session.clear_cancel();
+  session.set_progress(nullptr);
+  EXPECT_NO_THROW(session.run_assess());
+  EXPECT_TRUE(session.stage_done(Stage::kAssess));
+  auto report = session.run();
+  EXPECT_FALSE(report.model.bytes.empty());
+}
+
+TEST(CompressionSessionTest, RunDeepszShimMatchesSessionOutput) {
+  auto shim = testing::make_tiny_pruned(/*prune=*/false);
+  core::DeepSzOptions options;
+  options.keep_ratio = {{"fc1", 0.10}, {"fc2", 0.30}};
+  options.retrain_epochs = 1;
+  options.expected_acc_loss = 0.02;
+  auto report = core::run_deepsz(shim.net, shim.train.images,
+                                 shim.train.labels, shim.test.images,
+                                 shim.test.labels, options);
+
+  auto direct = testing::make_tiny_pruned(/*prune=*/false);
+  auto session = make_session(direct, "deepsz", tiny_spec());
+  auto session_report = session.run();
+
+  // Same deterministic inputs, same pipeline underneath: identical
+  // containers and identical chosen bounds.
+  EXPECT_EQ(report.model.bytes, session_report.model.bytes);
+  ASSERT_EQ(report.chosen.choices.size(),
+            session_report.chosen.choices.size());
+  for (std::size_t i = 0; i < report.chosen.choices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.chosen.choices[i].eb,
+                     session_report.chosen.choices[i].eb);
+  }
+  EXPECT_DOUBLE_EQ(report.acc_decoded.top1, session_report.acc_decoded.top1);
+}
+
+}  // namespace
+}  // namespace deepsz

@@ -1,0 +1,43 @@
+// Shared fixture for the compressor-API tests: a trained-then-pruned tiny
+// MLP (784-32-10) over a small synthetic-MNIST draw. Every pipeline stage
+// runs in milliseconds on it, so the session tests can afford full runs.
+#pragma once
+
+#include "core/pruner.h"
+#include "data/synthetic_mnist.h"
+#include "modelzoo/zoo.h"
+#include "nn/init.h"
+#include "nn/sgd.h"
+
+namespace deepsz::testing {
+
+struct TinyModel {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+/// Builds, briefly trains, and (optionally) prunes the tiny network. The
+/// result is deterministic.
+inline TinyModel make_tiny_pruned(bool prune = true) {
+  TinyModel m;
+  m.net = modelzoo::make_tiny_fc();
+  nn::he_initialize(m.net, 0x717e);
+  m.train = data::synthetic_mnist(256, 0x7a11);
+  m.test = data::synthetic_mnist(128, 0xbe22);
+  nn::Sgd sgd(nn::SgdConfig{.lr = 0.05, .momentum = 0.9, .weight_decay = 0.0,
+                            .batch_size = 64});
+  util::Pcg32 rng(0x90d5);
+  for (int e = 0; e < 2; ++e) {
+    sgd.train_epoch(m.net, m.train.images, m.train.labels, rng);
+  }
+  if (prune) {
+    core::PruneConfig cfg;
+    cfg.keep_ratio = {{"fc1", 0.10}, {"fc2", 0.30}};
+    cfg.retrain_epochs = 1;
+    core::prune_and_retrain(m.net, m.train.images, m.train.labels, cfg);
+  }
+  return m;
+}
+
+}  // namespace deepsz::testing

@@ -1,9 +1,12 @@
 // deepsz_tool — command-line front end for the compression stack.
 //
-// Codecs are resolved by registry spec (`name` or `name:key=value,...`), so
-// every registered backend is reachable without new flags:
+// Codecs AND compressor strategies are resolved by registry spec (`name` or
+// `name:key=value,...`), so every registered backend is reachable without
+// new flags:
 //
 //   deepsz_tool codecs
+//   deepsz_tool compress      <model> <out.dszc> [--strategy <spec>] ...
+//   deepsz_tool compare       <model> [strategy-spec...]
 //   deepsz_tool sz-compress   <in.f32> <out> [eb] [float-codec-spec]
 //   deepsz_tool sz-decompress <in.sz>  <out.f32>
 //   deepsz_tool sz-info       <in.sz>
@@ -16,17 +19,27 @@
 //
 // Raw float files are little-endian fp32 with no header.
 //
-// Exit codes: 0 success, 1 runtime failure (I/O, corrupt stream), 2 bad
-// usage, 3 unknown codec name, 4 bad codec options or argument value.
+// Exit codes: 0 success, 1 runtime failure (I/O, corrupt stream, a compare
+// row failing its serving check), 2 bad usage, 3 unknown codec or strategy
+// name, 4 bad codec options or argument value.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "codec/registry.h"
+#include "compress/compare.h"
+#include "compress/registry.h"
+#include "compress/session.h"
 #include "core/model_codec.h"
+#include "data/synthetic_mnist.h"
+#include "modelzoo/pretrained.h"
+#include "modelzoo/zoo.h"
+#include "nn/init.h"
+#include "nn/sgd.h"
 #include "serve/inference_session.h"
 #include "serve/model_store.h"
 #include "sz/sz.h"
@@ -90,11 +103,16 @@ double parse_double(const char* arg, const char* what) {
   }
 }
 
-int usage() {
+void print_usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: deepsz_tool <command> <args>\n"
-      "  codecs                               list registered codecs\n"
+      "  codecs                               list codecs + strategies\n"
+      "  compress <model> <out.dszc> [--strategy <spec>] [--keep <ratio>]\n"
+      "                                       compress a zoo model (model:\n"
+      "                                       tiny|lenet300|lenet5)\n"
+      "  compare <model> [strategy-spec...]   ratio/accuracy/timing table\n"
+      "                                       (default: every strategy)\n"
       "  sz-compress <in.f32> <out> [eb=1e-3] [codec=sz]\n"
       "  sz-decompress <in.sz> <out.f32>\n"
       "  sz-info <in.sz>\n"
@@ -104,12 +122,68 @@ int usage() {
       "  unpack <in> <out>\n"
       "  model-info <model.dszc>\n"
       "  serve-bench <model.dszc> [requests=64] [batch=8] [cache-mb=64]\n"
-      "codec specs are registry names with options, e.g. \"zstd\",\n"
-      "\"blosc:typesize=4\" or \"sz:quant_bins=1024,backend=gzip\";\n"
-      "run `deepsz_tool codecs` for the full list.\n"
-      "exit codes: 0 ok, 1 runtime failure, 2 bad usage, 3 unknown codec,\n"
-      "4 bad codec options or argument value\n");
+      "codec and strategy specs are registry names with options, e.g.\n"
+      "\"zstd\", \"sz:quant_bins=1024,backend=gzip\",\n"
+      "\"deepsz:expected_acc=0.004\" or \"deep-compression:bits=5\";\n"
+      "run `deepsz_tool codecs` for the full list of both.\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  runtime failure (I/O, corrupt stream, failed serving check)\n"
+      "  2  bad usage\n"
+      "  3  unknown codec or strategy name\n"
+      "  4  bad codec/strategy options or argument value\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return kExitUsage;
+}
+
+/// A zoo model plus data, ready for the compression pipeline. "tiny" builds
+/// and briefly trains the 784-32-10 MLP in-process (no cache, < 1 s); the
+/// zoo keys load the train-once cached networks.
+struct ToolModel {
+  deepsz::nn::Network net;
+  deepsz::data::Dataset train;
+  deepsz::data::Dataset test;
+  std::map<std::string, double> keep_ratio;
+};
+
+ToolModel load_tool_model(const std::string& key) {
+  using namespace deepsz;
+  ToolModel m;
+  if (key == "tiny") {
+    m.net = modelzoo::make_tiny_fc();
+    nn::he_initialize(m.net, 0x717e);
+    m.train = data::synthetic_mnist(512, 0x7a11);
+    m.test = data::synthetic_mnist(256, 0xbe22);
+    nn::Sgd sgd(nn::SgdConfig{.lr = 0.05, .momentum = 0.9,
+                              .weight_decay = 0.0, .batch_size = 64});
+    util::Pcg32 rng(0x90d5);
+    for (int e = 0; e < 3; ++e) {
+      sgd.train_epoch(m.net, m.train.images, m.train.labels, rng);
+    }
+    m.keep_ratio = {{"fc1", 0.10}, {"fc2", 0.30}};
+    return m;
+  }
+  if (key == "lenet300") {
+    auto t = modelzoo::pretrained(key);
+    m.net = std::move(t.net);
+    m.train = std::move(t.train);
+    m.test = std::move(t.test);
+    m.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.09}, {"ip3", 0.26}};
+    return m;
+  }
+  if (key == "lenet5") {
+    auto t = modelzoo::pretrained(key);
+    m.net = std::move(t.net);
+    m.train = std::move(t.train);
+    m.test = std::move(t.test);
+    m.keep_ratio = {{"ip1", 0.08}, {"ip2", 0.19}};
+    return m;
+  }
+  throw std::invalid_argument("unknown model \"" + key +
+                              "\" (expected tiny|lenet300|lenet5)");
 }
 
 int run(int argc, char** argv) {
@@ -118,18 +192,107 @@ int run(int argc, char** argv) {
   auto& registry = deepsz::codec::CodecRegistry::instance();
   deepsz::util::WallTimer timer;
 
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_usage(stdout);
+    return kExitOk;
+  }
   if (cmd == "codecs" && argc == 2) {
-    std::printf("%-8s %-6s %s\n", "name", "kind", "summary / options");
+    std::printf("%-10s %-6s %s\n", "codec", "kind", "summary / options");
     for (const auto& info : registry.list()) {
-      std::printf("%-8s %-6s %s\n", info.name.c_str(),
-                  info.error_bounded ? "lossy" : "lossless",
+      std::printf("%-10s %-6s %s\n", info.name.c_str(),
+                  !info.error_bounded ? "lossless"
+                  : info.bounded      ? "lossy"
+                                      : "quant",
                   info.summary.c_str());
       if (!info.options_help.empty()) {
-        std::printf("%-8s %-6s   options: %s\n", "", "",
+        std::printf("%-10s %-6s   options: %s\n", "", "",
+                    info.options_help.c_str());
+      }
+    }
+    std::printf("\n%-18s %-6s %s\n", "strategy", "kind", "summary / options");
+    for (const auto& info :
+         deepsz::compress::CompressorRegistry::instance().list()) {
+      std::printf("%-18s %-6s %s\n", info.name.c_str(),
+                  info.error_bounded ? "eb" : "fixed", info.summary.c_str());
+      if (!info.options_help.empty()) {
+        std::printf("%-18s %-6s   options: %s\n", "", "",
                     info.options_help.c_str());
       }
     }
     return kExitOk;
+  }
+  if (cmd == "compress" && argc >= 4) {
+    std::string strategy = "deepsz";
+    double keep_override = 0.0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--strategy" && i + 1 < argc) {
+        strategy = argv[++i];
+      } else if (arg == "--keep" && i + 1 < argc) {
+        keep_override = parse_double(argv[++i], "keep ratio");
+        if (!(keep_override > 0.0 && keep_override <= 1.0)) {
+          throw deepsz::codec::BadOptions("--keep must be in (0, 1]");
+        }
+      } else {
+        return usage();
+      }
+    }
+    auto m = load_tool_model(argv[2]);
+    deepsz::compress::CompressSpec spec;
+    spec.prune.keep_ratio = m.keep_ratio;
+    if (keep_override > 0.0) {
+      for (auto& [name, ratio] : spec.prune.keep_ratio) ratio = keep_override;
+    }
+    spec.prune.retrain_epochs = 1;
+    deepsz::compress::CompressionSession session(
+        deepsz::compress::CompressorRegistry::instance().make(strategy),
+        m.net, m.train.images, m.train.labels, m.test.images, m.test.labels,
+        spec);
+    session.set_progress([](deepsz::compress::Stage stage,
+                            const std::string& msg) {
+      std::fprintf(stderr, "[%s] %s\n",
+                   deepsz::compress::stage_name(stage), msg.c_str());
+    });
+    auto report = session.run();
+    write_file(argv[3], report.model.bytes);
+    std::printf("%s: %zu fc-layer(s), %zu -> %zu bytes (%.1fx), top-1 "
+                "%.4f -> %.4f, encode %.2f s\n",
+                report.strategy.c_str(), report.model.stats.size(),
+                report.dense_fc_bytes,
+                report.model.compressed_payload_bytes(),
+                report.compression_ratio, report.acc_original.top1,
+                report.acc_decoded.top1, report.encode_seconds);
+    return kExitOk;
+  }
+  if (cmd == "compare" && argc >= 3) {
+    auto m = load_tool_model(argv[2]);
+    deepsz::compress::CompareOptions copts;
+    for (int i = 3; i < argc; ++i) copts.specs.push_back(argv[i]);
+    copts.spec.prune.keep_ratio = m.keep_ratio;
+    copts.spec.prune.retrain_epochs = 1;
+    auto rows = deepsz::compress::compare_strategies(
+        m.net, m.train.images, m.train.labels, m.test.images, m.test.labels,
+        copts);
+
+    std::printf("%-24s %-12s %-8s %-9s %-9s %-10s %-10s %s\n", "strategy",
+                "payload", "ratio", "top1-pre", "top1-post", "encode(s)",
+                "decode(ms)", "serve");
+    bool all_ok = true;
+    for (const auto& row : rows) {
+      if (!row.error.empty()) {
+        std::printf("%-24s FAILED: %s\n", row.spec.c_str(),
+                    row.error.c_str());
+        all_ok = false;
+        continue;
+      }
+      std::printf("%-24s %-12zu %-8.1f %-9.4f %-9.4f %-10.2f %-10.2f %s\n",
+                  row.spec.c_str(), row.payload_bytes, row.ratio,
+                  row.top1_pruned, row.top1_decoded, row.encode_seconds,
+                  row.decode_ms, row.serve_ok ? "warm-ok" : "WARM-MISS");
+      all_ok = all_ok && row.serve_ok;
+    }
+    std::printf("compared %zu strategies\n", rows.size());
+    return all_ok ? kExitOk : kExitRuntime;
   }
   if (cmd == "sz-compress" && argc >= 4 && argc <= 6) {
     auto data = as_floats(read_file(argv[2]));
@@ -301,6 +464,10 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const deepsz::codec::UnknownCodec& e) {
+    std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
+    usage();
+    return kExitUnknownCodec;
+  } catch (const deepsz::compress::UnknownCompressor& e) {
     std::fprintf(stderr, "deepsz_tool: %s\n", e.what());
     usage();
     return kExitUnknownCodec;
