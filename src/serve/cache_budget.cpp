@@ -1,0 +1,50 @@
+#include "serve/cache_budget.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "serve/model_store.h"
+
+namespace deepsz::serve {
+
+void SharedCacheBudget::attach(ModelStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_.push_back(store);
+}
+
+void SharedCacheBudget::detach(ModelStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_.erase(std::remove(stores_.begin(), stores_.end(), store),
+                stores_.end());
+}
+
+void SharedCacheBudget::rebalance() {
+  // Evict one globally-oldest entry per pass until the budget holds. Each
+  // pass re-scans because a concurrent rebalance (or a store eviction) may
+  // have freed enough already; the scan is O(#stores) map lookups, cheap
+  // next to the decode that triggered it.
+  while (used_bytes_.load(std::memory_order_relaxed) > budget_bytes_) {
+    ModelStore* victim = nullptr;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (ModelStore* store : stores_) {
+        const auto stamp = store->oldest_stamp();
+        if (stamp && *stamp < oldest) {
+          oldest = *stamp;
+          victim = store;
+        }
+      }
+      // Evict while still holding mu_ so the victim cannot detach (be
+      // destroyed) between selection and eviction. Lock order is always
+      // budget mu_ -> store mu_, never the reverse.
+      if (victim != nullptr && victim->evict_lru_one() > 0) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    if (victim == nullptr) break;  // every attached store is empty
+  }
+}
+
+}  // namespace deepsz::serve

@@ -1,0 +1,77 @@
+// One decode-cache byte budget shared by every ModelStore of a serving
+// process.
+//
+// The repository layer (server/model_repository.h) keeps N compressed models
+// resident; what must not grow with N is the *decoded* footprint. Each store
+// still runs its own LRU, but when a SharedCacheBudget is attached, insertions
+// charge a process-wide byte counter and, on pressure, the globally
+// least-recently-used entry is evicted regardless of which model owns it — a
+// hot model's layers displace a cold model's, not their own. Recency is
+// compared through a global logical clock (next_stamp()) that stores stamp
+// onto entries at insert and on every hit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace deepsz::serve {
+
+class ModelStore;
+
+class SharedCacheBudget {
+ public:
+  explicit SharedCacheBudget(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  SharedCacheBudget(const SharedCacheBudget&) = delete;
+  SharedCacheBudget& operator=(const SharedCacheBudget&) = delete;
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  /// Decoded bytes currently charged across all attached stores.
+  std::size_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Entries evicted by cross-model pressure (per-store budget evictions are
+  /// counted in each store's CacheStats, not here).
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic recency stamp; stores call this on insert and on every hit.
+  std::uint64_t next_stamp() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Called by ModelStore's constructor/destructor. A store must stay
+  /// attached for as long as it holds charged bytes.
+  void attach(ModelStore* store);
+  void detach(ModelStore* store);
+
+  /// Byte accounting; called by stores under their own lock (lock-free here
+  /// so the budget never nests inside a store mutex).
+  void charge(std::size_t bytes) {
+    used_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void uncharge(std::size_t bytes) {
+    used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Evicts globally-LRU entries (oldest stamp across every attached store)
+  /// until used_bytes() <= budget_bytes(). Called by stores after an insert,
+  /// outside their own mutex. Safe to call concurrently.
+  void rebalance();
+
+ private:
+  const std::size_t budget_bytes_;
+  std::atomic<std::size_t> used_bytes_{0};
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  mutable std::mutex mu_;  // guards stores_; ordered before any store mutex
+  std::vector<ModelStore*> stores_;
+};
+
+}  // namespace deepsz::serve

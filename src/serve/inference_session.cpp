@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/layers.h"
+#include "serve/sparse_forward.h"
 #include "util/timer.h"
 
 namespace deepsz::serve {
@@ -21,6 +22,25 @@ InferenceSession::InferenceSession(ModelStore& store, nn::Network& net)
       }
     }
   }
+
+  // Detect the sparse-fast-path shape: Dense (ReLU Dense)* with every Dense
+  // served from the container. Anything else walks the generic path.
+  const auto& layers = net_.layers();
+  bool chain = !layers.empty();
+  for (std::size_t i = 0; chain && i < layers.size(); ++i) {
+    if (i % 2 == 0) {
+      auto* dense = dynamic_cast<nn::Dense*>(layers[i].get());
+      if (dense != nullptr && store_.reader().contains(dense->name())) {
+        fc_chain_.push_back(i);
+      } else {
+        chain = false;
+      }
+    } else {
+      chain = dynamic_cast<nn::ReLU*>(layers[i].get()) != nullptr;
+    }
+  }
+  chain = chain && layers.size() % 2 == 1;  // must end on a Dense
+  if (!chain) fc_chain_.clear();
 }
 
 InferenceSession::~InferenceSession() { release_layers(); }
@@ -36,22 +56,51 @@ void InferenceSession::release_layers() {
   }
 }
 
+void InferenceSession::install_layer(std::size_t i, nn::Dense* dense) {
+  // First time this request path reaches the layer: fetch the decoded
+  // form (cache hit, coalesced wait, or an actual decode) and bind it.
+  util::WallTimer wait;
+  auto served = store_.get(dense->name());
+  stats_.decode_wait_ms += wait.millis();
+  dense->bind_weights(served->dense, served->bias);
+  pinned_[i] = std::move(served);
+  ++stats_.layer_installs;
+}
+
 nn::Tensor InferenceSession::infer(const nn::Tensor& batch) {
-  nn::Tensor x = batch;
   const auto& layers = net_.layers();
+
+  if (sparse_enabled_ && !fc_chain_.empty() &&
+      sparse_forward_profitable(batch.dim(0))) {
+    std::vector<std::shared_ptr<const ServedLayer>> chain;
+    chain.reserve(fc_chain_.size());
+    bool csr_ok = true;
+    for (std::size_t i : fc_chain_) {
+      if (!pinned_[i]) {
+        install_layer(i, static_cast<nn::Dense*>(layers[i].get()));
+      }
+      csr_ok = csr_ok && pinned_[i]->has_csr();
+      chain.push_back(pinned_[i]);
+    }
+    // A store built without build_csr serves dense-only layers; fall through
+    // to the generic walk (the layers are installed and bound either way).
+    if (csr_ok) {
+      util::WallTimer compute;
+      nn::Tensor y = sparse_fc_forward(chain, batch);
+      stats_.compute_ms += compute.millis();
+      ++stats_.requests;
+      stats_.samples += static_cast<std::uint64_t>(batch.dim(0));
+      return y;
+    }
+  }
+
+  nn::Tensor x = batch;
   for (std::size_t i = 0; i < layers.size(); ++i) {
     auto* layer = layers[i].get();
     auto* dense = dynamic_cast<nn::Dense*>(layer);
     if (dense != nullptr && !pinned_[i] &&
         store_.reader().contains(dense->name())) {
-      // First time this request path reaches the layer: fetch the decoded
-      // form (cache hit, coalesced wait, or an actual decode) and bind it.
-      util::WallTimer wait;
-      auto served = store_.get(dense->name());
-      stats_.decode_wait_ms += wait.millis();
-      dense->bind_weights(served->dense, served->bias);
-      pinned_[i] = std::move(served);
-      ++stats_.layer_installs;
+      install_layer(i, dense);
     }
     util::WallTimer compute;
     x = layer->forward(x, /*train=*/false);

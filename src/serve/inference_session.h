@@ -42,10 +42,26 @@ class InferenceSession {
   InferenceSession(ModelStore& store, nn::Network& net);
   ~InferenceSession();
 
+  /// Opts this session into the sparse batched forward (see infer()). Off
+  /// by default so direct sessions stay bit-exact with an eagerly decoded
+  /// network; the serving scheduler turns it on for its worker sessions.
+  void enable_sparse_forward(bool on) { sparse_enabled_ = on; }
+  bool sparse_forward_enabled() const { return sparse_enabled_; }
+
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
 
   /// Serves one batched forward pass ([batch, features] in, logits out).
+  ///
+  /// With enable_sparse_forward(true), when the network is a pure
+  /// Dense/ReLU chain fully covered by the container and the batch is large
+  /// enough (sparse_forward_profitable), the pass runs through
+  /// serve::sparse_fc_forward on the layers' CSR views — only surviving
+  /// (non-pruned) weights are touched, so batched requests cost ~density x
+  /// the dense FLOPs. Small batches, networks with non-fc layers, and
+  /// sessions that never opted in take the generic bound-weights walk. The
+  /// two paths agree to fp tolerance, not bit-exactly (different summation
+  /// order).
   nn::Tensor infer(const nn::Tensor& batch);
 
   /// Drops this session's weight bindings (and cache pins); the next
@@ -55,12 +71,18 @@ class InferenceSession {
   SessionStats stats() const { return stats_; }
 
  private:
+  void install_layer(std::size_t i, nn::Dense* dense);
+
   ModelStore& store_;
   nn::Network& net_;
   // Pins: cached layers this session has bound; positionally parallel to
   // net_.layers(). A pinned entry keeps the decoded memory alive even if
   // the store evicts it, so bound spans never dangle.
   std::vector<std::shared_ptr<const ServedLayer>> pinned_;
+  // Net-layer indices of the Dense layers when the whole network is a
+  // served Dense/ReLU chain (the sparse fast path); empty otherwise.
+  std::vector<std::size_t> fc_chain_;
+  bool sparse_enabled_ = false;
   SessionStats stats_;
 };
 

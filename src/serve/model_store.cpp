@@ -20,8 +20,20 @@ struct ModelStore::InFlight {
 ModelStore::ModelStore(std::vector<std::uint8_t> container,
                        ModelStoreOptions options)
     : container_(std::move(container)),
-      options_(options),
-      reader_(container_) {}
+      options_(std::move(options)),
+      reader_(container_) {
+  if (options_.shared_budget) options_.shared_budget->attach(this);
+}
+
+ModelStore::~ModelStore() {
+  if (!options_.shared_budget) return;
+  // Detach before uncharging: after detach() returns no rebalance() can be
+  // holding this store as a victim, so the uncharge cannot double-count
+  // against a concurrent eviction.
+  options_.shared_budget->detach(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.shared_budget->uncharge(stats_.cached_bytes);
+}
 
 std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   // Unknown names throw std::out_of_range before any cache bookkeeping.
@@ -35,6 +47,9 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
     if (it != cache_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (options_.shared_budget) {
+        it->second.stamp = options_.shared_budget->next_stamp();
+      }
       return it->second.layer;
     }
     auto fit = in_flight_.find(name);
@@ -82,6 +97,9 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   flight->cv.notify_all();
 
   if (error) std::rethrow_exception(error);
+  // Cross-model pressure runs outside mu_ (rebalance locks the budget first,
+  // then victim stores — possibly this one).
+  if (options_.shared_budget) options_.shared_budget->rebalance();
   return layer;
 }
 
@@ -97,6 +115,23 @@ std::shared_ptr<const ServedLayer> ModelStore::decode_now(
   served->cols = sparse_layer.cols;
   served->dense = sparse_layer.to_dense();
   served->bias = reader_.decode_bias(entry_index);
+  if (options_.build_csr) {
+    // CSR view for the sparse batched forward; pruned entries are exact
+    // zeros in the decoded dense form, so a scan reproduces the sparsity.
+    served->csr_rowptr.reserve(static_cast<std::size_t>(served->rows) + 1);
+    served->csr_rowptr.push_back(0);
+    for (std::int64_t r = 0; r < served->rows; ++r) {
+      const float* row = served->dense.data() + r * served->cols;
+      for (std::int64_t c = 0; c < served->cols; ++c) {
+        if (row[c] != 0.0f) {
+          served->csr_col.push_back(static_cast<std::uint32_t>(c));
+          served->csr_val.push_back(row[c]);
+        }
+      }
+      served->csr_rowptr.push_back(
+          static_cast<std::uint32_t>(served->csr_col.size()));
+    }
+  }
   timing.reconstruct_ms = timer.millis();
   served->timing = timing;
   if (options_.keep_sparse) served->sparse = std::move(sparse_layer);
@@ -108,22 +143,46 @@ void ModelStore::insert_and_evict(const std::string& name,
   // Called under mu_.
   const std::size_t layer_bytes = layer->bytes();
   lru_.push_front(name);
-  cache_[name] = CacheEntry{std::move(layer), lru_.begin()};
+  const std::uint64_t stamp =
+      options_.shared_budget ? options_.shared_budget->next_stamp() : 0;
+  cache_[name] = CacheEntry{std::move(layer), lru_.begin(), stamp};
   stats_.cached_bytes += layer_bytes;
   stats_.cached_layers = cache_.size();
+  if (options_.shared_budget) options_.shared_budget->charge(layer_bytes);
 
   // Evict from the LRU tail until the budget holds. A single layer larger
   // than the whole budget evicts itself: it was still served, just never
   // retained.
   while (stats_.cached_bytes > options_.cache_budget_bytes && !lru_.empty()) {
-    const std::string victim = lru_.back();
-    auto it = cache_.find(victim);
-    stats_.cached_bytes -= it->second.layer->bytes();
-    cache_.erase(it);
-    lru_.pop_back();
-    ++stats_.evictions;
+    evict_tail_locked();
   }
   stats_.cached_layers = cache_.size();
+}
+
+std::size_t ModelStore::evict_tail_locked() {
+  // Called under mu_ with a non-empty LRU.
+  const std::string victim = lru_.back();
+  auto it = cache_.find(victim);
+  const std::size_t bytes = it->second.layer->bytes();
+  stats_.cached_bytes -= bytes;
+  cache_.erase(it);
+  lru_.pop_back();
+  ++stats_.evictions;
+  stats_.cached_layers = cache_.size();
+  if (options_.shared_budget) options_.shared_budget->uncharge(bytes);
+  return bytes;
+}
+
+std::optional<std::uint64_t> ModelStore::oldest_stamp() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.empty()) return std::nullopt;
+  return cache_.at(lru_.back()).stamp;
+}
+
+std::size_t ModelStore::evict_lru_one() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lru_.empty()) return 0;
+  return evict_tail_locked();
 }
 
 std::shared_ptr<const ServedLayer> ModelStore::peek(
@@ -156,6 +215,9 @@ void ModelStore::warmup(bool parallel) {
 void ModelStore::evict_all() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.evictions += cache_.size();
+  if (options_.shared_budget) {
+    options_.shared_budget->uncharge(stats_.cached_bytes);
+  }
   cache_.clear();
   lru_.clear();
   stats_.cached_bytes = 0;

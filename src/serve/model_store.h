@@ -22,10 +22,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/model_codec.h"
+#include "serve/cache_budget.h"
 
 namespace deepsz::serve {
 
@@ -36,21 +38,57 @@ struct ModelStoreOptions {
   /// Keep the sparse (data/index) arrays alongside the dense matrix. Off by
   /// default: serving only needs the dense form.
   bool keep_sparse = false;
+  /// Build each layer's CSR view at decode time (ServedLayer::csr_*), the
+  /// input of serve::sparse_fc_forward. Off by default — it costs ~8 bytes
+  /// per surviving weight of cache footprint — and turned on by the serving
+  /// daemon's ModelRepository, whose scheduler runs the sparse batched path.
+  bool build_csr = false;
+  /// Optional process-wide budget shared with other stores (one per serving
+  /// daemon; see serve/cache_budget.h). The per-store budget above still
+  /// applies; the shared budget adds cross-model LRU pressure on top. The
+  /// store attaches on construction and detaches (uncharging its resident
+  /// bytes) on destruction.
+  std::shared_ptr<SharedCacheBudget> shared_budget;
 };
 
 /// One decoded, inference-ready fc-layer. Immutable after publication;
 /// handed out as shared_ptr<const> so readers outlive eviction.
+///
+/// Alongside the dense matrix, the layer carries a CSR view of the pruned
+/// weights (~85% of entries are exact zeros after DeepSZ pruning), which
+/// serve::sparse_fc_forward uses to run batched requests touching only the
+/// surviving weights — the decoded representation IS the sparse model, so
+/// serving it sparsely is free at decode time.
 struct ServedLayer {
   std::string name;
   std::int64_t rows = 0;
   std::int64_t cols = 0;
   std::vector<float> dense;  // row-major [rows x cols]
   std::vector<float> bias;   // empty when the container stores none
+  // CSR over the dense matrix (populated iff ModelStoreOptions::build_csr):
+  // row j's nonzeros are csr_col/csr_val in [csr_rowptr[j], csr_rowptr[j+1]).
+  std::vector<std::uint32_t> csr_rowptr;  // rows + 1
+  std::vector<std::uint32_t> csr_col;
+  std::vector<float> csr_val;
+
+  bool has_csr() const {
+    return csr_rowptr.size() == static_cast<std::size_t>(rows) + 1;
+  }
   sparse::PrunedLayer sparse;       // populated iff keep_sparse
   core::DecodeTiming timing;        // codec cost paid to produce this entry
 
+  std::size_t nnz() const { return csr_val.size(); }
+  double density() const {
+    return dense.empty() ? 0.0
+                         : static_cast<double>(nnz()) /
+                               static_cast<double>(dense.size());
+  }
+
   std::size_t bytes() const {
     return dense.size() * sizeof(float) + bias.size() * sizeof(float) +
+           csr_rowptr.size() * sizeof(std::uint32_t) +
+           csr_col.size() * sizeof(std::uint32_t) +
+           csr_val.size() * sizeof(float) +
            sparse.data.size() * sizeof(float) + sparse.index.size() +
            name.size();
   }
@@ -82,6 +120,7 @@ class ModelStore {
   /// only touched when a layer is first requested).
   explicit ModelStore(std::vector<std::uint8_t> container,
                       ModelStoreOptions options = {});
+  ~ModelStore();
 
   ModelStore(const ModelStore&) = delete;
   ModelStore& operator=(const ModelStore&) = delete;
@@ -111,12 +150,22 @@ class ModelStore {
   /// Zeroes the counters (cached_bytes/cached_layers are recomputed).
   void reset_stats();
 
+  /// Recency stamp of this store's LRU tail, or nullopt when the cache is
+  /// empty. Meaningful only with a shared budget (stamps come from its
+  /// clock); SharedCacheBudget::rebalance compares tails across stores.
+  std::optional<std::uint64_t> oldest_stamp() const;
+
+  /// Evicts the single least-recently-used entry; returns the bytes freed
+  /// (0 when the cache was empty). Outstanding shared_ptrs stay valid.
+  std::size_t evict_lru_one();
+
  private:
   struct InFlight;
 
   std::shared_ptr<const ServedLayer> decode_now(std::size_t entry_index);
   void insert_and_evict(const std::string& name,
                         std::shared_ptr<const ServedLayer> layer);
+  std::size_t evict_tail_locked();
 
   const std::vector<std::uint8_t> container_;
   const ModelStoreOptions options_;
@@ -126,6 +175,7 @@ class ModelStore {
   struct CacheEntry {
     std::shared_ptr<const ServedLayer> layer;
     std::list<std::string>::iterator lru_it;
+    std::uint64_t stamp = 0;  // global recency clock (shared budget only)
   };
   std::map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;  // front = most recently used

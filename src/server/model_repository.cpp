@@ -1,0 +1,128 @@
+#include "server/model_repository.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/inference_session.h"
+
+namespace deepsz::server {
+
+nn::Network ServedModel::make_network() const {
+  return serve::make_fc_network(store->reader(), name);
+}
+
+ModelRepository::ModelRepository(std::size_t cache_budget_bytes,
+                                 serve::ModelStoreOptions store_options)
+    : store_template_(std::move(store_options)),
+      budget_(std::make_shared<serve::SharedCacheBudget>(cache_budget_bytes)) {
+}
+
+std::shared_ptr<ServedModel> ModelRepository::build(
+    const std::string& name, std::vector<std::uint8_t> container,
+    std::string source_path) const {
+  auto model = std::make_shared<ServedModel>();
+  model->name = name;
+  model->source_path = std::move(source_path);
+  model->container_bytes = container.size();
+
+  serve::ModelStoreOptions opts = store_template_;
+  opts.shared_budget = budget_;
+  // Per-store budgets off: eviction pressure is purely cross-model.
+  opts.cache_budget_bytes = static_cast<std::size_t>(-1);
+  // The scheduler's worker sessions run the sparse batched forward.
+  opts.build_csr = true;
+  model->store =
+      std::make_shared<serve::ModelStore>(std::move(container), opts);
+
+  // Reject containers the serving path cannot run (non-chaining fc stack,
+  // no layers) BEFORE the swap; make_fc_network throws std::invalid_argument.
+  (void)serve::make_fc_network(model->store->reader(), name);
+  const auto& entries = model->store->reader().entries();
+  model->in_features = entries.front().cols;
+  model->out_features = entries.back().rows;
+  return model;
+}
+
+std::shared_ptr<const ServedModel> ModelRepository::load(
+    const std::string& name, std::vector<std::uint8_t> container,
+    std::string source_path) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRepository::load: empty model name");
+  }
+  auto model = build(name, std::move(container), std::move(source_path));
+  std::lock_guard<std::mutex> lock(mu_);
+  model->version = next_version_++;
+  models_[name] = model;  // old snapshot drains via its shared_ptr
+  return model;
+}
+
+std::shared_ptr<const ServedModel> ModelRepository::load_file(
+    const std::string& name, const std::string& path) {
+  return load(name, read_file_bytes(path), path);
+}
+
+std::shared_ptr<const ServedModel> ModelRepository::reload(
+    const std::string& name) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      throw std::out_of_range("ModelRepository::reload: no model \"" + name +
+                              "\"");
+    }
+    path = it->second->source_path;
+  }
+  if (path.empty()) {
+    throw std::logic_error("ModelRepository::reload: model \"" + name +
+                           "\" was loaded from memory (no source path)");
+  }
+  return load_file(name, path);
+}
+
+bool ModelRepository::unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::shared_ptr<const ServedModel> ModelRepository::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it != models_.end() ? it->second : nullptr;
+}
+
+std::vector<std::shared_ptr<const ServedModel>> ModelRepository::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const ServedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& [_, model] : models_) out.push_back(model);
+  return out;
+}
+
+std::size_t ModelRepository::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    throw std::runtime_error("cannot stat " + path);
+  }
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short read from " + path);
+  }
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace deepsz::server

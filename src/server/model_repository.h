@@ -1,0 +1,104 @@
+// Multi-model repository: N named, versioned containers behind one shared
+// decode-cache budget, with atomic hot-swap.
+//
+// Each loaded model is an immutable ServedModel snapshot (container bytes +
+// ModelStore + validated fc topology). Request paths take a shared_ptr to
+// the current snapshot, so load/reload/unload are a pointer swap: requests
+// already in flight finish against the version they started on, and the old
+// version's decoded layers are evicted (its ModelStore destructor uncharges
+// the shared budget) once the last in-flight reference drains. All stores
+// attach to one SharedCacheBudget, so the decoded footprint of the whole
+// repository — however many models are loaded — stays under one byte budget
+// with cross-model LRU pressure (serve/cache_budget.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "serve/cache_budget.h"
+#include "serve/model_store.h"
+
+namespace deepsz::server {
+
+/// One immutable loaded model version.
+struct ServedModel {
+  std::string name;
+  std::uint64_t version = 0;     // repository-wide, monotonic
+  std::string source_path;       // empty when loaded from memory
+  std::shared_ptr<serve::ModelStore> store;
+  std::size_t container_bytes = 0;  // compressed container size on disk
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+
+  /// Fresh per-worker network for an InferenceSession (sessions mutate
+  /// their network, so workers must not share one).
+  nn::Network make_network() const;
+};
+
+class ModelRepository {
+ public:
+  /// `cache_budget_bytes` bounds the decoded bytes resident across ALL
+  /// models. `store_options` seeds every ModelStore (its shared_budget and
+  /// cache_budget_bytes fields are overridden: the shared budget is the
+  /// repository's, and per-store budgets are left unbounded so eviction
+  /// pressure is purely global).
+  explicit ModelRepository(std::size_t cache_budget_bytes = 256ull << 20,
+                           serve::ModelStoreOptions store_options = {});
+
+  ModelRepository(const ModelRepository&) = delete;
+  ModelRepository& operator=(const ModelRepository&) = delete;
+
+  /// Loads (or hot-swaps) `name` from container bytes. Validation — corrupt
+  /// container, non-chaining fc stack — happens before the swap, so a bad
+  /// reload leaves the previous version serving. Returns the new snapshot.
+  /// Throws std::runtime_error / std::invalid_argument on a bad container.
+  std::shared_ptr<const ServedModel> load(
+      const std::string& name, std::vector<std::uint8_t> container,
+      std::string source_path = "");
+
+  /// load() from a file, remembering the path for reload().
+  std::shared_ptr<const ServedModel> load_file(const std::string& name,
+                                               const std::string& path);
+
+  /// Re-reads the model's source file and hot-swaps. Throws
+  /// std::out_of_range for an unknown name and std::logic_error for a model
+  /// loaded from memory (no path to re-read).
+  std::shared_ptr<const ServedModel> reload(const std::string& name);
+
+  /// Removes `name`; returns false when absent. In-flight holders of the
+  /// snapshot keep serving until they drop it.
+  bool unload(const std::string& name);
+
+  /// Current snapshot, or nullptr when not loaded.
+  std::shared_ptr<const ServedModel> get(const std::string& name) const;
+
+  /// All current snapshots, name-sorted.
+  std::vector<std::shared_ptr<const ServedModel>> list() const;
+
+  std::size_t size() const;
+  const std::shared_ptr<serve::SharedCacheBudget>& budget() const {
+    return budget_;
+  }
+
+ private:
+  std::shared_ptr<ServedModel> build(const std::string& name,
+                                     std::vector<std::uint8_t> container,
+                                     std::string source_path) const;
+
+  const serve::ModelStoreOptions store_template_;
+  std::shared_ptr<serve::SharedCacheBudget> budget_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  std::uint64_t next_version_ = 1;
+};
+
+/// Reads a whole file; throws std::runtime_error on failure.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+}  // namespace deepsz::server

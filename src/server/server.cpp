@@ -1,0 +1,401 @@
+#include "server/server.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace deepsz::server {
+
+namespace {
+
+int http_status_for(InferStatus status) {
+  switch (status) {
+    case InferStatus::kOk: return 200;
+    case InferStatus::kNotFound: return 404;
+    case InferStatus::kInvalidInput: return 400;
+    case InferStatus::kOverloaded: return 429;
+    case InferStatus::kDeadlineExceeded: return 504;
+    case InferStatus::kShuttingDown: return 503;
+    case InferStatus::kInternalError: return 500;
+  }
+  return 500;
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parses a CSV body: one row of comma-separated floats per non-empty line.
+/// Every row must have the same width. Throws std::invalid_argument.
+void parse_csv(const std::string& text, std::vector<float>* values,
+               std::int64_t* rows) {
+  *rows = 0;
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t,") == std::string::npos) continue;
+
+    std::size_t row_width = 0;
+    std::size_t p = 0;
+    while (p <= line.size()) {
+      std::size_t comma = line.find(',', p);
+      if (comma == std::string::npos) comma = line.size();
+      const std::string cell = line.substr(p, comma - p);
+      p = comma + 1;
+      char* end = nullptr;
+      const float v = std::strtof(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0' || !std::isfinite(v)) {
+        throw std::invalid_argument("bad CSV float \"" + cell + "\"");
+      }
+      values->push_back(v);
+      ++row_width;
+      if (comma == line.size()) break;
+    }
+    if (width == 0) {
+      width = row_width;
+    } else if (row_width != width) {
+      throw std::invalid_argument("ragged CSV: row " + std::to_string(*rows) +
+                                  " has " + std::to_string(row_width) +
+                                  " values, expected " +
+                                  std::to_string(width));
+    }
+    ++*rows;
+  }
+  if (*rows == 0) throw std::invalid_argument("empty CSV body");
+}
+
+std::string format_csv(const std::vector<float>& values, std::int64_t rows,
+                       std::int64_t cols) {
+  std::string out;
+  out.reserve(values.size() * 10);
+  char buf[48];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      std::snprintf(buf, sizeof buf, "%g", values[r * cols + c]);
+      out += buf;
+      out += (c + 1 < cols) ? ',' : '\n';
+    }
+  }
+  return out;
+}
+
+constexpr std::size_t kBinaryHeader = 2 * sizeof(std::uint32_t);
+
+/// Binary layout: [u32 rows][u32 cols][rows*cols f32], all little-endian.
+void parse_binary(const std::vector<std::uint8_t>& body,
+                  std::vector<float>* values, std::int64_t* rows) {
+  if (body.size() < kBinaryHeader) {
+    throw std::invalid_argument("binary body shorter than its 8-byte header");
+  }
+  std::uint32_t r = 0, c = 0;
+  std::memcpy(&r, body.data(), sizeof r);
+  std::memcpy(&c, body.data() + sizeof r, sizeof c);
+  // Derive the element count from the body size instead of multiplying the
+  // header dims up: r*c*4 can wrap size_t for hostile headers, which would
+  // pass the equality check and then attempt an absurd allocation.
+  const std::size_t payload = body.size() - kBinaryHeader;
+  const std::uint64_t claimed =
+      static_cast<std::uint64_t>(r) * c;  // u32*u32 cannot wrap u64
+  if (r == 0 || c == 0 || payload % sizeof(float) != 0 ||
+      claimed != payload / sizeof(float)) {
+    throw std::invalid_argument(
+        "binary body size mismatch: header says " + std::to_string(r) + "x" +
+        std::to_string(c) + ", body is " + std::to_string(body.size()) +
+        " bytes");
+  }
+  values->resize(static_cast<std::size_t>(claimed));
+  std::memcpy(values->data(), body.data() + kBinaryHeader,
+              values->size() * sizeof(float));
+  *rows = r;
+}
+
+std::vector<std::uint8_t> format_binary(const std::vector<float>& values,
+                                        std::int64_t rows, std::int64_t cols) {
+  std::vector<std::uint8_t> out(kBinaryHeader +
+                                values.size() * sizeof(float));
+  const std::uint32_t r = static_cast<std::uint32_t>(rows);
+  const std::uint32_t c = static_cast<std::uint32_t>(cols);
+  std::memcpy(out.data(), &r, sizeof r);
+  std::memcpy(out.data() + sizeof r, &c, sizeof c);
+  std::memcpy(out.data() + kBinaryHeader, values.data(),
+              values.size() * sizeof(float));
+  return out;
+}
+
+void append_cache_json(std::ostringstream& os, const serve::CacheStats& s) {
+  os << "{\"hits\":" << s.hits << ",\"misses\":" << s.misses
+     << ",\"coalesced\":" << s.coalesced << ",\"evictions\":" << s.evictions
+     << ",\"resident_bytes\":" << s.cached_bytes
+     << ",\"resident_layers\":" << s.cached_layers
+     << ",\"decode_ms\":" << s.decode_ms << "}";
+}
+
+void append_model_json(std::ostringstream& os, const ServedModel& m) {
+  os << "{\"name\":\"" << json_escaped(m.name) << "\",\"version\":"
+     << m.version << ",\"layers\":" << m.store->reader().num_layers()
+     << ",\"in_features\":" << m.in_features
+     << ",\"out_features\":" << m.out_features
+     << ",\"container_bytes\":" << m.container_bytes << ",\"source_path\":\""
+     << json_escaped(m.source_path) << "\",\"cache\":";
+  append_cache_json(os, m.store->stats());
+  os << "}";
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      repo_(options.cache_budget_bytes),
+      scheduler_(repo_, options.scheduler, &metrics_) {}
+
+Server::~Server() { stop(); }
+
+HttpHandler Server::handler() {
+  return [this](const HttpRequest& req) { return handle(req); };
+}
+
+void Server::start_http() {
+  if (http_) throw std::logic_error("HTTP front end already started");
+  http_ = std::make_unique<HttpFrontEnd>(handler(), options_.http);
+  http_->start();
+}
+
+void Server::stop() {
+  if (http_) {
+    http_->stop();
+    http_.reset();
+  }
+  scheduler_.shutdown();
+}
+
+HttpResponse Server::handle(const HttpRequest& req) {
+  const std::string& t = req.target;
+  if (t == "/healthz") {
+    if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
+    return HttpResponse::text(200, "ok\n");
+  }
+  if (t == "/metrics") {
+    if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
+    return HttpResponse::text(200, metrics_text(),
+                              "text/plain; version=0.0.4");
+  }
+  if (t == "/v1/models") {
+    if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
+    return HttpResponse::text(200, models_json(), "application/json");
+  }
+
+  const std::string prefix = "/v1/models/";
+  if (t.compare(0, prefix.size(), prefix) == 0) {
+    std::string rest = t.substr(prefix.size());
+    const std::size_t colon = rest.rfind(':');
+    std::string action;
+    if (colon != std::string::npos) {
+      action = rest.substr(colon + 1);
+      rest = rest.substr(0, colon);
+    }
+    if (rest.empty() || rest.find('/') != std::string::npos) {
+      return HttpResponse::text(404, "no such route\n");
+    }
+    if (action.empty()) {
+      if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
+      auto model = repo_.get(rest);
+      if (!model) {
+        return HttpResponse::text(404, "no model \"" + rest + "\"\n");
+      }
+      std::ostringstream os;
+      append_model_json(os, *model);
+      return HttpResponse::text(200, os.str() + "\n", "application/json");
+    }
+    if (action == "infer") {
+      if (req.method != "POST") return HttpResponse::text(405, "POST only\n");
+      return handle_infer(rest, req);
+    }
+    if (action == "load" || action == "reload" || action == "unload") {
+      if (req.method != "POST") return HttpResponse::text(405, "POST only\n");
+      return handle_model_action(rest, action, req);
+    }
+    return HttpResponse::text(404, "unknown action \"" + action + "\"\n");
+  }
+  return HttpResponse::text(404, "no such route\n");
+}
+
+HttpResponse Server::handle_infer(const std::string& name,
+                                  const HttpRequest& req) {
+  const std::string* ct = req.header("content-type");
+  const bool binary =
+      ct != nullptr && ct->find("octet-stream") != std::string::npos;
+
+  InferRequest infer_req;
+  try {
+    if (binary) {
+      parse_binary(req.body, &infer_req.input, &infer_req.rows);
+    } else {
+      parse_csv(req.body_text(), &infer_req.input, &infer_req.rows);
+    }
+  } catch (const std::invalid_argument& e) {
+    return HttpResponse::text(400, std::string(e.what()) + "\n");
+  }
+
+  if (const std::string* d = req.header("x-deepsz-deadline-ms")) {
+    char* end = nullptr;
+    const double ms = std::strtod(d->c_str(), &end);
+    if (end == d->c_str() || *end != '\0' || !(ms > 0.0)) {
+      return HttpResponse::text(400, "bad x-deepsz-deadline-ms\n");
+    }
+    infer_req.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(
+                             static_cast<std::int64_t>(ms * 1000.0));
+  }
+
+  InferResult result = scheduler_.infer(name, std::move(infer_req));
+  if (!result.ok()) {
+    return HttpResponse::text(http_status_for(result.status),
+                              std::string(status_name(result.status)) + ": " +
+                                  result.error + "\n");
+  }
+  if (binary) {
+    return HttpResponse::bytes(
+        200, format_binary(result.output, result.rows, result.cols));
+  }
+  return HttpResponse::text(200,
+                            format_csv(result.output, result.rows, result.cols),
+                            "text/csv");
+}
+
+HttpResponse Server::handle_model_action(const std::string& name,
+                                         const std::string& action,
+                                         const HttpRequest& req) {
+  try {
+    if (action == "load") {
+      if (req.body.empty()) {
+        return HttpResponse::text(400, "load needs a container body\n");
+      }
+      auto model = repo_.load(name, req.body);
+      return HttpResponse::text(200, "loaded \"" + name + "\" version " +
+                                         std::to_string(model->version) +
+                                         "\n");
+    }
+    if (action == "reload") {
+      auto model = repo_.reload(name);
+      return HttpResponse::text(200, "reloaded \"" + name + "\" version " +
+                                         std::to_string(model->version) +
+                                         "\n");
+    }
+    // unload
+    if (!repo_.unload(name)) {
+      return HttpResponse::text(404, "no model \"" + name + "\"\n");
+    }
+    // Drop the model's queue + workers too; queued requests drain (they
+    // complete kNotFound against the now-empty repository entry).
+    scheduler_.forget(name);
+    return HttpResponse::text(200, "unloaded \"" + name + "\"\n");
+  } catch (const std::out_of_range& e) {
+    return HttpResponse::text(404, std::string(e.what()) + "\n");
+  } catch (const std::invalid_argument& e) {
+    return HttpResponse::text(400, std::string(e.what()) + "\n");
+  } catch (const std::logic_error& e) {
+    return HttpResponse::text(409, std::string(e.what()) + "\n");
+  } catch (const std::exception& e) {
+    // Corrupt container on load/reload: the previous version keeps serving.
+    return HttpResponse::text(400, std::string(e.what()) + "\n");
+  }
+}
+
+std::string Server::models_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& model : repo_.list()) {
+    if (!first) os << ",";
+    first = false;
+    append_model_json(os, *model);
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::string Server::metrics_text() const {
+  const auto s = metrics_.snapshot();
+  std::ostringstream os;
+  auto counter = [&](const char* name, std::uint64_t v,
+                     const char* labels = nullptr) {
+    os << "deepsz_" << name;
+    if (labels) os << "{" << labels << "}";
+    os << " " << v << "\n";
+  };
+
+  counter("requests_total", s.ok, "status=\"ok\"");
+  counter("requests_total", s.not_found, "status=\"not_found\"");
+  counter("requests_total", s.invalid_input, "status=\"invalid_input\"");
+  counter("requests_total", s.shed, "status=\"overloaded\"");
+  counter("requests_total", s.deadline_expired, "status=\"deadline_exceeded\"");
+  counter("requests_total", s.shutting_down, "status=\"shutting_down\"");
+  counter("requests_total", s.errors, "status=\"internal_error\"");
+  counter("batches_total", s.batches);
+  counter("batched_rows_total", s.batched_rows);
+  os << "deepsz_queue_depth " << s.queue_depth << "\n";
+  os << "deepsz_mean_batch_rows " << s.mean_batch_rows() << "\n";
+  os << "deepsz_forward_ms_total " << s.forward_ms << "\n";
+  for (double q : {0.5, 0.95, 0.99}) {
+    os << "deepsz_request_latency_ms{quantile=\"" << q << "\"} "
+       << s.latency_ms.quantile(q) << "\n";
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    os << "deepsz_batch_rows{quantile=\"" << q << "\"} "
+       << s.batch_rows_hist.quantile(q) << "\n";
+  }
+
+  const auto& budget = repo_.budget();
+  os << "deepsz_cache_budget_bytes " << budget->budget_bytes() << "\n";
+  os << "deepsz_cache_used_bytes " << budget->used_bytes() << "\n";
+  os << "deepsz_cache_cross_model_evictions " << budget->evictions() << "\n";
+  os << "deepsz_models_loaded " << repo_.size() << "\n";
+
+  for (const auto& model : repo_.list()) {
+    const auto cs = model->store->stats();
+    const std::string label = "model=\"" + json_escaped(model->name) + "\"";
+    auto model_counter = [&](const char* name, std::uint64_t v) {
+      os << "deepsz_model_" << name << "{" << label << "} " << v << "\n";
+    };
+    model_counter("version", model->version);
+    model_counter("cache_hits", cs.hits);
+    model_counter("cache_misses", cs.misses);
+    model_counter("cache_coalesced", cs.coalesced);
+    model_counter("cache_evictions", cs.evictions);
+    model_counter("cache_resident_bytes", cs.cached_bytes);
+    model_counter("cache_resident_layers", cs.cached_layers);
+    model_counter("queue_depth", scheduler_.queue_depth(model->name));
+    os << "deepsz_model_cache_hit_rate{" << label << "} " << cs.hit_rate()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deepsz::server

@@ -1,0 +1,84 @@
+// The serving daemon: repository + scheduler + metrics behind one HTTP
+// route table.
+//
+//   GET  /healthz                    -> 200 "ok"
+//   GET  /v1/models                  -> JSON list of loaded models
+//   GET  /v1/models/<name>           -> JSON for one model (404 if absent)
+//   POST /v1/models/<name>:infer     -> run inference (CSV or binary body)
+//   POST /v1/models/<name>:load      -> body = container bytes; load/hot-swap
+//   POST /v1/models/<name>:reload    -> re-read the model's source file
+//   POST /v1/models/<name>:unload    -> drop the model
+//   GET  /metrics                    -> Prometheus-style text exposition
+//
+// Infer payloads (docs/serving.md): a text/csv body is one row of
+// comma-separated floats per line and answers in kind; an
+// application/octet-stream body is [u32 rows][u32 cols][rows*cols f32 LE]
+// and answers in the same binary layout. An `x-deepsz-deadline-ms` header
+// sets a queueing deadline. Scheduler statuses map onto HTTP: ok=200,
+// not_found=404, invalid_input=400, overloaded=429, deadline_exceeded=504,
+// shutting_down=503, internal_error=500.
+//
+// handle() IS the daemon — HttpFrontEnd serves it over sockets,
+// LoopbackTransport serves it in-process for tests and benches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "server/http.h"
+#include "server/metrics.h"
+#include "server/model_repository.h"
+#include "server/scheduler.h"
+
+namespace deepsz::server {
+
+struct ServerOptions {
+  /// Decoded-layer budget shared across every loaded model.
+  std::size_t cache_budget_bytes = 256ull << 20;
+  SchedulerOptions scheduler;
+  HttpFrontEnd::Options http;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  ModelRepository& repository() { return repo_; }
+  RequestScheduler& scheduler() { return scheduler_; }
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// The full route table; safe to call from any thread.
+  HttpResponse handle(const HttpRequest& request);
+  /// handle() bound to this server, for HttpFrontEnd / LoopbackTransport.
+  HttpHandler handler();
+
+  /// Starts the socket front end on options().http.port.
+  void start_http();
+  void stop();
+  int http_port() const { return http_ ? http_->port() : 0; }
+
+  /// GET /metrics body: counters, latency quantiles, batch-size
+  /// distribution, queue depth, shared-budget occupancy, and per-model
+  /// ModelStore cache counters.
+  std::string metrics_text() const;
+  std::string models_json() const;
+
+ private:
+  HttpResponse handle_infer(const std::string& name, const HttpRequest& req);
+  HttpResponse handle_model_action(const std::string& name,
+                                   const std::string& action,
+                                   const HttpRequest& req);
+
+  const ServerOptions options_;
+  ModelRepository repo_;
+  ServerMetrics metrics_;
+  RequestScheduler scheduler_;
+  std::unique_ptr<HttpFrontEnd> http_;
+};
+
+}  // namespace deepsz::server

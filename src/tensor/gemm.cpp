@@ -2,9 +2,129 @@
 
 #include <algorithm>
 
+#include "util/cpu.h"
 #include "util/threadpool.h"
 
+#ifdef DEEPSZ_X86_DISPATCH
+#include <immintrin.h>
+#endif
+
 namespace deepsz::tensor {
+
+#ifdef DEEPSZ_X86_DISPATCH
+namespace {
+
+using util::have_avx2_fma;
+
+__attribute__((target("avx2,fma"))) inline float hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+__attribute__((target("avx2,fma"))) float dot_avx2(const float* a,
+                                                   const float* b,
+                                                   std::int64_t k) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::int64_t kk = 0;
+  for (; kk + 16 <= k; kk += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + kk), _mm256_loadu_ps(b + kk),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + kk + 8),
+                           _mm256_loadu_ps(b + kk + 8), acc1);
+  }
+  float acc = hsum8(_mm256_add_ps(acc0, acc1));
+  for (; kk < k; ++kk) acc += a[kk] * b[kk];
+  return acc;
+}
+
+/// The nt micro-kernel body: R A-rows x 2 B-rows per pass, so each streamed
+/// B row (a weight row in the Dense forward) is paid once per R batch rows.
+/// R=6 uses 12 of the 16 ymm registers for accumulators; the fixed-trip
+/// loops below unroll completely.
+template <int R>
+__attribute__((target("avx2,fma"))) void gemm_nt_avx2_rows(
+    std::int64_t n, std::int64_t k, const float* a, const float* b, float* c,
+    std::size_t i) {
+  const float* arow[R];
+  float* crow[R];
+  for (int r = 0; r < R; ++r) {
+    arow[r] = a + (i + static_cast<std::size_t>(r)) * k;
+    crow[r] = c + (i + static_cast<std::size_t>(r)) * n;
+  }
+  std::int64_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const float* b0 = b + (j + 0) * k;
+    const float* b1 = b + (j + 1) * k;
+    __m256 acc[R][2];
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+    std::int64_t kk = 0;
+    for (; kk + 8 <= k; kk += 8) {
+      const __m256 vb0 = _mm256_loadu_ps(b0 + kk);
+      const __m256 vb1 = _mm256_loadu_ps(b1 + kk);
+      for (int r = 0; r < R; ++r) {
+        const __m256 va = _mm256_loadu_ps(arow[r] + kk);
+        acc[r][0] = _mm256_fmadd_ps(va, vb0, acc[r][0]);
+        acc[r][1] = _mm256_fmadd_ps(va, vb1, acc[r][1]);
+      }
+    }
+    float p[R][2];
+    for (int r = 0; r < R; ++r) {
+      p[r][0] = hsum8(acc[r][0]);
+      p[r][1] = hsum8(acc[r][1]);
+    }
+    for (; kk < k; ++kk) {
+      for (int r = 0; r < R; ++r) {
+        p[r][0] += arow[r][kk] * b0[kk];
+        p[r][1] += arow[r][kk] * b1[kk];
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      crow[r][j] += p[r][0];
+      crow[r][j + 1] += p[r][1];
+    }
+  }
+  for (; j < n; ++j) {
+    const float* brow = b + j * k;
+    for (int r = 0; r < R; ++r) {
+      crow[r][j] += dot_avx2(arow[r], brow, k);
+    }
+  }
+}
+
+/// Rows [lo, hi) of A against all n B rows: greedy 6/4/2-row blocks, single
+/// rows fall back to the plain vectorized dot.
+__attribute__((target("avx2,fma"))) void gemm_nt_avx2(
+    std::int64_t n, std::int64_t k, const float* a, const float* b, float* c,
+    std::size_t lo, std::size_t hi) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6) gemm_nt_avx2_rows<6>(n, k, a, b, c, i);
+  if (i + 4 <= hi) {
+    gemm_nt_avx2_rows<4>(n, k, a, b, c, i);
+    i += 4;
+  }
+  if (i + 2 <= hi) {
+    gemm_nt_avx2_rows<2>(n, k, a, b, c, i);
+    i += 2;
+  }
+  for (; i < hi; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      crow[j] += dot_avx2(arow, b + j * k, k);
+    }
+  }
+}
+
+}  // namespace
+#endif  // DEEPSZ_X86_DISPATCH
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
           const float* b, float* c) {
@@ -29,8 +149,74 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
+  // Register-blocked micro-kernel: 4 A-rows x 2 B-rows per pass. Each B row
+  // (a weight row in the Dense forward) is streamed once per FOUR batch rows
+  // instead of once per row, and each A value feeds two dot products — the
+  // inner loop runs 8 independent accumulator chains, which is what lets
+  // batched inference (serve/scheduler micro-batches) cost less per row than
+  // batch-1. On AVX2+FMA hosts the same blocking runs through an intrinsics
+  // kernel (runtime-dispatched; the scalar path below is the baseline).
   auto row_block = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
+#ifdef DEEPSZ_X86_DISPATCH
+    if (have_avx2_fma()) {
+      gemm_nt_avx2(n, k, a, b, c, lo, hi);
+      return;
+    }
+#endif
+    std::size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      std::int64_t j = 0;
+      for (; j + 2 <= n; j += 2) {
+        const float* bj0 = b + (j + 0) * k;
+        const float* bj1 = b + (j + 1) * k;
+        float s00 = 0.0f, s01 = 0.0f, s10 = 0.0f, s11 = 0.0f;
+        float s20 = 0.0f, s21 = 0.0f, s30 = 0.0f, s31 = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float b0 = bj0[kk], b1 = bj1[kk];
+          const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+          s00 += v0 * b0;
+          s01 += v0 * b1;
+          s10 += v1 * b0;
+          s11 += v1 * b1;
+          s20 += v2 * b0;
+          s21 += v2 * b1;
+          s30 += v3 * b0;
+          s31 += v3 * b1;
+        }
+        c0[j] += s00;
+        c0[j + 1] += s01;
+        c1[j] += s10;
+        c1[j + 1] += s11;
+        c2[j] += s20;
+        c2[j + 1] += s21;
+        c3[j] += s30;
+        c3[j + 1] += s31;
+      }
+      for (; j < n; ++j) {
+        const float* brow = b + j * k;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float bv = brow[kk];
+          s0 += a0[kk] * bv;
+          s1 += a1[kk] * bv;
+          s2 += a2[kk] * bv;
+          s3 += a3[kk] * bv;
+        }
+        c0[j] += s0;
+        c1[j] += s1;
+        c2[j] += s2;
+        c3[j] += s3;
+      }
+    }
+    for (; i < hi; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
       for (std::int64_t j = 0; j < n; ++j) {

@@ -1,0 +1,27 @@
+// Host CPU feature detection shared by the runtime-dispatched kernels
+// (tensor/gemm.cpp, serve/sparse_forward.cpp): one answer, one kill switch.
+#pragma once
+
+#include <cstdlib>
+
+namespace deepsz::util {
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DEEPSZ_X86_DISPATCH 1
+
+/// True when the host supports the AVX2+FMA micro-kernels. Set
+/// DEEPSZ_NO_AVX2=1 to force the scalar paths (checked once, first call).
+inline bool have_avx2_fma() {
+  static const bool ok = std::getenv("DEEPSZ_NO_AVX2") == nullptr &&
+                         __builtin_cpu_supports("avx2") &&
+                         __builtin_cpu_supports("fma");
+  return ok;
+}
+
+#else
+
+inline bool have_avx2_fma() { return false; }
+
+#endif
+
+}  // namespace deepsz::util

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace deepsz::util {
 
@@ -71,6 +72,95 @@ double byte_entropy(std::span<const std::uint8_t> data) {
   std::array<std::uint64_t, 256> counts{};
   for (std::uint8_t b : data) ++counts[b];
   return histogram_entropy(counts);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > 0.0) || !std::isfinite(bounds_[i]) ||
+        (i > 0 && !(bounds_[i] > bounds_[i - 1]))) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be positive, finite, strictly increasing");
+    }
+  }
+}
+
+Histogram Histogram::exponential(double first, double factor, int count) {
+  if (!(first > 0.0) || !(factor > 1.0) || count < 1) {
+    throw std::invalid_argument(
+        "Histogram::exponential: need first > 0, factor > 1, count >= 1");
+  }
+  std::vector<double> bounds(static_cast<std::size_t>(count));
+  double b = first;
+  for (auto& bound : bounds) {
+    bound = b;
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::record(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::min() const { return count_ ? min_ : 0.0; }
+double Histogram::max() const { return count_ ? max_ : 0.0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  // Rank of the target observation, 1-based; q=0 -> first, q=1 -> last.
+  const double rank = 1.0 + q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto before = seen;
+    seen += counts_[i];
+    if (rank > static_cast<double>(seen)) continue;
+    // Interpolate inside bucket i between its lower and upper edge.
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac = (rank - static_cast<double>(before)) /
+                        static_cast<double>(counts_[i]);
+    return std::clamp(lo + frac * (hi - lo), min_, max_);
+  }
+  return max_;
 }
 
 }  // namespace deepsz::util

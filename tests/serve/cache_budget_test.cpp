@@ -1,0 +1,130 @@
+// SharedCacheBudget: cross-store byte accounting, global-LRU victim choice,
+// and detach-on-destruction uncharging.
+#include "serve/cache_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/model_codec.h"
+#include "data/weight_synthesis.h"
+#include "serve/model_store.h"
+
+namespace deepsz::serve {
+namespace {
+
+std::vector<std::uint8_t> small_container(std::uint64_t seed) {
+  std::vector<sparse::PrunedLayer> layers;
+  layers.push_back(data::synthesize_pruned_layer("fc1", 24, 32, 0.2, seed));
+  layers.push_back(
+      data::synthesize_pruned_layer("fc2", 16, 24, 0.2, seed + 1));
+  return core::encode_model(layers, {}, core::ContainerOptions{}).bytes;
+}
+
+ModelStoreOptions with_budget(std::shared_ptr<SharedCacheBudget> budget) {
+  ModelStoreOptions opts;
+  opts.shared_budget = std::move(budget);
+  return opts;
+}
+
+TEST(SharedCacheBudget, ChargesAndUnchargesWithStoreLifetime) {
+  auto budget = std::make_shared<SharedCacheBudget>(64ull << 20);
+  {
+    ModelStore store(small_container(1), with_budget(budget));
+    EXPECT_EQ(budget->used_bytes(), 0u);
+    store.warmup(false);
+    EXPECT_EQ(budget->used_bytes(), store.stats().cached_bytes);
+    EXPECT_GT(budget->used_bytes(), 0u);
+
+    store.evict_all();
+    EXPECT_EQ(budget->used_bytes(), 0u);
+    store.warmup(false);
+    EXPECT_GT(budget->used_bytes(), 0u);
+  }
+  // Store destruction detaches and uncharges.
+  EXPECT_EQ(budget->used_bytes(), 0u);
+  EXPECT_EQ(budget->evictions(), 0u);  // never over budget
+}
+
+TEST(SharedCacheBudget, EvictsOldestAcrossStores) {
+  // Budget for about three of the four layers: warming store B must evict
+  // A's oldest layer, and only that.
+  auto probe_budget = std::make_shared<SharedCacheBudget>(64ull << 20);
+  std::size_t fc1_bytes, all_bytes;
+  {
+    ModelStore probe(small_container(1), with_budget(probe_budget));
+    fc1_bytes = probe.get("fc1")->bytes();
+    probe.warmup(false);
+    all_bytes = probe_budget->used_bytes();
+  }
+
+  auto budget = std::make_shared<SharedCacheBudget>(2 * all_bytes - fc1_bytes);
+  ModelStore a(small_container(1), with_budget(budget));
+  ModelStore b(small_container(2), with_budget(budget));
+  a.warmup(false);  // stamps: a.fc1 < a.fc2
+  b.warmup(false);  // b.fc1 pushes over budget once everything is resident
+  EXPECT_LE(budget->used_bytes(), budget->budget_bytes());
+  EXPECT_EQ(budget->evictions(), 1u);
+  EXPECT_EQ(a.peek("fc1"), nullptr) << "victim must be the global LRU";
+  EXPECT_NE(a.peek("fc2"), nullptr);
+  EXPECT_NE(b.peek("fc1"), nullptr);
+  EXPECT_NE(b.peek("fc2"), nullptr);
+  EXPECT_EQ(a.stats().evictions, 1u);
+  EXPECT_EQ(b.stats().evictions, 0u);
+}
+
+TEST(SharedCacheBudget, OversizedEntryIsServedThenDropped) {
+  // A budget smaller than a single layer still serves every request; the
+  // cache just cannot retain anything for long.
+  auto budget = std::make_shared<SharedCacheBudget>(16);
+  ModelStore store(small_container(3), with_budget(budget));
+  auto layer = store.get("fc1");
+  EXPECT_EQ(layer->rows, 24);
+  EXPECT_LE(budget->used_bytes(), budget->budget_bytes());
+  EXPECT_EQ(store.peek("fc1"), nullptr);
+  // The handed-out shared_ptr stays valid after the eviction.
+  EXPECT_EQ(layer->dense.size(), 24u * 32u);
+}
+
+TEST(SharedCacheBudget, ConcurrentStoresStayUnderBudget) {
+  auto probe_budget = std::make_shared<SharedCacheBudget>(64ull << 20);
+  std::size_t all_bytes;
+  {
+    ModelStore probe(small_container(1), with_budget(probe_budget));
+    probe.warmup(false);
+    all_bytes = probe_budget->used_bytes();
+  }
+
+  // Four stores, budget for ~1.5 stores, hammered from four threads.
+  auto budget = std::make_shared<SharedCacheBudget>(all_bytes * 3 / 2);
+  std::vector<std::unique_ptr<ModelStore>> stores;
+  for (int i = 0; i < 4; ++i) {
+    stores.push_back(std::make_unique<ModelStore>(
+        small_container(static_cast<std::uint64_t>(i) * 10),
+        with_budget(budget)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto& store = *stores[static_cast<std::size_t>((t + i) % 4)];
+        auto l = store.get(i % 2 == 0 ? "fc1" : "fc2");
+        ASSERT_NE(l, nullptr);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(budget->used_bytes(), budget->budget_bytes());
+  EXPECT_GT(budget->evictions(), 0u);
+
+  // Tearing half of the stores down keeps accounting exact.
+  std::size_t remaining = 0;
+  stores.resize(2);
+  for (const auto& s : stores) remaining += s->stats().cached_bytes;
+  EXPECT_EQ(budget->used_bytes(), remaining);
+}
+
+}  // namespace
+}  // namespace deepsz::serve

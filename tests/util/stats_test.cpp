@@ -63,5 +63,106 @@ TEST(Stats, HistogramEntropyTwoSymbols) {
   EXPECT_NEAR(histogram_entropy(counts), 1.0, 1e-12);
 }
 
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({-1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  auto h = Histogram::exponential(1.0, 2.0, 4);
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(h.bucket_counts().size(), 5u);  // +1 overflow
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  auto h = Histogram::exponential(1.0, 2.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, RecordBucketsAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);    // bucket 0: [0, 1)
+  h.record(1.0);    // bucket 1: [1, 10)
+  h.record(9.99);   // bucket 1
+  h.record(50.0);   // bucket 2: [10, 100)
+  h.record(1000.0); // overflow
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 2, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.sum(), 1061.49, 1e-9);
+}
+
+TEST(Histogram, QuantilesTrackExactValuesAtBucketResolution) {
+  // 1000 samples uniform over (0, 100] against fine buckets: the quantile
+  // estimate must land within one bucket width of the exact value.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 128.0; b *= 1.2) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int i = 1; i <= 1000; ++i) h.record(i * 0.1);
+  for (double q : {0.10, 0.50, 0.95, 0.99}) {
+    const double exact = q * 100.0;
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.2 + 1.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.1);    // clamped to observed min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // clamped to observed max
+}
+
+TEST(Histogram, QuantileSingleValue) {
+  auto h = Histogram::exponential(0.01, 2.0, 20);
+  h.record(3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  auto a = Histogram::exponential(1.0, 2.0, 8);
+  auto b = Histogram::exponential(1.0, 2.0, 8);
+  auto both = Histogram::exponential(1.0, 2.0, 8);
+  for (int i = 0; i < 50; ++i) {
+    const double va = 0.5 + i, vb = 200.0 - i;
+    a.record(va);
+    b.record(vb);
+    both.record(va);
+    both.record(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.bucket_counts(), both.bucket_counts());
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), both.quantile(0.5));
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  auto a = Histogram::exponential(1.0, 2.0, 8);
+  auto b = Histogram::exponential(1.0, 3.0, 8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, MergeIntoEmptyAndReset) {
+  auto a = Histogram::exponential(1.0, 2.0, 8);
+  auto b = Histogram::exponential(1.0, 2.0, 8);
+  b.record(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 4.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace deepsz::util

@@ -16,18 +16,23 @@
 //   deepsz_tool unpack        <in> <out>
 //   deepsz_tool model-info    <model.dszc>
 //   deepsz_tool serve-bench   <model.dszc> [requests] [batch] [cache-mb]
+//   deepsz_tool serve         --model name=path ... [--port N] ...
 //
-// Raw float files are little-endian fp32 with no header.
+// Raw float files are little-endian fp32 with no header. Every subcommand
+// answers `--help` with its own usage on stdout and exit 0.
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, corrupt stream, a compare
 // row failing its serving check), 2 bad usage, 3 unknown codec or strategy
 // name, 4 bad codec options or argument value.
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/registry.h"
@@ -42,6 +47,7 @@
 #include "nn/sgd.h"
 #include "serve/inference_session.h"
 #include "serve/model_store.h"
+#include "server/server.h"
 #include "sz/sz.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -54,20 +60,9 @@ constexpr int kExitUsage = 2;
 constexpr int kExitUnknownCodec = 3;
 constexpr int kExitBadOptions = 4;
 
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw std::runtime_error("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
-  if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
-    std::fclose(f);
-    throw std::runtime_error("short read from " + path);
-  }
-  std::fclose(f);
-  return data;
-}
+// One file-reading routine for the whole stack (it carries the size checks).
+using deepsz::server::read_file_bytes;
+constexpr auto read_file = read_file_bytes;
 
 void write_file(const std::string& path, std::span<const std::uint8_t> data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -103,29 +98,42 @@ double parse_double(const char* arg, const char* what) {
   }
 }
 
-void print_usage(std::FILE* to) {
+/// One row per subcommand: the single source of both `--help` outputs and
+/// the tool_cli test's subcommand inventory (the test parses print_usage).
+struct Subcommand {
+  const char* name;
+  const char* args;     // usage after the name
+  const char* summary;  // one line
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"codecs", "", "list registered codecs and compressor strategies"},
+    {"compress", "<model> <out.dszc> [--strategy <spec>] [--keep <ratio>]",
+     "compress a zoo model (tiny|lenet300|lenet5)"},
+    {"compare", "<model> [strategy-spec...]",
+     "ratio/accuracy/timing table (default: every strategy)"},
+    {"sz-compress", "<in.f32> <out> [eb=1e-3] [codec=sz]",
+     "error-bounded compression of a raw fp32 file"},
+    {"sz-decompress", "<in.sz> <out.f32>", "restore a raw fp32 file"},
+    {"sz-info", "<in.sz>", "inspect an SZ stream header"},
+    {"zfp-compress", "<in.f32> <out.zfp> [tolerance=1e-3]",
+     "zfp-compress a raw fp32 file"},
+    {"zfp-decompress", "<in.zfp> <out.f32>", "restore from a zfp stream"},
+    {"pack", "<in> <out> [codec=zstd]", "lossless-pack any file"},
+    {"unpack", "<in> <out>", "restore a packed file"},
+    {"model-info", "<model.dszc>", "inspect a compressed model container"},
+    {"serve-bench", "<model.dszc> [requests=64] [batch=8] [cache-mb=64]",
+     "cold/warm serving latency + cache counters"},
+    {"serve",
+     "--model name=path [--model name=path ...] [--port 8080]\n"
+     "        [--cache-bytes B | --cache-mb 256] [--max-batch 16]\n"
+     "        [--max-delay-us 2000] [--queue-cap 256] [--workers 2]",
+     "multi-model HTTP serving daemon (POST /v1/models/<name>:infer)"},
+};
+
+void print_exit_codes(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: deepsz_tool <command> <args>\n"
-      "  codecs                               list codecs + strategies\n"
-      "  compress <model> <out.dszc> [--strategy <spec>] [--keep <ratio>]\n"
-      "                                       compress a zoo model (model:\n"
-      "                                       tiny|lenet300|lenet5)\n"
-      "  compare <model> [strategy-spec...]   ratio/accuracy/timing table\n"
-      "                                       (default: every strategy)\n"
-      "  sz-compress <in.f32> <out> [eb=1e-3] [codec=sz]\n"
-      "  sz-decompress <in.sz> <out.f32>\n"
-      "  sz-info <in.sz>\n"
-      "  zfp-compress <in.f32> <out.zfp> [tolerance=1e-3]\n"
-      "  zfp-decompress <in.zfp> <out.f32>\n"
-      "  pack <in> <out> [codec=zstd]\n"
-      "  unpack <in> <out>\n"
-      "  model-info <model.dszc>\n"
-      "  serve-bench <model.dszc> [requests=64] [batch=8] [cache-mb=64]\n"
-      "codec and strategy specs are registry names with options, e.g.\n"
-      "\"zstd\", \"sz:quant_bins=1024,backend=gzip\",\n"
-      "\"deepsz:expected_acc=0.004\" or \"deep-compression:bits=5\";\n"
-      "run `deepsz_tool codecs` for the full list of both.\n"
       "exit codes:\n"
       "  0  success\n"
       "  1  runtime failure (I/O, corrupt stream, failed serving check)\n"
@@ -134,9 +142,48 @@ void print_usage(std::FILE* to) {
       "  4  bad codec/strategy options or argument value\n");
 }
 
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: deepsz_tool <command> <args>\n"
+               "commands (each answers `deepsz_tool <command> --help`):\n");
+  for (const auto& sub : kSubcommands) {
+    std::fprintf(to, "  %-14s %s\n", sub.name, sub.summary);
+  }
+  std::fprintf(
+      to,
+      "codec and strategy specs are registry names with options, e.g.\n"
+      "\"zstd\", \"sz:quant_bins=1024,backend=gzip\",\n"
+      "\"deepsz:expected_acc=0.004\" or \"deep-compression:bits=5\";\n"
+      "run `deepsz_tool codecs` for the full list of both.\n");
+  print_exit_codes(to);
+}
+
 int usage() {
   print_usage(stderr);
   return kExitUsage;
+}
+
+/// `deepsz_tool <cmd> --help` (any position): subcommand usage on stdout,
+/// exit 0. Returns true when handled.
+bool subcommand_help(const std::string& cmd, int argc, char** argv) {
+  bool wants_help = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      wants_help = true;
+      break;
+    }
+  }
+  if (!wants_help) return false;
+  for (const auto& sub : kSubcommands) {
+    if (cmd == sub.name) {
+      std::printf("usage: deepsz_tool %s %s\n%s\n", sub.name, sub.args,
+                  sub.summary);
+      print_exit_codes(stdout);
+      return true;
+    }
+  }
+  return false;  // unknown subcommand: fall through to the usage error
 }
 
 /// A zoo model plus data, ready for the compression pipeline. "tiny" builds
@@ -186,6 +233,11 @@ ToolModel load_tool_model(const std::string& key) {
                               "\" (expected tiny|lenet300|lenet5)");
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+void on_serve_signal(int) { g_serve_stop = 1; }
+
+int run_serve(int argc, char** argv);
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -196,6 +248,8 @@ int run(int argc, char** argv) {
     print_usage(stdout);
     return kExitOk;
   }
+  if (subcommand_help(cmd, argc, argv)) return kExitOk;
+  if (cmd == "serve") return run_serve(argc, argv);
   if (cmd == "codecs" && argc == 2) {
     std::printf("%-10s %-6s %s\n", "codec", "kind", "summary / options");
     for (const auto& info : registry.list()) {
@@ -449,13 +503,111 @@ int run(int argc, char** argv) {
                 latencies.front());
     std::printf("warm requests: p50 %.2f ms, p95 %.2f ms\n", pct(0.50),
                 pct(0.95));
-    std::printf("warm cache:    hit rate %.2f, codec time %.2f ms, "
-                "%llu eviction(s)\n",
-                stats.hit_rate(), stats.decode_ms,
-                static_cast<unsigned long long>(stats.evictions));
+    // The full CacheStats snapshot, not just the derived hit rate: the
+    // counters are what a regression in coalescing or eviction shows up in.
+    std::printf(
+        "warm cache:    %llu hit(s), %llu miss(es), %llu coalesced wait(s), "
+        "%llu eviction(s)\n",
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.coalesced),
+        static_cast<unsigned long long>(stats.evictions));
+    std::printf(
+        "               hit rate %.2f, codec time %.2f ms, resident %zu "
+        "layer(s) / %.2f MB\n",
+        stats.hit_rate(), stats.decode_ms, stats.cached_layers,
+        static_cast<double>(stats.cached_bytes) / (1 << 20));
     return kExitOk;
   }
   return usage();
+}
+
+int run_serve(int argc, char** argv) {
+  using deepsz::server::Server;
+  deepsz::server::ServerOptions opts;
+  opts.http.port = 8080;
+  std::vector<std::pair<std::string, std::string>> models;  // name -> path
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("serve: " + arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        throw std::invalid_argument(
+            "serve: --model expects name=path, got \"" + spec + "\"");
+      }
+      models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--port") {
+      opts.http.port = static_cast<int>(parse_double(next(), "port"));
+    } else if (arg == "--cache-bytes") {
+      opts.cache_budget_bytes =
+          static_cast<std::size_t>(parse_double(next(), "cache-bytes"));
+    } else if (arg == "--cache-mb") {
+      opts.cache_budget_bytes = static_cast<std::size_t>(
+          parse_double(next(), "cache-mb") * (1 << 20));
+    } else if (arg == "--max-batch") {
+      opts.scheduler.max_batch =
+          static_cast<std::int64_t>(parse_double(next(), "max-batch"));
+    } else if (arg == "--max-delay-us") {
+      opts.scheduler.max_delay_us =
+          static_cast<std::int64_t>(parse_double(next(), "max-delay-us"));
+    } else if (arg == "--queue-cap") {
+      opts.scheduler.queue_capacity =
+          static_cast<std::size_t>(parse_double(next(), "queue-cap"));
+    } else if (arg == "--workers") {
+      opts.scheduler.workers_per_model =
+          static_cast<int>(parse_double(next(), "workers"));
+    } else {
+      throw std::invalid_argument("serve: unknown flag \"" + arg + "\"");
+    }
+  }
+  if (models.empty()) {
+    throw std::invalid_argument("serve: need at least one --model name=path");
+  }
+
+  // Install the handlers before the (possibly slow) model loads so a
+  // supervisor's SIGTERM during startup still takes the clean exit path.
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+
+  Server server(opts);
+  for (const auto& [name, path] : models) {
+    auto model = server.repository().load_file(name, path);
+    std::fprintf(stderr, "loaded %s v%llu from %s (%zu layer(s), %lld -> %lld)\n",
+                 name.c_str(), static_cast<unsigned long long>(model->version),
+                 path.c_str(), model->store->reader().num_layers(),
+                 static_cast<long long>(model->in_features),
+                 static_cast<long long>(model->out_features));
+  }
+  server.start_http();
+  std::printf("deepsz_tool serve: %zu model(s) on port %d "
+              "(cache budget %.1f MB; SIGINT/SIGTERM to stop)\n",
+              models.size(), server.http_port(),
+              static_cast<double>(opts.cache_budget_bytes) / (1 << 20));
+  std::fflush(stdout);
+
+  while (!g_serve_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.stop();
+  const auto s = server.metrics().snapshot();
+  std::printf("served %llu request(s): %llu ok, %llu shed, %llu failed; "
+              "%llu batch(es), mean %.2f rows\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.ok),
+              static_cast<unsigned long long>(s.shed),
+              static_cast<unsigned long long>(s.requests - s.ok - s.shed),
+              static_cast<unsigned long long>(s.batches),
+              s.mean_batch_rows());
+  return kExitOk;
 }
 
 }  // namespace
