@@ -144,8 +144,8 @@ sz::PredictorMode sz_predictor(const std::string& s) {
 class SzCodec : public FloatCodec {
  public:
   explicit SzCodec(const Options& opts) {
-    opts.check_known(
-        {"mode", "quant_bins", "block_size", "predictor", "backend"});
+    opts.check_known({"mode", "quant_bins", "block_size", "predictor",
+                      "backend", "stream", "chunk_size"});
     params_.mode = sz_mode(opts.get("mode", "abs"));
     params_.quant_bins = static_cast<std::uint32_t>(
         opts.get_u64("quant_bins", sz::SzParams{}.quant_bins));
@@ -153,6 +153,16 @@ class SzCodec : public FloatCodec {
         opts.get_u64("block_size", sz::SzParams{}.block_size));
     params_.predictor = sz_predictor(opts.get("predictor", "adaptive"));
     params_.backend = byte_codec_id(opts.get("backend", "zstd"));
+    params_.stream_version = static_cast<std::uint32_t>(
+        opts.get_u64("stream", sz::SzParams{}.stream_version));
+    if (params_.stream_version != 1 && params_.stream_version != 2) {
+      throw BadOptions("sz: stream must be 1 or 2");
+    }
+    params_.chunk_size = static_cast<std::uint32_t>(
+        opts.get_u64("chunk_size", sz::SzParams{}.chunk_size));
+    if (params_.chunk_size < 16) {
+      throw BadOptions("sz: chunk_size must be >= 16");
+    }
   }
 
   explicit SzCodec(const sz::SzParams& params) : params_(params) {}
@@ -259,6 +269,7 @@ void register_builtins(CodecRegistry& reg) {
     CodecInfo info;
     info.name = "f32";
     info.summary = "verbatim fp32 floats (lossless; tolerance ignored)";
+    info.stream_versions = "raw";
     reg.register_float(info, [](const Options& opts) {
       return std::make_shared<F32Codec>(opts);
     });
@@ -267,10 +278,11 @@ void register_builtins(CodecRegistry& reg) {
     CodecInfo info;
     info.name = "sz";
     info.summary = "SZ-class error-bounded: predict + quantize + Huffman";
+    info.stream_versions = "r:v1,v2 w:v2";
     info.options_help =
         "mode=abs|rel|psnr,quant_bins=<n>,block_size=<n>,"
         "predictor=adaptive|lorenzo1|lorenzo2|regression,"
-        "backend=store|gzip|zstd|blosc";
+        "backend=store|gzip|zstd|blosc,stream=1|2,chunk_size=<n>";
     reg.register_float(info, [](const Options& opts) {
       return std::make_shared<SzCodec>(opts);
     });

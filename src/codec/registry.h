@@ -40,6 +40,13 @@ struct CodecInfo {
   /// the baselines (dc, bloomier), whose loss is set by discrete options,
   /// not by the per-stream tolerance. Meaningless for ByteCodecs.
   bool bounded = true;
+  /// Wire-format versions this codec reads and writes, e.g. "r:v1,v2 w:v2"
+  /// for a codec that decodes both stream versions but always emits v2.
+  /// Empty (shown as "-" by `deepsz_tool codecs`) for codecs with a single
+  /// unversioned self-describing format. The docs' compatibility tables
+  /// are generated from that output — one source of truth for
+  /// stream-version support.
+  std::string stream_versions;
   std::string summary;         // one-line description
   std::string options_help;    // accepted keys, "" when the codec has none
 };

@@ -31,7 +31,10 @@ constexpr std::size_t kHeaderBytes = 12;  // magic + version + layer count
 
 /// Runs fn(i) for i in [0, n), across the global pool when requested.
 /// Exceptions are captured per task and the first one rethrown, since
-/// ThreadPool tasks must not throw.
+/// ThreadPool tasks must not throw. Codec work inside fn may itself
+/// parallel_for over stream-v2 chunks; nested loops run inline on pool
+/// workers, so layer- and chunk-level parallelism compose without
+/// oversubscription.
 template <typename Fn>
 void for_each_layer(std::size_t n, bool parallel, Fn&& fn) {
   if (!parallel || n < 2 || util::ThreadPool::global().size() <= 1) {

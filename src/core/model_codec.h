@@ -8,6 +8,14 @@
 // are guarded by a CRC-32. Layers are encoded and decoded in parallel via
 // util::ThreadPool::global().
 //
+// Parallelism is two-level: on top of the per-layer fan-out here, the
+// default "sz" data codec now emits chunked stream-v2 payloads whose chunks
+// decode independently on the same pool (sz/stream_v2.h), so even a
+// single-layer decode — the serving layer's cold-miss path through
+// ContainerReader::decode_layer — saturates every core instead of running
+// one serial scalar pass. Containers holding legacy sz-v1 data streams
+// decode unchanged (the codec auto-detects the stream version).
+//
 // New containers additionally carry a seekable index: a per-stream
 // offset/length table appended as a footer (trailer magic "DSZX"), so
 // ContainerReader can decode one named layer without touching any other

@@ -85,6 +85,9 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
     in_flight_.erase(name);
     if (layer) {
       stats_.decode_ms += layer->timing.total_ms();
+      stats_.lossless_ms += layer->timing.lossless_ms;
+      stats_.eb_decode_ms += layer->timing.sz_ms;
+      stats_.reconstruct_ms += layer->timing.reconstruct_ms;
       insert_and_evict(name, layer);
     }
   }

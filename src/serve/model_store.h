@@ -95,7 +95,10 @@ struct ServedLayer {
 };
 
 /// Cache counters. hits/misses/coalesced count get() outcomes; decode_ms is
-/// the cumulative codec time paid by misses (zero in a warm steady state).
+/// the cumulative codec time paid by misses (zero in a warm steady state),
+/// split into its phases below so the cold-miss cost of the chunked
+/// error-bounded decode (SZ stream v2 fans one layer's chunks across
+/// ThreadPool::global()) is observable per store.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -104,6 +107,12 @@ struct CacheStats {
   std::size_t cached_bytes = 0;
   std::size_t cached_layers = 0;
   double decode_ms = 0.0;
+  // Phase breakdown of decode_ms (wall time per miss, summed): the lossless
+  // index decode, the error-bounded (block-parallel) data decode, and the
+  // dense/CSR reconstruction.
+  double lossless_ms = 0.0;
+  double eb_decode_ms = 0.0;
+  double reconstruct_ms = 0.0;
 
   std::uint64_t lookups() const { return hits + misses + coalesced; }
   /// Fraction of lookups served without this caller running a codec.

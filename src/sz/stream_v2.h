@@ -1,0 +1,58 @@
+// SZ stream v2: the chunked, parallel-decodable wire format.
+//
+// The value array is split into fixed-size chunks (SzParams::chunk_size
+// floats). Every chunk is a self-contained mini SZ stream: its Lorenzo /
+// regression predictor history starts at zero, its quantization codes are
+// coded with a chunk-local canonical Huffman table, its outliers live in a
+// chunk-local verbatim region, and the whole chunk body goes through the
+// lossless backend as one frame. A per-chunk offset table in the plaintext
+// header locates every chunk, so chunks encode and decode independently —
+// decompression fans out across util::ThreadPool::global(), which is what
+// turns the cold-start decode of one large fc layer from a serial scalar
+// pass into an embarrassingly parallel one (the COMET observation: block
+// partitioning is what makes error-bounded compression parallelizable
+// without hurting ratio).
+//
+// Regression-predicted sub-blocks additionally take an AVX2 fast path on
+// x86 hosts (util::have_avx2_fma(), DEEPSZ_NO_AVX2=1 forces scalar): their
+// predictions do not depend on reconstruction history, so quantization and
+// reconstruction vectorize. The decode kernel mirrors the scalar
+// double-precision arithmetic operation for operation, so decoded output is
+// bit-identical with and without AVX2; encode output may differ across
+// hosts in rare rounding races (the bound is re-verified per lane either
+// way — set DEEPSZ_NO_AVX2=1 when regenerating golden fixtures).
+//
+// This header is internal to src/sz/; the public entry points in sz.h
+// dispatch on the stream tag byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/sz.h"
+
+namespace deepsz::sz::v2 {
+
+/// Byte following the "DSZW" magic. Stream v1 stores a lossless codec id
+/// (0..3) there; any value >= kTag is a versioned-layout marker.
+inline constexpr std::uint8_t kTag = 0xF2;
+
+/// True when `stream` (starting at the outer magic) carries the v2 tag.
+bool is_v2(std::span<const std::uint8_t> stream);
+
+/// Encodes `data` as a v2 stream. `abs_eb` is the already-resolved absolute
+/// error bound (params.error_bound/mode are ignored). Chunks encode in
+/// parallel on ThreadPool::global().
+std::vector<std::uint8_t> compress(std::span<const float> data,
+                                   const SzParams& params, double abs_eb);
+
+/// Decodes a v2 stream, chunks in parallel. Throws std::runtime_error (or
+/// std::out_of_range / std::length_error / std::bad_alloc, converted by the
+/// sz.h wrapper) on corrupt or truncated input.
+std::vector<float> decompress(std::span<const std::uint8_t> stream);
+
+/// Parses only the v2 header and offset table.
+SzStreamInfo inspect(std::span<const std::uint8_t> stream);
+
+}  // namespace deepsz::sz::v2

@@ -16,6 +16,22 @@
 // The ABS mode guarantees max|x_i - x'_i| <= eb for every point: any value the
 // quantizer cannot represent within the bound is stored verbatim. Prediction
 // always runs on *reconstructed* values so the decompressor never drifts.
+//
+// Two wire formats share this API (see docs/container_format.md for the byte
+// layout):
+//
+//   stream v1 — the original monolithic layout: one Huffman table and one
+//     backend pass over the whole array, inherently serial to decode;
+//   stream v2 — the chunked layout (default): the array is split into
+//     fixed-size chunks (64 Ki floats by default), each carrying its own
+//     predictor state, Huffman table and outlier region, with a per-chunk
+//     offset table in the header, so chunks encode and decode independently
+//     and in parallel on util::ThreadPool::global().
+//
+// compress() emits the version selected by SzParams::stream_version;
+// decompress()/inspect() auto-detect and accept both, and the v1 decode path
+// is frozen — existing streams keep decoding bit-exactly (pinned by
+// tests/fixtures/sz_v1.szs).
 #pragma once
 
 #include <cstdint>
@@ -51,8 +67,14 @@ struct SzParams {
   PredictorMode predictor = PredictorMode::kAdaptive;
   /// Block length for predictor selection and regression fitting.
   std::uint32_t block_size = 256;
-  /// Lossless backend applied to the whole stream (kStore disables).
+  /// Lossless backend pass (kStore disables): over the whole stream for
+  /// v1, per chunk for v2.
   lossless::CodecId backend = lossless::CodecId::kZstdLike;
+  /// Wire format to emit: 2 (chunked, parallel decode) or 1 (legacy
+  /// monolithic). decompress() accepts both regardless.
+  std::uint32_t stream_version = 2;
+  /// Stream v2 only: floats per independently-decodable chunk (>= 16).
+  std::uint32_t chunk_size = 64 * 1024;
 };
 
 /// Facts about a compressed stream, recovered without decompressing.
@@ -64,6 +86,9 @@ struct SzStreamInfo {
   std::uint64_t unpredictable = 0;  // values stored verbatim
   PredictorMode predictor = PredictorMode::kAdaptive;
   lossless::CodecId backend = lossless::CodecId::kStore;
+  std::uint32_t stream_version = 1;  // wire format (1 or 2)
+  std::uint32_t chunk_size = 0;      // v2: floats per chunk (0 for v1)
+  std::uint64_t n_chunks = 0;        // v2: independent chunks (0 for v1)
 };
 
 /// Compresses `data`; the result is self-describing.

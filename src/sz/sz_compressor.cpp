@@ -9,10 +9,16 @@
 #include "lossless/entropy.h"
 #include "sz/predictor.h"
 #include "sz/quantizer.h"
+#include "sz/stream_v2.h"
 #include "sz/sz.h"
 #include "util/bitstream.h"
 #include "util/byte_io.h"
 #include "util/stats.h"
+
+// This file owns the public entry points and the frozen stream-v1 codec
+// (monolithic layout, serial decode). The chunked v2 layout lives in
+// stream_v2.cpp; compress() dispatches on SzParams::stream_version,
+// decompress()/inspect() on the tag byte after the magic.
 
 namespace deepsz::sz {
 namespace {
@@ -56,6 +62,13 @@ std::vector<std::uint8_t> compress(std::span<const float> data,
                                    const SzParams& params) {
   if (params.error_bound <= 0) {
     throw std::invalid_argument("sz: error bound must be positive");
+  }
+  if (params.stream_version == 2) {
+    return v2::compress(data, params, resolve_abs_eb(data, params));
+  }
+  if (params.stream_version != 1) {
+    throw std::invalid_argument("sz: unknown stream_version " +
+                                std::to_string(params.stream_version));
   }
   const std::uint32_t bins = std::max<std::uint32_t>(16, params.quant_bins);
   const std::uint32_t block_size = std::max<std::uint32_t>(16, params.block_size);
@@ -263,7 +276,10 @@ auto guard_corrupt(const char* what, Fn&& fn) {
 }  // namespace
 
 SzStreamInfo inspect(std::span<const std::uint8_t> stream) {
-  return guard_corrupt("header", [&] { return parse(stream).info; });
+  return guard_corrupt("header", [&] {
+    if (v2::is_v2(stream)) return v2::inspect(stream);
+    return parse(stream).info;
+  });
 }
 
 namespace {
@@ -367,7 +383,10 @@ std::vector<float> decompress_checked(std::span<const std::uint8_t> stream) {
 }  // namespace
 
 std::vector<float> decompress(std::span<const std::uint8_t> stream) {
-  return guard_corrupt("stream", [&] { return decompress_checked(stream); });
+  return guard_corrupt("stream", [&] {
+    if (v2::is_v2(stream)) return v2::decompress(stream);
+    return decompress_checked(stream);
+  });
 }
 
 double compression_ratio(std::span<const float> data, const SzParams& params) {

@@ -33,7 +33,7 @@ class ByteReader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > data_.size()) {
+    if (sizeof(T) > remaining()) {
       throw std::out_of_range("ByteReader: truncated stream");
     }
     T v;
@@ -42,9 +42,11 @@ class ByteReader {
     return v;
   }
 
-  /// Reads `n` raw bytes and advances the cursor.
+  /// Reads `n` raw bytes and advances the cursor. The bound is checked as
+  /// `n > remaining()` — never `pos_ + n`, which an attacker-controlled
+  /// 64-bit length field can wrap past the buffer size.
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
-    if (pos_ + n > data_.size()) {
+    if (n > remaining()) {
       throw std::out_of_range("ByteReader: truncated stream");
     }
     auto s = data_.subspan(pos_, n);

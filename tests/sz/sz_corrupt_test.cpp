@@ -31,23 +31,31 @@ std::vector<std::uint8_t> prefix(std::span<const std::uint8_t> s,
 TEST(SzCorrupt, EveryTruncatedPrefixThrowsRuntimeError) {
   // A store backend makes truncation detection exact at every length: all
   // declared section lengths are bounds-checked against what is present.
-  sz::SzParams params;
-  params.backend = lossless::CodecId::kStore;
-  auto stream = sz::compress(weight_like(3000, 1), params);
-  for (std::size_t n = 0; n < stream.size(); ++n) {
-    EXPECT_THROW(sz::decompress(prefix(stream, n)), std::runtime_error)
-        << "prefix " << n << "/" << stream.size();
+  // Both wire formats must hold the guarantee.
+  for (std::uint32_t version : {1u, 2u}) {
+    sz::SzParams params;
+    params.backend = lossless::CodecId::kStore;
+    params.stream_version = version;
+    params.chunk_size = 1024;  // v2: several chunks
+    auto stream = sz::compress(weight_like(3000, 1), params);
+    for (std::size_t n = 0; n < stream.size(); ++n) {
+      EXPECT_THROW(sz::decompress(prefix(stream, n)), std::runtime_error)
+          << "v" << version << " prefix " << n << "/" << stream.size();
+    }
   }
 }
 
 TEST(SzCorrupt, TruncatedHeaderPrefixesThrowOnInspect) {
-  sz::SzParams params;
-  params.backend = lossless::CodecId::kStore;
-  auto stream = sz::compress(weight_like(500, 2), params);
-  for (std::size_t n = 0; n < std::min<std::size_t>(stream.size(), 64);
-       ++n) {
-    EXPECT_THROW(sz::inspect(prefix(stream, n)), std::runtime_error)
-        << "prefix " << n;
+  for (std::uint32_t version : {1u, 2u}) {
+    sz::SzParams params;
+    params.backend = lossless::CodecId::kStore;
+    params.stream_version = version;
+    auto stream = sz::compress(weight_like(500, 2), params);
+    for (std::size_t n = 0; n < std::min<std::size_t>(stream.size(), 64);
+         ++n) {
+      EXPECT_THROW(sz::inspect(prefix(stream, n)), std::runtime_error)
+          << "v" << version << " prefix " << n;
+    }
   }
 }
 
@@ -65,10 +73,11 @@ TEST(SzCorrupt, CompressedBackendPrefixesNeverEscapeRuntimeError) {
   }
 }
 
-// Patches a fixed-header field of a store-backed stream. Payload layout
-// after the 13-byte outer frame (magic u32 + frame id u8 + raw_size u64):
-// version u32, count u64, eb f64, bins u32, block u32, predictor u8,
-// unpredictable u64, n_blocks u64.
+// Patches a fixed-header field of a store-backed *v1* stream. Payload
+// layout after the 13-byte outer frame (magic u32 + frame id u8 +
+// raw_size u64): version u32, count u64, eb f64, bins u32, block u32,
+// predictor u8, unpredictable u64, n_blocks u64. The v2 header-corruption
+// suite lives in sz_v2_corrupt_test.cpp.
 template <typename T>
 std::vector<std::uint8_t> patched(std::vector<std::uint8_t> stream,
                                   std::size_t payload_offset, T value) {
@@ -81,6 +90,7 @@ class SzHeaderCorrupt : public ::testing::Test {
   void SetUp() override {
     sz::SzParams params;
     params.backend = lossless::CodecId::kStore;
+    params.stream_version = 1;
     stream_ = sz::compress(weight_like(2000, 4), params);
   }
   std::vector<std::uint8_t> stream_;
@@ -110,6 +120,17 @@ TEST_F(SzHeaderCorrupt, TinyBlockSizeRejected) {
 TEST_F(SzHeaderCorrupt, NonFiniteErrorBoundRejected) {
   auto bad = patched<double>(stream_, 12, -1.0);
   EXPECT_THROW(sz::decompress(bad), std::runtime_error);
+}
+
+TEST_F(SzHeaderCorrupt, WrappingSectionLengthRejected) {
+  // Regression: section lengths near 2^64 (here the predictor-kinds length
+  // at payload offset 45) used to wrap ByteReader's `pos + n` bounds check
+  // and read far past the buffer.
+  for (std::uint64_t evil :
+       {~std::uint64_t{0}, ~std::uint64_t{0} - 1, std::uint64_t{1} << 63}) {
+    auto bad = patched<std::uint64_t>(stream_, 45, evil);
+    EXPECT_THROW(sz::decompress(bad), std::runtime_error) << evil;
+  }
 }
 
 TEST(LosslessCorrupt, EveryTruncatedStoreFramePrefixThrows) {

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Usage: check_doc_links.py <file-or-dir> [...]
+
+Scans the given markdown files (directories are searched for *.md) for
+inline links and reference definitions, and fails (exit 1) when a link
+that points inside the repository is dead:
+
+  - relative file targets must exist on disk (relative to the linking
+    file's directory);
+  - fragment targets (#anchor, alone or after a file path) must match a
+    heading in the target file, using GitHub's slugification;
+  - absolute URLs (http/https/mailto) are ignored — this checker gates CI
+    on what the repo itself can break.
+
+Fenced code blocks and inline code spans are stripped before scanning so
+example snippets never count as links.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text: str) -> str:
+    return INLINE_CODE.sub("", FENCE.sub("", text))
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    heading = INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    # Drop markdown emphasis/links, keep the text.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = FENCE.sub("", f.read())
+    slugs = set()
+    counts = {}
+    for m in HEADING.finditer(text):
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def collect_md(paths):
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, files in os.walk(p):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield p
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for md in collect_md(argv[1:]):
+        with open(md, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+        for target in targets:
+            if target.startswith(EXTERNAL):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{md}: dead link -> {target}")
+                    continue
+            else:
+                dest = md  # same-file anchor
+            if fragment:
+                if not dest.endswith(".md"):
+                    continue  # anchors into non-markdown files: skip
+                if fragment not in heading_slugs(dest):
+                    errors.append(f"{md}: dead anchor -> {target}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} intra-repo link(s): "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

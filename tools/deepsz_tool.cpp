@@ -251,15 +251,23 @@ int run(int argc, char** argv) {
   if (subcommand_help(cmd, argc, argv)) return kExitOk;
   if (cmd == "serve") return run_serve(argc, argv);
   if (cmd == "codecs" && argc == 2) {
-    std::printf("%-10s %-6s %s\n", "codec", "kind", "summary / options");
+    // One row per codec with its full registry metadata — the docs'
+    // codec/version tables are generated from this output, so it is the
+    // single source of truth for stream-version support and the bounded
+    // flag (see docs/container_format.md).
+    std::printf("%-10s %-8s %-7s %-14s %s\n", "codec", "kind", "bounded",
+                "streams", "summary / options");
     for (const auto& info : registry.list()) {
-      std::printf("%-10s %-6s %s\n", info.name.c_str(),
-                  !info.error_bounded ? "lossless"
-                  : info.bounded      ? "lossy"
-                                      : "quant",
+      std::printf("%-10s %-8s %-7s %-14s %s\n", info.name.c_str(),
+                  !info.error_bounded ? "lossless" : "lossy",
+                  !info.error_bounded ? "-"
+                  : info.bounded      ? "yes"
+                                      : "no",
+                  info.stream_versions.empty() ? "-"
+                                               : info.stream_versions.c_str(),
                   info.summary.c_str());
       if (!info.options_help.empty()) {
-        std::printf("%-10s %-6s   options: %s\n", "", "",
+        std::printf("%-10s %-8s %-7s %-14s   options: %s\n", "", "", "", "",
                     info.options_help.c_str());
       }
     }
@@ -370,11 +378,17 @@ int run(int argc, char** argv) {
   }
   if (cmd == "sz-info" && argc == 3) {
     auto info = deepsz::sz::inspect(read_file(argv[2]));
+    std::printf("stream version  %u\n", info.stream_version);
     std::printf("count           %llu\n",
                 static_cast<unsigned long long>(info.count));
     std::printf("abs error bound %g\n", info.abs_error_bound);
     std::printf("quant bins      %u\n", info.quant_bins);
     std::printf("block size      %u\n", info.block_size);
+    if (info.stream_version >= 2) {
+      std::printf("chunk size      %u\n", info.chunk_size);
+      std::printf("chunks          %llu\n",
+                  static_cast<unsigned long long>(info.n_chunks));
+    }
     std::printf("unpredictable   %llu\n",
                 static_cast<unsigned long long>(info.unpredictable));
     std::printf("backend         %s\n",
@@ -517,6 +531,10 @@ int run(int argc, char** argv) {
         "layer(s) / %.2f MB\n",
         stats.hit_rate(), stats.decode_ms, stats.cached_layers,
         static_cast<double>(stats.cached_bytes) / (1 << 20));
+    std::printf(
+        "               decode phases: lossless %.2f ms, error-bounded "
+        "(block) %.2f ms, reconstruct %.2f ms\n",
+        stats.lossless_ms, stats.eb_decode_ms, stats.reconstruct_ms);
     return kExitOk;
   }
   return usage();

@@ -8,6 +8,13 @@
 //   legacy_v2.dszc   pre-registry version-2 layout (implicit SZ data stream,
 //                    self-describing lossless index frame, no footer)
 //   indexed_v3.dszc  current version-3 layout with the seekable footer index
+//   sz_v1.szs        a bare SZ stream-v1 payload (the monolithic pre-chunked
+//                    wire format), pinning the frozen v1 decode path
+//   sz_v2.szs        a bare SZ stream-v2 payload (chunked, three chunks),
+//                    pinning the v2 decode path bit-exactly
+//
+// Set DEEPSZ_NO_AVX2=1 when regenerating: v2 *encoding* may differ across
+// hosts with different SIMD support (decoding never does).
 //
 // The fixtures lock the decoder against silent wire-format breakage: they
 // are checked in, never rewritten by CI, and the test decodes them
@@ -55,6 +62,9 @@ std::vector<std::uint8_t> encode_legacy_v2() {
     sz::SzParams params;
     params.mode = sz::ErrorBoundMode::kAbs;
     params.error_bound = 1e-3;
+    // Legacy containers predate the chunked stream; keep the fixture's data
+    // streams on the v1 wire format they were written with.
+    params.stream_version = 1;
     auto data_stream = sz::compress(layer.data, params);
     auto index_stream =
         lossless::compress(lossless::CodecId::kZstdLike, layer.index);
@@ -116,13 +126,42 @@ void report(const char* label, const std::vector<std::uint8_t>& bytes) {
 
 }  // namespace
 
+namespace {
+
+/// Deterministic weight-like values for the bare SZ stream fixtures.
+std::vector<float> sz_fixture_values() {
+  return data::synthesize_fc_weights(40, 100, 2024);  // 4000 floats
+}
+
+std::vector<std::uint8_t> encode_sz_stream(std::uint32_t version) {
+  sz::SzParams params;
+  params.error_bound = 1e-3;
+  params.stream_version = version;
+  params.chunk_size = 1500;  // v2: three chunks over 4000 values
+  return sz::compress(sz_fixture_values(), params);
+}
+
+void report_sz(const char* label, const std::vector<std::uint8_t>& stream) {
+  auto decoded = sz::decompress(stream);
+  std::printf("%s: %zu bytes, file crc 0x%08x, decoded crc 0x%08x\n", label,
+              stream.size(), util::crc32(stream), float_crc(decoded));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : "tests/fixtures";
   auto legacy = encode_legacy_v2();
   auto indexed = encode_indexed_v3();
+  auto sz_v1 = encode_sz_stream(1);
+  auto sz_v2 = encode_sz_stream(2);
   write_file(dir + "/legacy_v2.dszc", legacy);
   write_file(dir + "/indexed_v3.dszc", indexed);
+  write_file(dir + "/sz_v1.szs", sz_v1);
+  write_file(dir + "/sz_v2.szs", sz_v2);
   report("legacy_v2.dszc", legacy);
   report("indexed_v3.dszc", indexed);
+  report_sz("sz_v1.szs", sz_v1);
+  report_sz("sz_v2.szs", sz_v2);
   return 0;
 }
