@@ -25,7 +25,7 @@ CodecRegistry& CodecRegistry::instance() {
 }
 
 void CodecRegistry::register_byte(CodecInfo info, ByteFactory factory) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const std::string name = info.name;
   if (!byte_.emplace(name, std::make_pair(std::move(info), std::move(factory)))
            .second) {
@@ -35,7 +35,7 @@ void CodecRegistry::register_byte(CodecInfo info, ByteFactory factory) {
 }
 
 void CodecRegistry::register_float(CodecInfo info, FloatFactory factory) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const std::string name = info.name;
   info.error_bounded = true;
   if (!float_
@@ -67,7 +67,7 @@ std::shared_ptr<ByteCodec> CodecRegistry::make_byte(
   auto [name, opts] = split_spec(spec);
   ByteFactory factory;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = byte_.find(name);
     if (it == byte_.end()) {
       throw UnknownCodec("unknown lossless codec \"" + name + "\"");
@@ -82,7 +82,7 @@ std::shared_ptr<FloatCodec> CodecRegistry::make_float(
   auto [name, opts] = split_spec(spec);
   FloatFactory factory;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = float_.find(name);
     if (it == float_.end()) {
       throw UnknownCodec("unknown error-bounded codec \"" + name + "\"");
@@ -93,17 +93,17 @@ std::shared_ptr<FloatCodec> CodecRegistry::make_float(
 }
 
 bool CodecRegistry::has_byte(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return byte_.count(name) != 0;
 }
 
 bool CodecRegistry::has_float(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return float_.count(name) != 0;
 }
 
 std::vector<CodecInfo> CodecRegistry::list() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<CodecInfo> out;
   out.reserve(byte_.size() + float_.size());
   for (const auto& [name, entry] : byte_) out.push_back(entry.first);

@@ -17,11 +17,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "codec/codec.h"
+#include "util/mutex.h"
 
 namespace deepsz::codec {
 
@@ -84,9 +84,11 @@ class CodecRegistry {
  private:
   CodecRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::pair<CodecInfo, ByteFactory>> byte_;
-  std::map<std::string, std::pair<CodecInfo, FloatFactory>> float_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::pair<CodecInfo, ByteFactory>> byte_
+      DEEPSZ_GUARDED_BY(mu_);
+  std::map<std::string, std::pair<CodecInfo, FloatFactory>> float_
+      DEEPSZ_GUARDED_BY(mu_);
 };
 
 }  // namespace deepsz::codec

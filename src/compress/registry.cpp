@@ -23,7 +23,7 @@ CompressorRegistry& CompressorRegistry::instance() {
 
 void CompressorRegistry::register_compressor(CompressorInfo info,
                                              Factory factory) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const std::string name = info.name;
   if (!strategies_
            .emplace(name, std::make_pair(std::move(info), std::move(factory)))
@@ -38,7 +38,7 @@ std::shared_ptr<ModelCompressor> CompressorRegistry::make(
   auto [name, opts] = codec::CodecRegistry::split_spec(spec);
   Factory factory;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     auto it = strategies_.find(name);
     if (it == strategies_.end()) {
       throw UnknownCompressor("unknown compressor strategy \"" + name + "\"");
@@ -49,12 +49,12 @@ std::shared_ptr<ModelCompressor> CompressorRegistry::make(
 }
 
 bool CompressorRegistry::has(const std::string& name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return strategies_.count(name) != 0;
 }
 
 std::vector<CompressorInfo> CompressorRegistry::list() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<CompressorInfo> out;
   out.reserve(strategies_.size());
   for (const auto& [name, entry] : strategies_) out.push_back(entry.first);

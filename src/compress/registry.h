@@ -19,13 +19,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "codec/codec.h"
 #include "compress/compressor.h"
+#include "util/mutex.h"
 
 namespace deepsz::compress {
 
@@ -54,8 +54,9 @@ class CompressorRegistry {
  private:
   CompressorRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::pair<CompressorInfo, Factory>> strategies_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::pair<CompressorInfo, Factory>> strategies_
+      DEEPSZ_GUARDED_BY(mu_);
 };
 
 }  // namespace deepsz::compress

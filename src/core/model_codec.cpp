@@ -431,7 +431,7 @@ std::size_t ContainerReader::payload_bytes() const {
 
 std::shared_ptr<codec::FloatCodec> ContainerReader::float_codec(
     const std::string& spec) const {
-  std::lock_guard<std::mutex> lock(codec_mu_);
+  util::MutexLock lock(codec_mu_);
   auto it = float_codecs_.find(spec);
   if (it != float_codecs_.end()) return it->second;
   try {
@@ -448,7 +448,7 @@ std::shared_ptr<codec::FloatCodec> ContainerReader::float_codec(
 
 std::shared_ptr<codec::ByteCodec> ContainerReader::byte_codec(
     const std::string& spec) const {
-  std::lock_guard<std::mutex> lock(codec_mu_);
+  util::MutexLock lock(codec_mu_);
   auto it = byte_codecs_.find(spec);
   if (it != byte_codecs_.end()) return it->second;
   try {

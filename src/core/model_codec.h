@@ -33,7 +33,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +40,7 @@
 #include "lossless/codec.h"
 #include "sparse/pruned_layer.h"
 #include "sz/sz.h"
+#include "util/mutex.h"
 
 namespace deepsz::codec {
 class ByteCodec;
@@ -243,11 +243,11 @@ class ContainerReader {
 
   // Codec instances are stateless; memoize resolution per distinct spec so
   // concurrent decode_layer calls don't re-parse option strings.
-  mutable std::mutex codec_mu_;
+  mutable util::Mutex codec_mu_;
   mutable std::map<std::string, std::shared_ptr<codec::FloatCodec>>
-      float_codecs_;
+      float_codecs_ DEEPSZ_GUARDED_BY(codec_mu_);
   mutable std::map<std::string, std::shared_ptr<codec::ByteCodec>>
-      byte_codecs_;
+      byte_codecs_ DEEPSZ_GUARDED_BY(codec_mu_);
 };
 
 }  // namespace deepsz::core

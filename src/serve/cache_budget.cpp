@@ -8,12 +8,12 @@
 namespace deepsz::serve {
 
 void SharedCacheBudget::attach(ModelStore* store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stores_.push_back(store);
 }
 
 void SharedCacheBudget::detach(ModelStore* store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stores_.erase(std::remove(stores_.begin(), stores_.end(), store),
                 stores_.end());
 }
@@ -27,7 +27,7 @@ void SharedCacheBudget::rebalance() {
     ModelStore* victim = nullptr;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (ModelStore* store : stores_) {
         const auto stamp = store->oldest_stamp();
         if (stamp && *stamp < oldest) {

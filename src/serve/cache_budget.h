@@ -14,8 +14,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace deepsz::serve {
 
@@ -62,7 +63,7 @@ class SharedCacheBudget {
   /// Evicts globally-LRU entries (oldest stamp across every attached store)
   /// until used_bytes() <= budget_bytes(). Called by stores after an insert,
   /// outside their own mutex. Safe to call concurrently.
-  void rebalance();
+  void rebalance() DEEPSZ_EXCLUDES(mu_);
 
  private:
   const std::size_t budget_bytes_;
@@ -70,8 +71,11 @@ class SharedCacheBudget {
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> evictions_{0};
 
-  mutable std::mutex mu_;  // guards stores_; ordered before any store mutex
-  std::vector<ModelStore*> stores_;
+  // Lock order: mu_ before any attached store's mutex, never the reverse
+  // (rebalance holds mu_ while calling into victim stores; stores call
+  // charge/uncharge — lock-free — from under their own mutex).
+  mutable util::Mutex mu_;
+  std::vector<ModelStore*> stores_ DEEPSZ_GUARDED_BY(mu_);
 };
 
 }  // namespace deepsz::serve

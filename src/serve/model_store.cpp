@@ -1,6 +1,5 @@
 #include "serve/model_store.h"
 
-#include <condition_variable>
 #include <exception>
 
 #include "util/threadpool.h"
@@ -10,11 +9,11 @@ namespace deepsz::serve {
 
 /// Rendezvous for callers that requested a layer already being decoded.
 struct ModelStore::InFlight {
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  std::shared_ptr<const ServedLayer> result;
-  std::exception_ptr error;
+  util::Mutex m;
+  util::CondVar cv;
+  bool done DEEPSZ_GUARDED_BY(m) = false;
+  std::shared_ptr<const ServedLayer> result DEEPSZ_GUARDED_BY(m);
+  std::exception_ptr error DEEPSZ_GUARDED_BY(m);
 };
 
 ModelStore::ModelStore(std::vector<std::uint8_t> container,
@@ -31,7 +30,7 @@ ModelStore::~ModelStore() {
   // holding this store as a victim, so the uncharge cannot double-count
   // against a concurrent eviction.
   options_.shared_budget->detach(this);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   options_.shared_budget->uncharge(stats_.cached_bytes);
 }
 
@@ -42,7 +41,7 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(name);
     if (it != cache_.end()) {
       ++stats_.hits;
@@ -65,8 +64,8 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   }
 
   if (!owner) {
-    std::unique_lock<std::mutex> lock(flight->m);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    util::MutexLock lock(flight->m);
+    while (!flight->done) flight->cv.wait(flight->m);
     if (flight->error) std::rethrow_exception(flight->error);
     return flight->result;
   }
@@ -81,18 +80,18 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     in_flight_.erase(name);
     if (layer) {
       stats_.decode_ms += layer->timing.total_ms();
       stats_.lossless_ms += layer->timing.lossless_ms;
       stats_.eb_decode_ms += layer->timing.sz_ms;
       stats_.reconstruct_ms += layer->timing.reconstruct_ms;
-      insert_and_evict(name, layer);
+      insert_and_evict_locked(name, layer);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(flight->m);
+    util::MutexLock lock(flight->m);
     flight->result = layer;
     flight->error = error;
     flight->done = true;
@@ -141,9 +140,8 @@ std::shared_ptr<const ServedLayer> ModelStore::decode_now(
   return served;
 }
 
-void ModelStore::insert_and_evict(const std::string& name,
-                                  std::shared_ptr<const ServedLayer> layer) {
-  // Called under mu_.
+void ModelStore::insert_and_evict_locked(
+    const std::string& name, std::shared_ptr<const ServedLayer> layer) {
   const std::size_t layer_bytes = layer->bytes();
   lru_.push_front(name);
   const std::uint64_t stamp =
@@ -163,7 +161,7 @@ void ModelStore::insert_and_evict(const std::string& name,
 }
 
 std::size_t ModelStore::evict_tail_locked() {
-  // Called under mu_ with a non-empty LRU.
+  // Requires a non-empty LRU.
   const std::string victim = lru_.back();
   auto it = cache_.find(victim);
   const std::size_t bytes = it->second.layer->bytes();
@@ -177,20 +175,20 @@ std::size_t ModelStore::evict_tail_locked() {
 }
 
 std::optional<std::uint64_t> ModelStore::oldest_stamp() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (lru_.empty()) return std::nullopt;
   return cache_.at(lru_.back()).stamp;
 }
 
 std::size_t ModelStore::evict_lru_one() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (lru_.empty()) return 0;
   return evict_tail_locked();
 }
 
 std::shared_ptr<const ServedLayer> ModelStore::peek(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = cache_.find(name);
   return it != cache_.end() ? it->second.layer : nullptr;
 }
@@ -216,7 +214,7 @@ void ModelStore::warmup(bool parallel) {
 }
 
 void ModelStore::evict_all() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stats_.evictions += cache_.size();
   if (options_.shared_budget) {
     options_.shared_budget->uncharge(stats_.cached_bytes);
@@ -228,12 +226,12 @@ void ModelStore::evict_all() {
 }
 
 CacheStats ModelStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 void ModelStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::size_t bytes = stats_.cached_bytes;
   const std::size_t layers = stats_.cached_layers;
   stats_ = CacheStats{};

@@ -21,13 +21,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/model_codec.h"
 #include "serve/cache_budget.h"
+#include "util/mutex.h"
 
 namespace deepsz::serve {
 
@@ -171,25 +171,29 @@ class ModelStore {
  private:
   struct InFlight;
 
-  std::shared_ptr<const ServedLayer> decode_now(std::size_t entry_index);
-  void insert_and_evict(const std::string& name,
-                        std::shared_ptr<const ServedLayer> layer);
-  std::size_t evict_tail_locked();
+  std::shared_ptr<const ServedLayer> decode_now(std::size_t entry_index)
+      DEEPSZ_EXCLUDES(mu_);
+  void insert_and_evict_locked(const std::string& name,
+                               std::shared_ptr<const ServedLayer> layer)
+      DEEPSZ_REQUIRES(mu_);
+  std::size_t evict_tail_locked() DEEPSZ_REQUIRES(mu_);
 
   const std::vector<std::uint8_t> container_;
   const ModelStoreOptions options_;
   core::ContainerReader reader_;  // views container_; declared after it
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   struct CacheEntry {
     std::shared_ptr<const ServedLayer> layer;
     std::list<std::string>::iterator lru_it;
     std::uint64_t stamp = 0;  // global recency clock (shared budget only)
   };
-  std::map<std::string, CacheEntry> cache_;
-  std::list<std::string> lru_;  // front = most recently used
-  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
-  CacheStats stats_;
+  std::map<std::string, CacheEntry> cache_ DEEPSZ_GUARDED_BY(mu_);
+  // front = most recently used
+  std::list<std::string> lru_ DEEPSZ_GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_
+      DEEPSZ_GUARDED_BY(mu_);
+  CacheStats stats_ DEEPSZ_GUARDED_BY(mu_);
 };
 
 }  // namespace deepsz::serve

@@ -309,7 +309,7 @@ void HttpFrontEnd::accept_loop() {
     tv.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     reap_finished();
     if (conns_.size() >= static_cast<std::size_t>(options_.max_connections)) {
       write_response(fd, HttpResponse::text(503, "connection limit reached\n"),
@@ -375,12 +375,12 @@ void HttpFrontEnd::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   // ...and shutting each connection down pops its recv().
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (Conn& conn : conns_) ::shutdown(conn.fd, SHUT_RDWR);
   }
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      util::MutexLock lock(conns_mu_);
       reap_finished();
       if (conns_.empty()) break;
     }

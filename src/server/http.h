@@ -15,10 +15,11 @@
 #include <functional>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace deepsz::server {
 
@@ -100,7 +101,7 @@ class HttpFrontEnd {
 
   void accept_loop();
   void serve_connection(Conn& conn);
-  void reap_finished();
+  void reap_finished() DEEPSZ_REQUIRES(conns_mu_);
 
   const HttpHandler handler_;
   const Options options_;
@@ -110,8 +111,10 @@ class HttpFrontEnd {
   int bound_port_ = 0;
   std::thread accept_thread_;
 
-  std::mutex conns_mu_;
-  std::list<Conn> conns_;
+  util::Mutex conns_mu_;
+  // A Conn's fd is written once (under conns_mu_, before its thread starts)
+  // and its `done` flag is atomic, so only the list structure needs the lock.
+  std::list<Conn> conns_ DEEPSZ_GUARDED_BY(conns_mu_);
 };
 
 /// In-process request/response round trip against the same handler contract

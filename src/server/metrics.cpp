@@ -55,7 +55,7 @@ void ServerMetrics::record_result(InferStatus status, double latency_ms) {
       break;
   }
   if (status == InferStatus::kOk) {
-    std::lock_guard<std::mutex> lock(hist_mu_);
+    util::MutexLock lock(hist_mu_);
     latency_ms_.record(latency_ms);
   }
 }
@@ -64,7 +64,7 @@ void ServerMetrics::record_batch(std::int64_t rows, double forward_ms) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_rows_.fetch_add(static_cast<std::uint64_t>(rows),
                           std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  util::MutexLock lock(hist_mu_);
   batch_rows_.record(static_cast<double>(rows));
   forward_ms_ += forward_ms;
 }
@@ -87,7 +87,7 @@ ServerMetrics::Snapshot ServerMetrics::snapshot() const {
              .batch_rows_hist = batch_buckets()};
   s.requests = s.ok + s.not_found + s.invalid_input + s.shed +
                s.deadline_expired + s.shutting_down + s.errors;
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  util::MutexLock lock(hist_mu_);
   s.latency_ms = latency_ms_;
   s.batch_rows_hist = batch_rows_;
   s.forward_ms = forward_ms_;
@@ -98,7 +98,7 @@ void ServerMetrics::reset() {
   ok_ = not_found_ = invalid_input_ = shed_ = deadline_expired_ =
       shutting_down_ = errors_ = batches_ = batched_rows_ = 0;
   queue_depth_ = 0;
-  std::lock_guard<std::mutex> lock(hist_mu_);
+  util::MutexLock lock(hist_mu_);
   latency_ms_.reset();
   batch_rows_.reset();
   forward_ms_ = 0.0;

@@ -9,9 +9,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "server/request.h"
+#include "util/mutex.h"
 #include "util/stats.h"
 
 namespace deepsz::server {
@@ -66,10 +66,10 @@ class ServerMetrics {
       batches_{0}, batched_rows_{0};
   std::atomic<std::int64_t> queue_depth_{0};
 
-  mutable std::mutex hist_mu_;
-  util::Histogram latency_ms_;
-  util::Histogram batch_rows_;
-  double forward_ms_ = 0.0;
+  mutable util::Mutex hist_mu_;
+  util::Histogram latency_ms_ DEEPSZ_GUARDED_BY(hist_mu_);
+  util::Histogram batch_rows_ DEEPSZ_GUARDED_BY(hist_mu_);
+  double forward_ms_ DEEPSZ_GUARDED_BY(hist_mu_) = 0.0;
 };
 
 }  // namespace deepsz::server

@@ -51,7 +51,7 @@ std::shared_ptr<const ServedModel> ModelRepository::load(
     throw std::invalid_argument("ModelRepository::load: empty model name");
   }
   auto model = build(name, std::move(container), std::move(source_path));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   model->version = next_version_++;
   models_[name] = model;  // old snapshot drains via its shared_ptr
   return model;
@@ -66,7 +66,7 @@ std::shared_ptr<const ServedModel> ModelRepository::reload(
     const std::string& name) {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = models_.find(name);
     if (it == models_.end()) {
       throw std::out_of_range("ModelRepository::reload: no model \"" + name +
@@ -82,19 +82,19 @@ std::shared_ptr<const ServedModel> ModelRepository::reload(
 }
 
 bool ModelRepository::unload(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return models_.erase(name) > 0;
 }
 
 std::shared_ptr<const ServedModel> ModelRepository::get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = models_.find(name);
   return it != models_.end() ? it->second : nullptr;
 }
 
 std::vector<std::shared_ptr<const ServedModel>> ModelRepository::list() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::shared_ptr<const ServedModel>> out;
   out.reserve(models_.size());
   for (const auto& [_, model] : models_) out.push_back(model);
@@ -102,7 +102,7 @@ std::vector<std::shared_ptr<const ServedModel>> ModelRepository::list() const {
 }
 
 std::size_t ModelRepository::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return models_.size();
 }
 

@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "nn/network.h"
 #include "serve/cache_budget.h"
 #include "serve/model_store.h"
+#include "util/mutex.h"
 
 namespace deepsz::server {
 
@@ -93,9 +93,10 @@ class ModelRepository {
   const serve::ModelStoreOptions store_template_;
   std::shared_ptr<serve::SharedCacheBudget> budget_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
-  std::uint64_t next_version_ = 1;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_
+      DEEPSZ_GUARDED_BY(mu_);
+  std::uint64_t next_version_ DEEPSZ_GUARDED_BY(mu_) = 1;
 };
 
 /// Reads a whole file; throws std::runtime_error on failure.

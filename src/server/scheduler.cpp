@@ -58,7 +58,6 @@ RequestScheduler::~RequestScheduler() { shutdown(); }
 
 RequestScheduler::ModelQueue& RequestScheduler::queue_for(
     const std::string& name) {
-  // Caller holds map_mu_.
   auto it = queues_.find(name);
   if (it == queues_.end()) {
     it = queues_.emplace(name, std::make_unique<ModelQueue>()).first;
@@ -99,7 +98,7 @@ std::future<InferResult> RequestScheduler::submit(const std::string& model,
   pending.enqueued = Clock::now();
 
   {
-    std::lock_guard<std::mutex> map_lock(map_mu_);
+    util::MutexLock map_lock(map_mu_);
     if (shutdown_) {
       if (metrics_) metrics_->record_result(InferStatus::kShuttingDown, 0.0);
       ready.set_value(fail(InferStatus::kShuttingDown, "server shutting down"));
@@ -115,7 +114,7 @@ std::future<InferResult> RequestScheduler::submit(const std::string& model,
       return fut;
     }
     ModelQueue& mq = queue_for(model);
-    std::lock_guard<std::mutex> lock(mq.m);
+    util::MutexLock lock(mq.m);
     if (mq.q.size() >= options_.queue_capacity) {
       if (metrics_) metrics_->record_result(InferStatus::kOverloaded, 0.0);
       ready.set_value(fail(InferStatus::kOverloaded,
@@ -138,13 +137,31 @@ InferResult RequestScheduler::infer(const std::string& model,
   return submit(model, std::move(req)).get();
 }
 
+void RequestScheduler::take_front_locked(ModelQueue& mq,
+                                         std::vector<Pending>& batch,
+                                         std::int64_t& rows) {
+  rows += mq.q.front().req.rows;
+  mq.queued_rows -= mq.q.front().req.rows;
+  batch.push_back(std::move(mq.q.front()));
+  mq.q.pop_front();
+}
+
+void RequestScheduler::drain_fitting_locked(ModelQueue& mq,
+                                            std::vector<Pending>& batch,
+                                            std::int64_t& rows) const {
+  while (rows < options_.max_batch && !mq.q.empty() &&
+         rows + mq.q.front().req.rows <= options_.max_batch) {
+    take_front_locked(mq, batch, rows);
+  }
+}
+
 void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
   WorkerState state;
   for (;;) {
     std::vector<Pending> batch;
     std::int64_t rows = 0;
     {
-      std::unique_lock<std::mutex> lock(mq.m);
+      util::MutexLock lock(mq.m);
       if (mq.q.empty() && !mq.stop && state.session) {
         // Going idle: drop this worker's layer pins so the shared cache
         // budget really governs residency — pinned layers survive eviction,
@@ -154,22 +171,10 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
         // recency), so a busy worker never gets here and pays nothing.
         state.session->release_layers();
       }
-      mq.cv.wait(lock, [&] { return mq.stop || !mq.q.empty(); });
+      while (!mq.stop && mq.q.empty()) mq.cv.wait(mq.m);
       if (mq.q.empty()) return;  // stop && drained
 
-      auto take_front = [&] {
-        rows += mq.q.front().req.rows;
-        mq.queued_rows -= mq.q.front().req.rows;
-        batch.push_back(std::move(mq.q.front()));
-        mq.q.pop_front();
-      };
-      auto drain_fitting = [&] {
-        while (rows < options_.max_batch && !mq.q.empty() &&
-               rows + mq.q.front().req.rows <= options_.max_batch) {
-          take_front();
-        }
-      };
-      take_front();
+      take_front_locked(mq, batch, rows);
 
       // Gather: drain whatever is queued, then (unless stopping) linger up
       // to max_delay_us from the first pop for stragglers to coalesce. The
@@ -179,7 +184,7 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
       const auto close_at =
           Clock::now() + std::chrono::microseconds(options_.max_delay_us);
       for (;;) {
-        drain_fitting();
+        drain_fitting_locked(mq, batch, rows);
         if (rows >= options_.max_batch || mq.stop ||
             options_.max_delay_us == 0) {
           break;
@@ -188,10 +193,15 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
         // batch space — run what we have; waiting could never admit it.
         if (!mq.q.empty()) break;
         const std::int64_t needed = options_.max_batch - rows;
-        if (!mq.cv.wait_until(lock, close_at, [&] {
-              return mq.stop || mq.queued_rows >= needed;
-            })) {
-          drain_fitting();  // window closed: take stragglers, then run
+        bool window_closed = false;
+        while (!mq.stop && mq.queued_rows < needed) {
+          if (mq.cv.wait_until(mq.m, close_at) == std::cv_status::timeout) {
+            window_closed = true;
+            break;
+          }
+        }
+        if (window_closed) {
+          drain_fitting_locked(mq, batch, rows);  // take stragglers, then run
           break;
         }
       }
@@ -304,7 +314,7 @@ void RequestScheduler::execute_batch(const std::string& name,
 void RequestScheduler::forget(const std::string& model) {
   std::unique_ptr<ModelQueue> mq;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    util::MutexLock lock(map_mu_);
     if (shutdown_) return;  // shutdown() already owns every queue
     auto it = queues_.find(model);
     if (it == queues_.end()) return;
@@ -315,7 +325,7 @@ void RequestScheduler::forget(const std::string& model) {
     // models' traffic flowing while the workers drain.
   }
   {
-    std::lock_guard<std::mutex> lock(mq->m);
+    util::MutexLock lock(mq->m);
     mq->stop = true;
   }
   mq->cv.notify_all();
@@ -325,14 +335,14 @@ void RequestScheduler::forget(const std::string& model) {
 void RequestScheduler::shutdown() {
   std::vector<ModelQueue*> queues;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    util::MutexLock lock(map_mu_);
     if (shutdown_) return;
     shutdown_ = true;
     for (auto& [_, mq] : queues_) queues.push_back(mq.get());
   }
   for (ModelQueue* mq : queues) {
     {
-      std::lock_guard<std::mutex> lock(mq->m);
+      util::MutexLock lock(mq->m);
       mq->stop = true;
     }
     mq->cv.notify_all();
@@ -343,10 +353,10 @@ void RequestScheduler::shutdown() {
 }
 
 std::size_t RequestScheduler::queue_depth(const std::string& model) const {
-  std::lock_guard<std::mutex> map_lock(map_mu_);
+  util::MutexLock map_lock(map_mu_);
   auto it = queues_.find(model);
   if (it == queues_.end()) return 0;
-  std::lock_guard<std::mutex> lock(it->second->m);
+  util::MutexLock lock(it->second->m);
   return it->second->q.size();
 }
 

@@ -17,13 +17,11 @@
 // dropped or served from a half-swapped model.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +29,7 @@
 #include "server/metrics.h"
 #include "server/model_repository.h"
 #include "server/request.h"
+#include "util/mutex.h"
 
 namespace deepsz::server {
 
@@ -87,18 +86,27 @@ class RequestScheduler {
     std::chrono::steady_clock::time_point enqueued;
   };
   struct ModelQueue {
-    std::mutex m;
-    std::condition_variable cv;
-    std::deque<Pending> q;
-    std::int64_t queued_rows = 0;  // sum of q[i].req.rows
-    bool stop = false;
+    util::Mutex m;
+    util::CondVar cv;
+    std::deque<Pending> q DEEPSZ_GUARDED_BY(m);
+    std::int64_t queued_rows DEEPSZ_GUARDED_BY(m) = 0;  // sum of q[i].req.rows
+    bool stop DEEPSZ_GUARDED_BY(m) = false;
+    // Populated under map_mu_ before any submit can reach this queue; joined
+    // by forget()/shutdown() only after the map entry is unreachable, so the
+    // vector itself needs no lock.
     std::vector<std::thread> workers;
   };
 
   struct WorkerState;  // per-worker session + network, one model version
 
-  ModelQueue& queue_for(const std::string& name);
+  ModelQueue& queue_for(const std::string& name) DEEPSZ_REQUIRES(map_mu_);
   void worker_loop(std::string name, ModelQueue& mq);
+  /// Moves the queue head into `batch`, maintaining the row accounting.
+  static void take_front_locked(ModelQueue& mq, std::vector<Pending>& batch,
+                                std::int64_t& rows) DEEPSZ_REQUIRES(mq.m);
+  /// Keeps taking queued requests while they fit the remaining batch space.
+  void drain_fitting_locked(ModelQueue& mq, std::vector<Pending>& batch,
+                            std::int64_t& rows) const DEEPSZ_REQUIRES(mq.m);
   void execute_batch(const std::string& name, std::vector<Pending> batch,
                      WorkerState& state);
   void finish(Pending& p, InferResult result);
@@ -107,9 +115,10 @@ class RequestScheduler {
   const SchedulerOptions options_;
   ServerMetrics* metrics_;
 
-  mutable std::mutex map_mu_;
-  std::map<std::string, std::unique_ptr<ModelQueue>> queues_;
-  bool shutdown_ = false;
+  mutable util::Mutex map_mu_;
+  std::map<std::string, std::unique_ptr<ModelQueue>> queues_
+      DEEPSZ_GUARDED_BY(map_mu_);
+  bool shutdown_ DEEPSZ_GUARDED_BY(map_mu_) = false;
 };
 
 }  // namespace deepsz::server

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace deepsz::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mu;
+// Serializes stderr writes so concurrent log lines never interleave.
+Mutex g_mu;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -28,7 +30,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lk(g_mu);
+  MutexLock lk(g_mu);
   std::cerr << "[deepsz:" << tag(level) << "] " << msg << "\n";
 }
 

@@ -1,0 +1,101 @@
+// Annotated mutex primitives: the only lock types used outside util/.
+//
+// util::Mutex / util::MutexLock / util::CondVar wrap their std counterparts
+// 1:1 (zero-cost: every method is an inline forward) but carry the clang
+// thread-safety attributes from util/thread_annotations.h, so that
+//
+//   util::Mutex mu_;
+//   int value_ DEEPSZ_GUARDED_BY(mu_);
+//
+// turns "forgot to lock" into a -Wthread-safety compile error under the
+// static-analysis CI job. std::lock_guard/std::unique_lock must not be used
+// with util::Mutex — their bodies acquire the capability in a scope the
+// analysis cannot see through; use util::MutexLock. tools/deepsz_lint.py
+// enforces that no naked std::mutex/std::condition_variable appears outside
+// src/util/.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace deepsz::util {
+
+/// std::mutex with capability annotations. Same semantics, same cost.
+class DEEPSZ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DEEPSZ_ACQUIRE() { mu_.lock(); }
+  void unlock() DEEPSZ_RELEASE() { mu_.unlock(); }
+  bool try_lock() DEEPSZ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, the annotated replacement for std::lock_guard<std::mutex>.
+class DEEPSZ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DEEPSZ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DEEPSZ_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() requires the caller to
+/// hold the mutex, which lets guarded members appear in the wait condition:
+///
+///   util::MutexLock lock(mu_);
+///   while (!done_) cv_.wait(mu_);       // done_ is DEEPSZ_GUARDED_BY(mu_)
+///
+/// Note the explicit while-loop: the std::condition_variable predicate-lambda
+/// idiom is deliberately not offered, because a lambda body is analyzed as a
+/// separate function that does not hold the mutex, so every guarded member it
+/// touches would (correctly) fail -Wthread-safety.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires `mu` before returning.
+  void wait(Mutex& mu) DEEPSZ_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand it back to
+    // the caller's scope; release() keeps the unique_lock destructor from
+    // double-unlocking. The analysis sees `mu` continuously held, which
+    // matches the caller-visible contract.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// wait() with a deadline; returns std::cv_status::timeout when `deadline`
+  /// passed without a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      DEEPSZ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace deepsz::util

@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis annotations (no-ops on other compilers).
+//
+// The serving tier's lock discipline is enforced at compile time: every
+// mutex-guarded member is declared DEEPSZ_GUARDED_BY its mutex, every
+// function that assumes a held lock is declared DEEPSZ_REQUIRES it, and the
+// static-analysis CI job builds with clang's -Wthread-safety -Werror so a
+// missed lock fails the build instead of flaking under TSan. See
+// docs/static_analysis.md for the conventions and util/mutex.h for the
+// annotated Mutex/MutexLock/CondVar wrappers these attach to.
+//
+// The macro set mirrors the standard capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the subset
+// this codebase uses is defined.
+#pragma once
+
+#if defined(__clang__)
+#define DEEPSZ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DEEPSZ_THREAD_ANNOTATION(x)  // no-op on gcc/msvc
+#endif
+
+/// Declares a class to be a lockable capability (util::Mutex).
+#define DEEPSZ_CAPABILITY(x) DEEPSZ_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability (util::MutexLock).
+#define DEEPSZ_SCOPED_CAPABILITY DEEPSZ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DEEPSZ_GUARDED_BY(x) DEEPSZ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define DEEPSZ_PT_GUARDED_BY(x) DEEPSZ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held
+/// (the `*_locked()` helper convention).
+#define DEEPSZ_REQUIRES(...) \
+  DEEPSZ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the listed capabilities NOT held
+/// (it acquires them itself; catches self-deadlock at compile time).
+#define DEEPSZ_EXCLUDES(...) \
+  DEEPSZ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define DEEPSZ_ACQUIRE(...) \
+  DEEPSZ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define DEEPSZ_RELEASE(...) \
+  DEEPSZ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define DEEPSZ_TRY_ACQUIRE(b, ...) \
+  DEEPSZ_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Lock-ordering declaration: this mutex is acquired before/after `...`.
+#define DEEPSZ_ACQUIRED_BEFORE(...) \
+  DEEPSZ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DEEPSZ_ACQUIRED_AFTER(...) \
+  DEEPSZ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define DEEPSZ_RETURN_CAPABILITY(x) \
+  DEEPSZ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. lock handoff
+/// between threads). Every use needs a comment justifying it.
+#define DEEPSZ_NO_THREAD_SAFETY_ANALYSIS \
+  DEEPSZ_THREAD_ANNOTATION(no_thread_safety_analysis)

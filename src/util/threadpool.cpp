@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -34,7 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -42,8 +42,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  MutexLock lk(mu_);
+  while (in_flight_ != 0) cv_idle_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
@@ -51,15 +51,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -7,13 +7,13 @@
 // a single-core host it degrades to a plain loop with no thread overhead.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace deepsz::util {
 
@@ -47,13 +47,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // workers_ is written only by the constructor (before any worker can
+  // observe it) and joined by the destructor after stop_; it needs no guard.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ DEEPSZ_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ DEEPSZ_GUARDED_BY(mu_) = 0;
+  bool stop_ DEEPSZ_GUARDED_BY(mu_) = false;
 };
 
 /// Runs body(i) for i in [begin, end) across the global pool with static
