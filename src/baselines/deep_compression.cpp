@@ -59,6 +59,15 @@ sparse::PrunedLayer dc_decode(std::span<const std::uint8_t> blob) {
   layer.cols = r.get<std::int64_t>();
   auto k = r.get<std::uint32_t>();
   auto n = static_cast<std::size_t>(r.get<std::uint64_t>());
+  // Payload-derived caps before the count-sized allocations: k centroids of
+  // sizeof(float) bytes each follow immediately, and each of the n encoded
+  // symbols costs at least one Huffman bit somewhere in the blob.
+  if (k > r.remaining() / sizeof(float)) {
+    throw std::runtime_error("dc_decode: corrupt centroid count");
+  }
+  if (n > blob.size() * 8) {
+    throw std::runtime_error("dc_decode: corrupt element count");
+  }
   std::vector<float> centroids(k);
   for (auto& c : centroids) c = r.get<float>();
 

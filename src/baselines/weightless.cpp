@@ -9,6 +9,11 @@
 namespace deepsz::baselines {
 namespace {
 constexpr std::uint32_t kMagic = 0x534c5457;  // "WTLS"
+// Ceiling on rows*cols accepted from a stream header. The dense output is a
+// reconstruction, so its size is not payload-bounded; 2^33 elements (32 GiB
+// of floats) is far beyond any real layer and merely rejects forged headers
+// before the allocation.
+constexpr std::int64_t kMaxDenseElems = std::int64_t{1} << 33;
 }
 
 WeightlessEncoded weightless_encode(const sparse::PrunedLayer& layer,
@@ -70,6 +75,16 @@ std::vector<float> weightless_decode(std::span<const std::uint8_t> blob,
   auto rows = r.get<std::int64_t>();
   auto cols = r.get<std::int64_t>();
   auto n_clusters = r.get<std::uint32_t>();
+  // n_clusters centroids of sizeof(float) bytes each follow in the payload,
+  // and the dense dimensions must be plausible (overflow-safe product check)
+  // — both guards run before the count-sized allocations below.
+  if (n_clusters > r.remaining() / sizeof(float)) {
+    throw std::runtime_error("weightless_decode: corrupt cluster count");
+  }
+  if (rows < 0 || cols < 0 ||
+      (cols > 0 && rows > kMaxDenseElems / cols)) {
+    throw std::runtime_error("weightless_decode: implausible dimensions");
+  }
   std::vector<float> centroids(n_clusters);
   for (auto& c : centroids) c = r.get<float>();
   auto flen = static_cast<std::size_t>(r.get<std::uint64_t>());

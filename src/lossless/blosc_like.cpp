@@ -134,16 +134,19 @@ std::vector<std::uint8_t> lz4ish_decompress_block(
     std::uint8_t token = in[pos++];
     std::uint32_t lit_len = token >> 4;
     if (lit_len == 15) lit_len += read_extended(in, pos);
-    if (pos + lit_len > in.size()) {
+    // Wrap-proof shape: pos <= in.size() and out.size() <= raw_size here, so
+    // the subtractions cannot underflow, and no sum of untrusted lengths is
+    // ever formed (pos + lit_len could wrap where size_t is 32-bit).
+    if (lit_len > in.size() - pos) {
       throw std::runtime_error("blosc_like: literal overrun");
     }
-    if (out.size() + lit_len > raw_size) {
+    if (lit_len > raw_size - out.size()) {
       throw std::runtime_error("blosc_like: output overrun");
     }
     out.insert(out.end(), in.begin() + pos, in.begin() + pos + lit_len);
     pos += lit_len;
     if (out.size() == raw_size && pos == in.size()) break;  // final token
-    if (pos + 2 > in.size()) {
+    if (in.size() - pos < 2) {
       throw std::runtime_error("blosc_like: truncated offset");
     }
     std::uint32_t offset = in[pos] | (static_cast<std::uint32_t>(in[pos + 1]) << 8);
@@ -154,7 +157,7 @@ std::vector<std::uint8_t> lz4ish_decompress_block(
     if (offset == 0 || offset > out.size()) {
       throw std::runtime_error("blosc_like: bad offset");
     }
-    if (out.size() + match_len > raw_size) {
+    if (match_len > raw_size - out.size()) {
       throw std::runtime_error("blosc_like: output overrun");
     }
     std::size_t src = out.size() - offset;

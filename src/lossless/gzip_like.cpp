@@ -182,7 +182,9 @@ std::vector<std::uint8_t> gzip_like_decompress(
     if (dist > out.size()) {
       throw std::runtime_error("gzip_like: distance beyond output");
     }
-    if (out.size() + len > raw_size) {
+    // Wrap-proof: out.size() <= raw_size is a loop invariant, so the
+    // subtraction cannot underflow (the additive form could wrap on 32-bit).
+    if (len > raw_size - out.size()) {
       throw std::runtime_error("gzip_like: output overrun");
     }
     std::size_t src = out.size() - dist;

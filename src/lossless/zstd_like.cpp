@@ -189,10 +189,14 @@ std::vector<std::uint8_t> zstd_like_decompress(
     std::uint32_t offset =
         bucket_base(bo) + static_cast<std::uint32_t>(br.read_bits(static_cast<int>(bo)));
 
-    if (lit_pos + lit_len > literals.size()) {
+    // Wrap-proof shape: lit_pos <= literals.size() and out.size() <= raw_size
+    // are loop invariants, so the subtractions cannot underflow; summing the
+    // two untrusted u32 lengths (lit_len + match_len) is never done directly.
+    if (lit_len > literals.size() - lit_pos) {
       throw std::runtime_error("zstd_like: literal overrun");
     }
-    if (out.size() + lit_len + match_len > raw_size) {
+    if (lit_len > raw_size - out.size() ||
+        match_len > raw_size - out.size() - lit_len) {
       throw std::runtime_error("zstd_like: output overrun");
     }
     out.insert(out.end(), literals.begin() + lit_pos,

@@ -304,6 +304,11 @@ std::vector<float> decompress_checked(std::span<const std::uint8_t> stream) {
 
   auto kbytes_len = static_cast<std::size_t>(r.get<std::uint64_t>());
   auto kbytes = r.get_bytes(kbytes_len);
+  // Each block kind costs 2 bits of kbytes, so the payload actually present
+  // bounds n_blocks; reject a forged count before the allocation below.
+  if (n_blocks > kbytes.size() * 4) {
+    throw std::runtime_error("sz: corrupt stream (kind bits truncated)");
+  }
   std::vector<std::uint8_t> kinds(n_blocks);
   {
     util::BitReader kb(kbytes);

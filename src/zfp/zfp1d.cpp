@@ -191,6 +191,13 @@ std::vector<float> decompress(std::span<const std::uint8_t> stream) {
   // tolerance scale.
   const int minexp = static_cast<int>(std::floor(std::log2(tolerance)));
 
+  // Every kBlock-float block costs at least its one-bit occupancy flag, so
+  // the bit payload actually present bounds the declared count (to within a
+  // factor of kBlock); reject a forged n before the output allocation.
+  if (n > bits.size() * 8 * kBlock) {
+    throw std::runtime_error("zfp: corrupt header (count exceeds payload)");
+  }
+
   util::BitReader br(bits);
   std::vector<float> out(n);
   const std::size_t n_blocks = (n + kBlock - 1) / kBlock;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "data/weight_synthesis.h"
 #include "util/stats.h"
 
@@ -66,6 +68,21 @@ TEST(DeepCompression, CorruptBlobThrows) {
   auto enc = dc_encode(layer);
   enc.blob[0] ^= 0xff;
   EXPECT_THROW(dc_decode(enc.blob), std::runtime_error);
+}
+
+TEST(DeepCompression, ForgedCountsThrowBeforeAllocation) {
+  auto layer = test_layer();
+  auto enc = dc_encode(layer);
+  // Layout: magic u32, name (u64 length + bytes), rows i64, cols i64,
+  // k u32, n u64. Forge each count far beyond what the payload carries;
+  // decode must reject it instead of allocating count-sized buffers.
+  const std::size_t k_off = 4 + 8 + layer.name.size() + 8 + 8;
+  auto forged = enc.blob;
+  std::memset(forged.data() + k_off, 0xff, 4);  // k = 2^32 - 1 centroids
+  EXPECT_THROW(dc_decode(forged), std::runtime_error);
+  forged = enc.blob;
+  std::memset(forged.data() + k_off + 4, 0xff, 7);  // n ~ 2^56 elements
+  EXPECT_THROW(dc_decode(forged), std::runtime_error);
 }
 
 TEST(DeepCompression, EmptyLayer) {

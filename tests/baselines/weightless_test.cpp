@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "data/weight_synthesis.h"
 #include "util/stats.h"
 
@@ -81,6 +83,24 @@ TEST(Weightless, CorruptBlobThrows) {
   auto enc = weightless_encode(layer);
   enc.blob[0] ^= 0xff;
   EXPECT_THROW(weightless_decode(enc.blob), std::runtime_error);
+}
+
+TEST(Weightless, ForgedHeaderThrowsBeforeAllocation) {
+  auto layer = data::synthesize_pruned_layer("fc", 32, 64, 0.2, 7);
+  auto enc = weightless_encode(layer);
+  // Layout: magic u32, name (u64 length + bytes), rows i64, cols i64,
+  // n_clusters u32. Each forgery must be rejected before the dense or
+  // centroid allocation it would size.
+  const std::size_t rows_off = 4 + 8 + layer.name.size();
+  auto forged = enc.blob;
+  std::memset(forged.data() + rows_off, 0xff, 8);  // rows = -1
+  EXPECT_THROW(weightless_decode(forged), std::runtime_error);
+  forged = enc.blob;
+  std::memset(forged.data() + rows_off, 0xff, 7);  // rows ~ 2^56, huge dense
+  EXPECT_THROW(weightless_decode(forged), std::runtime_error);
+  forged = enc.blob;
+  std::memset(forged.data() + rows_off + 16, 0xff, 4);  // 4G clusters
+  EXPECT_THROW(weightless_decode(forged), std::runtime_error);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/byte_io.h"
 #include "util/rng.h"
 
 namespace deepsz::lossless {
@@ -141,6 +142,25 @@ TEST(Codec, TruncatedFrameThrows) {
   auto frame = compress(CodecId::kZstdLike, data);
   frame.resize(frame.size() / 2);
   EXPECT_ANY_THROW(decompress(frame));
+}
+
+TEST(Codec, BloscHugeDeclaredLiteralLengthThrows) {
+  // An lz4ish block declaring ~255 KB of literals it does not carry. The
+  // decoder must reject it via the wrap-proof `lit_len > remaining` shape;
+  // the old `pos + lit_len > in.size()` comparison could wrap where size_t
+  // is 32 bits and read out of bounds.
+  std::vector<std::uint8_t> block;
+  block.push_back(0xF0);  // literal-length nibble 15: extended bytes follow
+  for (int i = 0; i < 1000; ++i) block.push_back(255);
+  block.push_back(200);  // lit_len = 15 + 255*1000 + 200, no literals present
+
+  std::vector<std::uint8_t> payload;
+  util::put_le<std::uint32_t>(payload, 1);     // typesize (no shuffle)
+  util::put_le<std::uint64_t>(payload, 4096);  // block size
+  util::put_le<std::uint64_t>(payload, 1);     // n_blocks
+  util::put_le<std::uint64_t>(payload, block.size());
+  util::put_bytes(payload, block);
+  EXPECT_THROW(raw::blosc_like_decompress(payload, 4096), std::runtime_error);
 }
 
 TEST(Codec, BloscTypesizeVariants) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -80,6 +81,15 @@ TEST(ZfpEdge, ToleranceSweepOnHardPattern) {
   for (double tol : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
     expect_roundtrip_within(data, tol);
   }
+}
+
+TEST(ZfpEdge, ForgedCountThrowsBeforeAllocation) {
+  std::vector<float> data(64, 1.5f);
+  auto stream = compress(data, 1e-3);
+  // Header: magic u32, then the element count u64 at offset 4. A count the
+  // bit payload cannot carry must be rejected before the output allocation.
+  std::memset(stream.data() + 4, 0xff, 7);  // n ~ 2^56
+  EXPECT_THROW(decompress(stream), std::runtime_error);
 }
 
 }  // namespace
