@@ -126,5 +126,56 @@ TEST(SharedCacheBudget, ConcurrentStoresStayUnderBudget) {
   EXPECT_EQ(budget->used_bytes(), remaining);
 }
 
+TEST(SharedCacheBudget, EightThreadCrossModelEvictionStress) {
+  // Heavier cousin of ConcurrentStoresStayUnderBudget, run under TSan in
+  // CI: eight threads mix get() (which can evict a *different* store via
+  // the shared budget), warmup() and evict_all(), so the budget-mutex ->
+  // victim-store-mutex lock order is exercised from every direction while
+  // charge/uncharge race with the eviction scan.
+  auto probe_budget = std::make_shared<SharedCacheBudget>(64ull << 20);
+  std::size_t all_bytes;
+  {
+    ModelStore probe(small_container(1), with_budget(probe_budget));
+    probe.warmup(false);
+    all_bytes = probe_budget->used_bytes();
+  }
+
+  auto budget = std::make_shared<SharedCacheBudget>(all_bytes * 3 / 2);
+  std::vector<std::unique_ptr<ModelStore>> stores;
+  for (int i = 0; i < 4; ++i) {
+    stores.push_back(std::make_unique<ModelStore>(
+        small_container(100 + static_cast<std::uint64_t>(i) * 10),
+        with_budget(budget)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        auto& store = *stores[static_cast<std::size_t>((t + i) % 4)];
+        switch ((t + i) % 8) {
+          case 6:
+            store.warmup(false);
+            break;
+          case 7:
+            store.evict_all();
+            break;
+          default: {
+            auto l = store.get(i % 2 == 0 ? "fc1" : "fc2");
+            ASSERT_NE(l, nullptr);
+            EXPECT_GT(l->bytes(), 0u);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(budget->used_bytes(), budget->budget_bytes());
+
+  // Quiesced: charged bytes must equal the sum of per-store caches exactly.
+  std::size_t cached = 0;
+  for (const auto& s : stores) cached += s->stats().cached_bytes;
+  EXPECT_EQ(budget->used_bytes(), cached);
+}
+
 }  // namespace
 }  // namespace deepsz::serve

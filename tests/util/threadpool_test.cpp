@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace deepsz::util {
@@ -75,6 +77,82 @@ TEST(ParallelFor, NestedCallsCompleteAndCoverTheRange) {
   for (std::size_t i = 0; i < rows * cols; ++i) {
     ASSERT_EQ(hits[i].load(), 1) << i;
   }
+}
+
+// Edge sizes mirroring the DEEPSZ_THREADS override range (0 = hardware
+// concurrency, 1 = serial fallback, 1024 = the accepted maximum). Named
+// ThreadPoolEdge so the 1024-thread case stays out of the TSan CI job's
+// suite regex — instrumented thread creation at that count is minutes-slow.
+TEST(ThreadPoolEdge, ZeroWorkersMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolEdge, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.size(), 1u);
+  std::vector<int> order;  // one worker: tasks are serial, no lock needed
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPoolEdge, MaxWorkersStartDrainAndJoin) {
+  ThreadPool pool(1024);
+  EXPECT_EQ(pool.size(), 1024u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 2048; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2048);
+}  // destructor must stop and join all 1024 workers
+
+TEST(ThreadPoolEdge, NestedParallelForFromRawPoolTaskRunsInline) {
+  // Not a parallel_for body but a directly submitted task: it occupies a
+  // worker slot, so a nested parallel_for must run inline rather than
+  // submit-and-wait on the pool it is blocking.
+  auto& pool = ThreadPool::global();
+  std::vector<std::atomic<int>> hits(4096);
+  std::atomic<bool> saw_worker_flag{false};
+  pool.submit([&] {
+    saw_worker_flag.store(ThreadPool::in_worker());
+    parallel_for(0, hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(saw_worker_flag.load());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolEdge, CapturedExceptionsRethrowAfterChunkedLoop) {
+  // Pool tasks must not throw, so the supported idiom (used by
+  // core::for_each_layer) captures per-index exceptions and rethrows the
+  // first after the join. Verify an error raised inside a chunk surfaces.
+  const std::size_t n = 1000;
+  std::vector<std::exception_ptr> errors(n);
+  auto run = [&] {
+    parallel_for(0, n, [&](std::size_t i) {
+      try {
+        if (i % 97 == 13) throw std::runtime_error("chunk failure");
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  };
+  EXPECT_THROW(run(), std::runtime_error);
 }
 
 }  // namespace

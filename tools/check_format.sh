@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Checks that every C++ file under src/ tools/ tests/ bench/ is clean under
+# the repo's .clang-format. Exits 0 when clean or when no clang-format
+# binary is available (local hosts without the clang toolchain; CI installs
+# a pinned version and always runs the real check).
+#
+# Usage: tools/check_format.sh [--fix]
+#   --fix  rewrite files in place instead of reporting differences.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$CLANG_FORMAT" ]]; then
+  for candidate in clang-format-18 clang-format; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "check_format: no clang-format found; skipping (CI runs the pinned one)"
+  exit 0
+fi
+
+mode="check"
+if [[ "${1:-}" == "--fix" ]]; then
+  mode="fix"
+fi
+
+mapfile -t files < <(find src tools tests bench \
+  \( -name '*.cpp' -o -name '*.cc' -o -name '*.h' -o -name '*.hpp' \) \
+  -type f | sort)
+
+if [[ "$mode" == "fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} file(s)"
+  exit 0
+fi
+
+bad=()
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+
+if (( ${#bad[@]} )); then
+  echo "check_format: ${#bad[@]} file(s) need formatting:" >&2
+  printf '  %s\n' "${bad[@]}" >&2
+  echo "run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: ${#files[@]} file(s) clean ($("$CLANG_FORMAT" --version))"
