@@ -172,5 +172,57 @@ int main() {
     }
     std::printf("\nv2 cold-miss speedup: %.2fx\n", cold_ms[0] / cold_ms[1]);
   }
+
+  bench::print_title(
+      "Compressed-domain serving: dc container dense vs codebook-CSR",
+      "same \"dc\" container; native keeps layers as codebook ids + "
+      "centroids and runs the codebook-gather kernel");
+  {
+    std::vector<sparse::PrunedLayer> layers;
+    layers.push_back(
+        data::synthesize_pruned_layer("fc6", 512, 1152, 0.09, 21));
+    layers.push_back(data::synthesize_pruned_layer("fc7", 512, 512, 0.09, 22));
+    layers.push_back(data::synthesize_pruned_layer("fc8", 125, 512, 0.25, 23));
+    core::ContainerOptions copts;
+    copts.data_codec = "dc:bits=5,iters=8";
+    copts.index_codec = "huffman";
+    auto dc_model = core::encode_model(layers, {}, copts);
+
+    bench::print_row({"store", "cold ms", "warm p50 ms", "resident",
+                      "codebook-csr"},
+                     13);
+    for (int native = 0; native < 2; ++native) {
+      serve::ModelStoreOptions opts;
+      opts.build_csr = true;
+      opts.native_form = native != 0;
+      serve::ModelStore store(dc_model.bytes, opts);
+      auto net = serve::make_fc_network(store.reader());
+      const auto in_features = store.reader().entry(std::size_t{0}).cols;
+      util::Pcg32 rng(5);
+      std::vector<double> lat;
+      util::WallTimer timer;
+      for (int r = 0; r < kRequests; ++r) {
+        nn::Tensor x({kBatch, in_features});
+        for (std::int64_t i = 0; i < x.numel(); ++i) {
+          x[i] = static_cast<float>(rng.normal(0.0, 1.0));
+        }
+        serve::InferenceSession session(store, net);
+        session.enable_sparse_forward(true);
+        timer.reset();
+        session.infer(x);
+        lat.push_back(timer.millis());
+      }
+      std::vector<double> warm(lat.begin() + 1, lat.end());
+      std::sort(warm.begin(), warm.end());
+      const auto stats = store.stats();
+      bench::print_row(
+          {native ? "native (codebook)" : "dense f32", bench::fmt(lat.front()),
+           bench::fmt(warm[warm.size() / 2]),
+           bench::fmt_bytes(stats.cached_bytes),
+           bench::fmt_bytes(stats.form_resident(
+               serve::ServingForm::kCodebookCsr))},
+          13);
+    }
+  }
   return 0;
 }

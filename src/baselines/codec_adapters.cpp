@@ -60,31 +60,10 @@ class DcCodec : public codec::FloatCodec {
 
   std::vector<float> decode(
       std::span<const std::uint8_t> stream) const override {
-    util::ByteReader r(stream);
-    if (r.get<std::uint32_t>() != kDcMagic) {
-      throw std::runtime_error("dc decode: bad magic");
-    }
-    const auto count = r.get<std::uint64_t>();
-    if (count == 0) return {};
-    // Every symbol costs >= 1 bit, so a plausible count is bounded by the
-    // stream's bit length — reject bombs before sizing any allocation.
-    if (count > kMaxElements || count > 8 * stream.size()) {
-      throw std::runtime_error("dc decode: implausible element count");
-    }
-    const auto k = r.get<std::uint32_t>();
-    if (k == 0 || k > (1u << 16)) {
-      throw std::runtime_error("dc decode: bad codebook size");
-    }
-    std::vector<float> centroids(k);
-    for (auto& c : centroids) c = r.get<float>();
-    const auto len = static_cast<std::size_t>(r.get<std::uint64_t>());
-    // max_alphabet = k also bounds every decoded symbol below k.
-    auto assignments = lossless::huffman_decode_symbols(
-        r.get_bytes(len), static_cast<std::size_t>(count), k);
-
-    std::vector<float> out(static_cast<std::size_t>(count));
+    auto q = dc_decode_quantized(stream);
+    std::vector<float> out(q.ids.size());
     for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = centroids[assignments[i]];
+      out[i] = q.codebook[q.ids[i]];
     }
     return out;
   }
@@ -197,6 +176,32 @@ class BloomierCodec : public codec::FloatCodec {
 };
 
 }  // namespace
+
+DcQuantized dc_decode_quantized(std::span<const std::uint8_t> stream) {
+  util::ByteReader r(stream);
+  if (r.get<std::uint32_t>() != kDcMagic) {
+    throw std::runtime_error("dc decode: bad magic");
+  }
+  const auto count = r.get<std::uint64_t>();
+  if (count == 0) return {};
+  // Every symbol costs >= 1 bit, so a plausible count is bounded by the
+  // stream's bit length — reject bombs before sizing any allocation.
+  if (count > kMaxElements || count > 8 * stream.size()) {
+    throw std::runtime_error("dc decode: implausible element count");
+  }
+  const auto k = r.get<std::uint32_t>();
+  if (k == 0 || k > (1u << 16)) {
+    throw std::runtime_error("dc decode: bad codebook size");
+  }
+  DcQuantized q;
+  q.codebook.resize(k);
+  for (auto& c : q.codebook) c = r.get<float>();
+  const auto len = static_cast<std::size_t>(r.get<std::uint64_t>());
+  // max_alphabet = k also bounds every decoded symbol below k.
+  q.ids = lossless::huffman_decode_symbols(
+      r.get_bytes(len), static_cast<std::size_t>(count), k);
+  return q;
+}
 
 void register_baseline_codecs(codec::CodecRegistry& reg) {
   {

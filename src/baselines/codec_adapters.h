@@ -17,6 +17,10 @@
 // the baselines' are discrete bit widths).
 #pragma once
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 namespace deepsz::codec {
 class CodecRegistry;
 }
@@ -26,5 +30,22 @@ namespace deepsz::baselines {
 /// Registers "dc" and "bloomier" float codecs. Called once by
 /// CodecRegistry::instance(); safe to call on a fresh registry only.
 void register_baseline_codecs(codec::CodecRegistry& reg);
+
+/// A "dc" stream decoded to its quantized representation: the k-means
+/// codebook and one codebook id per stored entry, with the Huffman coding
+/// undone but the codebook NOT applied. This is the compressed-domain
+/// serving form (serve/serving_form.h): a ServedLayer keeps (ids, codebook)
+/// resident at ~1-2 bytes per surviving weight instead of inflating every
+/// id to a 4-byte float.
+struct DcQuantized {
+  std::vector<float> codebook;     // k centroids, 1 <= k <= 65536
+  std::vector<std::uint32_t> ids;  // one per stored entry, each < k
+};
+
+/// Decodes a "dc" stream to (codebook, ids). Applies the same hardening as
+/// the float decode path — magic check, element-count plausibility bound
+/// before any allocation, codebook-size bound, Huffman alphabet capped at
+/// the declared codebook size — and throws std::runtime_error on violation.
+DcQuantized dc_decode_quantized(std::span<const std::uint8_t> stream);
 
 }  // namespace deepsz::baselines

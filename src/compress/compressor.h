@@ -37,6 +37,7 @@
 #include "core/model_codec.h"
 #include "core/optimizer.h"
 #include "core/pruner.h"
+#include "serve/serving_form.h"
 
 namespace deepsz::compress {
 
@@ -73,6 +74,12 @@ struct CompressorInfo {
   bool error_bounded = false;  // runs Assess/Optimize (continuous eb knob)
   std::string summary;         // one-line description
   std::string options_help;    // accepted spec keys, "" when none
+  /// The serving form this strategy's containers occupy in a native-form
+  /// ModelStore (serve/serving_form.h): deep-compression stays resident as
+  /// kCodebookCsr (~4-5 bits/weight); pruning-based strategies decode to
+  /// dense + CSR (kSparseCsr under build_csr); weightless reconstructs a
+  /// mostly-dense matrix, so it serves as kDenseF32.
+  serve::ServingForm native_form = serve::ServingForm::kDenseF32;
 };
 
 /// Strategy-independent session configuration. Spec-level options (e.g.

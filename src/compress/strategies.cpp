@@ -180,6 +180,7 @@ class DeepCompressionStrategy : public ModelCompressor {
   CompressorInfo info() const override {
     CompressorInfo info;
     info.name = "deep-compression";
+    info.native_form = serve::ServingForm::kCodebookCsr;
     info.summary =
         "Han et al. ICLR'16: k-means codebook + Huffman-coded indices and "
         "position deltas";
@@ -261,6 +262,7 @@ class StoreStrategy : public ModelCompressor {
   CompressorInfo info() const override {
     CompressorInfo info;
     info.name = "store";
+    info.native_form = serve::ServingForm::kSparseCsr;
     info.summary =
         "pruning only: verbatim fp32 data + raw index streams (reference "
         "point)";
@@ -282,6 +284,7 @@ void register_builtin_compressors(CompressorRegistry& reg) {
     CompressorInfo info;
     info.name = "deepsz";
     info.error_bounded = true;
+    info.native_form = serve::ServingForm::kSparseCsr;
     info.summary =
         "the paper: SZ error-bounded data streams, Algorithm 1 assessment + "
         "Algorithm 2 optimization";
@@ -295,6 +298,7 @@ void register_builtin_compressors(CompressorRegistry& reg) {
     CompressorInfo info;
     info.name = "zfp";
     info.error_bounded = true;
+    info.native_form = serve::ServingForm::kSparseCsr;
     info.summary =
         "DeepSZ pipeline over ZFP transform-codec data streams (Figure 2 "
         "alternative)";

@@ -512,6 +512,36 @@ sparse::PrunedLayer ContainerReader::decode_layer(const std::string& name,
   return decode_layer(index_of(name), timing);
 }
 
+std::vector<std::uint8_t> ContainerReader::decode_index_stream(
+    std::size_t i, double* lossless_ms) const {
+  const auto& e = entries_.at(i);
+  const auto index_stream =
+      bytes_.subspan(static_cast<std::size_t>(e.index.offset),
+                     static_cast<std::size_t>(e.index.length));
+  if (util::crc32(index_stream) != e.index.crc) {
+    throw std::runtime_error("ContainerReader: checksum mismatch in " +
+                             e.name);
+  }
+  util::WallTimer timer;
+  auto deltas = byte_codec(e.index.codec.empty() ? "store" : e.index.codec)
+                    ->decode(index_stream);
+  if (lossless_ms) *lossless_ms = timer.millis();
+  return deltas;
+}
+
+std::span<const std::uint8_t> ContainerReader::checked_data_stream(
+    std::size_t i) const {
+  const auto& e = entries_.at(i);
+  const auto data_stream =
+      bytes_.subspan(static_cast<std::size_t>(e.data.offset),
+                     static_cast<std::size_t>(e.data.length));
+  if (util::crc32(data_stream) != e.data.crc) {
+    throw std::runtime_error("ContainerReader: checksum mismatch in " +
+                             e.name);
+  }
+  return data_stream;
+}
+
 std::vector<float> ContainerReader::decode_bias(std::size_t i) const {
   const auto& e = entries_.at(i);
   std::vector<float> bias(static_cast<std::size_t>(e.bias_count));

@@ -222,6 +222,21 @@ class ContainerReader {
   sparse::PrunedLayer decode_layer(const std::string& name,
                                    DecodeTiming* timing = nullptr) const;
 
+  // Compressed-domain access: a consumer that can serve a layer without
+  // inflating its data stream to f32 (serve/model_store.h's codebook path)
+  // still needs the lossless index deltas and the raw — but CRC-verified —
+  // data-stream payload. Both throw std::runtime_error on a checksum
+  // mismatch, exactly like decode_layer.
+
+  /// Decodes layer i's lossless index stream (position deltas) only.
+  /// `lossless_ms`, when given, receives the codec time.
+  std::vector<std::uint8_t> decode_index_stream(
+      std::size_t i, double* lossless_ms = nullptr) const;
+
+  /// CRC-checks layer i's data stream and returns its payload bytes,
+  /// undecoded. The span views the container bytes.
+  std::span<const std::uint8_t> checked_data_stream(std::size_t i) const;
+
   /// Copies the layer's stored bias out of the container ({} when absent).
   std::vector<float> decode_bias(std::size_t i) const;
   std::vector<float> decode_bias(const std::string& name) const;

@@ -62,7 +62,11 @@ void InferenceSession::install_layer(std::size_t i, nn::Dense* dense) {
   util::WallTimer wait;
   auto served = store_.get(dense->name());
   stats_.decode_wait_ms += wait.millis();
-  dense->bind_weights(served->dense, served->bias);
+  // A codebook-form layer has no dense matrix to bind; it is pinned only,
+  // and every forward through it must take the sparse kernel path.
+  if (served->form != ServingForm::kCodebookCsr) {
+    dense->bind_weights(served->dense, served->bias);
+  }
   pinned_[i] = std::move(served);
   ++stats_.layer_installs;
 }
@@ -70,21 +74,30 @@ void InferenceSession::install_layer(std::size_t i, nn::Dense* dense) {
 nn::Tensor InferenceSession::infer(const nn::Tensor& batch) {
   const auto& layers = net_.layers();
 
-  if (sparse_enabled_ && !fc_chain_.empty() &&
-      sparse_forward_profitable(batch.dim(0))) {
+  const bool want_sparse = sparse_enabled_ && !fc_chain_.empty() &&
+                           sparse_forward_profitable(batch.dim(0));
+  // A native-form store may serve codebook layers, which only the kernel
+  // path can run — their presence forces it at every batch size, so the
+  // chain must be installed (forms discovered) even when the sparse path
+  // would not otherwise be profitable.
+  if (!fc_chain_.empty() &&
+      (want_sparse || store_.options().native_form)) {
     std::vector<std::shared_ptr<const ServedLayer>> chain;
     chain.reserve(fc_chain_.size());
     bool csr_ok = true;
+    bool any_codebook = false;
     for (std::size_t i : fc_chain_) {
       if (!pinned_[i]) {
         install_layer(i, static_cast<nn::Dense*>(layers[i].get()));
       }
       csr_ok = csr_ok && pinned_[i]->has_csr();
+      any_codebook =
+          any_codebook || pinned_[i]->form == ServingForm::kCodebookCsr;
       chain.push_back(pinned_[i]);
     }
     // A store built without build_csr serves dense-only layers; fall through
     // to the generic walk (the layers are installed and bound either way).
-    if (csr_ok) {
+    if (csr_ok && (want_sparse || any_codebook)) {
       util::WallTimer compute;
       nn::Tensor y = sparse_fc_forward(chain, batch);
       stats_.compute_ms += compute.millis();
@@ -101,6 +114,15 @@ nn::Tensor InferenceSession::infer(const nn::Tensor& batch) {
     if (dense != nullptr && !pinned_[i] &&
         store_.reader().contains(dense->name())) {
       install_layer(i, dense);
+    }
+    if (dense != nullptr && pinned_[i] &&
+        pinned_[i]->form == ServingForm::kCodebookCsr) {
+      // No dense weights exist to bind; only the Dense/ReLU-chain kernel
+      // path can serve this form.
+      throw std::runtime_error(
+          "InferenceSession: layer \"" + dense->name() +
+          "\" is served in codebook form, which the generic layer walk "
+          "cannot run; the network must be a pure Dense/ReLU chain");
     }
     util::WallTimer compute;
     x = layer->forward(x, /*train=*/false);

@@ -62,6 +62,11 @@ class InferenceSession {
   /// sessions that never opted in take the generic bound-weights walk. The
   /// two paths agree to fp tolerance, not bit-exactly (different summation
   /// order).
+  ///
+  /// Layers a native-form store serves as ServingForm::kCodebookCsr have no
+  /// dense matrix at all, so they force the kernel path at every batch size
+  /// (opt-in not required); reaching one from the generic walk — a network
+  /// that is not a pure Dense/ReLU chain — throws std::runtime_error.
   nn::Tensor infer(const nn::Tensor& batch);
 
   /// Drops this session's weight bindings (and cache pins); the next

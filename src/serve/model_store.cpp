@@ -1,7 +1,9 @@
 #include "serve/model_store.h"
 
 #include <exception>
+#include <stdexcept>
 
+#include "baselines/codec_adapters.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
 
@@ -107,6 +109,11 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
 
 std::shared_ptr<const ServedLayer> ModelStore::decode_now(
     std::size_t entry_index) {
+  if (options_.native_form &&
+      native_form_for_codec_spec(reader_.entry(entry_index).data.codec) ==
+          ServingForm::kCodebookCsr) {
+    return decode_codebook_now(entry_index);
+  }
   auto served = std::make_shared<ServedLayer>();
   core::DecodeTiming timing;
   auto sparse_layer = reader_.decode_layer(entry_index, &timing);
@@ -135,19 +142,99 @@ std::shared_ptr<const ServedLayer> ModelStore::decode_now(
     }
   }
   timing.reconstruct_ms = timer.millis();
+  served->form = served->has_csr() ? ServingForm::kSparseCsr
+                                   : ServingForm::kDenseF32;
   served->timing = timing;
   if (options_.keep_sparse) served->sparse = std::move(sparse_layer);
+  return served;
+}
+
+std::shared_ptr<const ServedLayer> ModelStore::decode_codebook_now(
+    std::size_t entry_index) {
+  const core::ContainerEntry& e = reader_.entry(entry_index);
+  auto served = std::make_shared<ServedLayer>();
+  core::DecodeTiming timing;
+
+  // The index stream decodes to the paper's position deltas; the data stream
+  // is a "dc" payload whose Huffman coding we undo ONCE here — the codebook
+  // is never applied, so the layer stays at id width instead of f32.
+  auto deltas = reader_.decode_index_stream(entry_index, &timing.lossless_ms);
+  util::WallTimer eb_timer;
+  auto q =
+      baselines::dc_decode_quantized(reader_.checked_data_stream(entry_index));
+  timing.sz_ms = eb_timer.millis();
+  if (q.ids.size() != deltas.size()) {
+    throw std::runtime_error(
+        "ModelStore: dc data/index entry count mismatch in " + e.name);
+  }
+
+  util::WallTimer timer;
+  served->form = ServingForm::kCodebookCsr;
+  served->name = e.name;
+  served->rows = e.rows;
+  served->cols = e.cols;
+  served->codebook = std::move(q.codebook);
+  served->bias = reader_.decode_bias(entry_index);
+  // A codebook layer is bound straight into the forward kernel with no dense
+  // fallback, so a bias of the wrong length is unservable — hard error here
+  // (the dense path tolerates it because callers can rebind).
+  if (!served->bias.empty() &&
+      served->bias.size() != static_cast<std::size_t>(e.rows)) {
+    throw std::runtime_error("ModelStore: bias length " +
+                             std::to_string(served->bias.size()) +
+                             " != rows " + std::to_string(e.rows) +
+                             " for codebook layer " + e.name);
+  }
+
+  // Walk the deltas exactly like PrunedLayer::to_dense, keeping an entry iff
+  // its centroid is nonzero — the same set the dense->CSR scan keeps, so the
+  // codebook form is bit-identical in content to the kSparseCsr view of the
+  // same layer. from_dense emits deltas >= 1, so positions are strictly
+  // increasing and a delta of 0 can only come from corruption.
+  const std::uint64_t total = static_cast<std::uint64_t>(e.rows) *
+                              static_cast<std::uint64_t>(e.cols);
+  const std::uint64_t cols = static_cast<std::uint64_t>(e.cols);
+  const bool narrow = served->codebook.size() <= 256;
+  served->csr_rowptr.assign(static_cast<std::size_t>(e.rows) + 1, 0);
+  std::int64_t pos = -1;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i] == 0) {
+      throw std::runtime_error("ModelStore: zero position delta in " + e.name);
+    }
+    pos += deltas[i];
+    if (static_cast<std::uint64_t>(pos) >= total) {
+      throw std::runtime_error("ModelStore: index overruns matrix in " +
+                               e.name);
+    }
+    const std::uint32_t id = q.ids[i];
+    if (served->codebook[id] == 0.0f) continue;  // filler or zero centroid
+    const auto p = static_cast<std::uint64_t>(pos);
+    served->csr_col.push_back(static_cast<std::uint32_t>(p % cols));
+    if (narrow) {
+      served->csr_id8.push_back(static_cast<std::uint8_t>(id));
+    } else {
+      served->csr_id16.push_back(static_cast<std::uint16_t>(id));
+    }
+    ++served->csr_rowptr[static_cast<std::size_t>(p / cols) + 1];
+  }
+  for (std::size_t r = 1; r < served->csr_rowptr.size(); ++r) {
+    served->csr_rowptr[r] += served->csr_rowptr[r - 1];
+  }
+  timing.reconstruct_ms = timer.millis();
+  served->timing = timing;
   return served;
 }
 
 void ModelStore::insert_and_evict_locked(
     const std::string& name, std::shared_ptr<const ServedLayer> layer) {
   const std::size_t layer_bytes = layer->bytes();
+  const auto form_ix = static_cast<std::size_t>(layer->form);
   lru_.push_front(name);
   const std::uint64_t stamp =
       options_.shared_budget ? options_.shared_budget->next_stamp() : 0;
   cache_[name] = CacheEntry{std::move(layer), lru_.begin(), stamp};
   stats_.cached_bytes += layer_bytes;
+  stats_.form_bytes[form_ix] += layer_bytes;
   stats_.cached_layers = cache_.size();
   if (options_.shared_budget) options_.shared_budget->charge(layer_bytes);
 
@@ -166,6 +253,7 @@ std::size_t ModelStore::evict_tail_locked() {
   auto it = cache_.find(victim);
   const std::size_t bytes = it->second.layer->bytes();
   stats_.cached_bytes -= bytes;
+  stats_.form_bytes[static_cast<std::size_t>(it->second.layer->form)] -= bytes;
   cache_.erase(it);
   lru_.pop_back();
   ++stats_.evictions;
@@ -223,6 +311,7 @@ void ModelStore::evict_all() {
   lru_.clear();
   stats_.cached_bytes = 0;
   stats_.cached_layers = 0;
+  stats_.form_bytes = {};
 }
 
 CacheStats ModelStore::stats() const {
@@ -234,9 +323,11 @@ void ModelStore::reset_stats() {
   util::MutexLock lock(mu_);
   const std::size_t bytes = stats_.cached_bytes;
   const std::size_t layers = stats_.cached_layers;
+  const auto form_bytes = stats_.form_bytes;
   stats_ = CacheStats{};
   stats_.cached_bytes = bytes;
   stats_.cached_layers = layers;
+  stats_.form_bytes = form_bytes;
 }
 
 }  // namespace deepsz::serve

@@ -17,6 +17,7 @@
 //     inference thread is still reading.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -27,6 +28,7 @@
 
 #include "core/model_codec.h"
 #include "serve/cache_budget.h"
+#include "serve/serving_form.h"
 #include "util/mutex.h"
 
 namespace deepsz::serve {
@@ -43,6 +45,15 @@ struct ModelStoreOptions {
   /// per surviving weight of cache footprint — and turned on by the serving
   /// daemon's ModelRepository, whose scheduler runs the sparse batched path.
   bool build_csr = false;
+  /// Decode each layer into its data-codec's native serving form
+  /// (serve/serving_form.h) instead of always inflating to dense f32. With
+  /// this on, a "dc"-coded layer becomes a kCodebookCsr entry — CSR
+  /// structure over u8/u16 codebook ids plus the f32 codebook, ~4-5
+  /// bits/weight resident instead of 32 — and codecs without a compressed-
+  /// domain form decode exactly as before. Off by default (the generic
+  /// layer-walk can only bind dense layers); turned on by ModelRepository,
+  /// whose forward paths dispatch on ServedLayer::form.
+  bool native_form = false;
   /// Optional process-wide budget shared with other stores (one per serving
   /// daemon; see serve/cache_budget.h). The per-store budget above still
   /// applies; the shared budget adds cross-model LRU pressure on top. The
@@ -52,36 +63,56 @@ struct ModelStoreOptions {
 };
 
 /// One decoded, inference-ready fc-layer. Immutable after publication;
-/// handed out as shared_ptr<const> so readers outlive eviction.
+/// handed out as shared_ptr<const> so readers outlive eviction. `form` tags
+/// which of the three serving forms (serve/serving_form.h) the layer holds:
 ///
-/// Alongside the dense matrix, the layer carries a CSR view of the pruned
-/// weights (~85% of entries are exact zeros after DeepSZ pruning), which
-/// serve::sparse_fc_forward uses to run batched requests touching only the
-/// surviving weights — the decoded representation IS the sparse model, so
-/// serving it sparsely is free at decode time.
+///   kDenseF32    — `dense` populated; CSR arrays empty.
+///   kSparseCsr   — `dense` plus a CSR view (csr_rowptr/csr_col/csr_val) of
+///                  the pruned weights (~85% exact zeros after DeepSZ
+///                  pruning), which serve::sparse_fc_forward uses to run
+///                  batched requests touching only the surviving weights.
+///   kCodebookCsr — compressed-domain: the same CSR structure, but the
+///                  per-nonzero payload is a codebook id (csr_id8 when the
+///                  codebook has <= 256 entries, csr_id16 otherwise) and
+///                  `codebook` holds the k f32 centroids. `dense` and
+///                  csr_val stay empty — nothing is ever inflated to 32
+///                  bits/weight.
 struct ServedLayer {
+  ServingForm form = ServingForm::kDenseF32;
   std::string name;
   std::int64_t rows = 0;
   std::int64_t cols = 0;
-  std::vector<float> dense;  // row-major [rows x cols]
+  std::vector<float> dense;  // row-major [rows x cols]; empty for codebook
   std::vector<float> bias;   // empty when the container stores none
-  // CSR over the dense matrix (populated iff ModelStoreOptions::build_csr):
-  // row j's nonzeros are csr_col/csr_val in [csr_rowptr[j], csr_rowptr[j+1]).
+  // CSR structure (both CSR forms): row j's nonzeros occupy positions
+  // [csr_rowptr[j], csr_rowptr[j+1]) of csr_col and of the payload array —
+  // csr_val for kSparseCsr, csr_id8/csr_id16 for kCodebookCsr.
   std::vector<std::uint32_t> csr_rowptr;  // rows + 1
   std::vector<std::uint32_t> csr_col;
   std::vector<float> csr_val;
+  // Codebook form payload: exactly one of csr_id8/csr_id16 is populated,
+  // chosen by codebook size so ids cost 1 byte at <= 8 quantization bits.
+  std::vector<float> codebook;
+  std::vector<std::uint8_t> csr_id8;
+  std::vector<std::uint16_t> csr_id16;
 
   bool has_csr() const {
     return csr_rowptr.size() == static_cast<std::size_t>(rows) + 1;
   }
+  /// The nonzero weight at CSR position nz, whichever payload encodes it.
+  float csr_weight(std::size_t nz) const {
+    if (form == ServingForm::kCodebookCsr) {
+      return codebook[csr_id8.empty() ? csr_id16[nz] : csr_id8[nz]];
+    }
+    return csr_val[nz];
+  }
   sparse::PrunedLayer sparse;       // populated iff keep_sparse
   core::DecodeTiming timing;        // codec cost paid to produce this entry
 
-  std::size_t nnz() const { return csr_val.size(); }
+  std::size_t nnz() const { return csr_col.size(); }
   double density() const {
-    return dense.empty() ? 0.0
-                         : static_cast<double>(nnz()) /
-                               static_cast<double>(dense.size());
+    const auto total = static_cast<double>(rows) * static_cast<double>(cols);
+    return total > 0.0 ? static_cast<double>(nnz()) / total : 0.0;
   }
 
   std::size_t bytes() const {
@@ -89,6 +120,8 @@ struct ServedLayer {
            csr_rowptr.size() * sizeof(std::uint32_t) +
            csr_col.size() * sizeof(std::uint32_t) +
            csr_val.size() * sizeof(float) +
+           codebook.size() * sizeof(float) + csr_id8.size() +
+           csr_id16.size() * sizeof(std::uint16_t) +
            sparse.data.size() * sizeof(float) + sparse.index.size() +
            name.size();
   }
@@ -106,6 +139,10 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::size_t cached_bytes = 0;
   std::size_t cached_layers = 0;
+  // cached_bytes split by ServedLayer::form, indexed by ServingForm — shows
+  // how much of the residency is compressed-domain (kCodebookCsr) versus
+  // inflated f32. Sums to cached_bytes.
+  std::array<std::size_t, kNumServingForms> form_bytes = {};
   double decode_ms = 0.0;
   // Phase breakdown of decode_ms (wall time per miss, summed): the lossless
   // index decode, the error-bounded (block-parallel) data decode, and the
@@ -114,6 +151,9 @@ struct CacheStats {
   double eb_decode_ms = 0.0;
   double reconstruct_ms = 0.0;
 
+  std::size_t form_resident(ServingForm f) const {
+    return form_bytes[static_cast<std::size_t>(f)];
+  }
   std::uint64_t lookups() const { return hits + misses + coalesced; }
   /// Fraction of lookups served without this caller running a codec.
   double hit_rate() const {
@@ -173,6 +213,8 @@ class ModelStore {
 
   std::shared_ptr<const ServedLayer> decode_now(std::size_t entry_index)
       DEEPSZ_EXCLUDES(mu_);
+  std::shared_ptr<const ServedLayer> decode_codebook_now(
+      std::size_t entry_index) DEEPSZ_EXCLUDES(mu_);
   void insert_and_evict_locked(const std::string& name,
                                std::shared_ptr<const ServedLayer> layer)
       DEEPSZ_REQUIRES(mu_);

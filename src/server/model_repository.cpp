@@ -32,6 +32,9 @@ std::shared_ptr<ServedModel> ModelRepository::build(
   opts.cache_budget_bytes = static_cast<std::size_t>(-1);
   // The scheduler's worker sessions run the sparse batched forward.
   opts.build_csr = true;
+  // Serve each layer in its data-codec's native form: "dc" containers stay
+  // resident as codebook-CSR (~4-5 bits/weight) instead of inflating to f32.
+  opts.native_form = true;
   model->store =
       std::make_shared<serve::ModelStore>(std::move(container), opts);
 

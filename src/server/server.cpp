@@ -154,7 +154,13 @@ void append_cache_json(std::ostringstream& os, const serve::CacheStats& s) {
      << ",\"coalesced\":" << s.coalesced << ",\"evictions\":" << s.evictions
      << ",\"resident_bytes\":" << s.cached_bytes
      << ",\"resident_layers\":" << s.cached_layers
-     << ",\"decode_ms\":" << s.decode_ms << "}";
+     << ",\"resident_bytes_by_form\":{";
+  for (int f = 0; f < serve::kNumServingForms; ++f) {
+    if (f) os << ",";
+    os << "\"" << serve::serving_form_name(static_cast<serve::ServingForm>(f))
+       << "\":" << s.form_bytes[static_cast<std::size_t>(f)];
+  }
+  os << "},\"decode_ms\":" << s.decode_ms << "}";
 }
 
 void append_model_json(std::ostringstream& os, const ServedModel& m) {
@@ -391,6 +397,11 @@ std::string Server::metrics_text() const {
     model_counter("cache_evictions", cs.evictions);
     model_counter("cache_resident_bytes", cs.cached_bytes);
     model_counter("cache_resident_layers", cs.cached_layers);
+    for (int f = 0; f < serve::kNumServingForms; ++f) {
+      os << "deepsz_model_cache_resident_bytes_form{" << label << ",form=\""
+         << serve::serving_form_name(static_cast<serve::ServingForm>(f))
+         << "\"} " << cs.form_bytes[static_cast<std::size_t>(f)] << "\n";
+    }
     model_counter("queue_depth", scheduler_.queue_depth(model->name));
     os << "deepsz_model_cache_hit_rate{" << label << "} " << cs.hit_rate()
        << "\n";

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/accuracy.h"
+#include "data/weight_synthesis.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "util/rng.h"
@@ -211,6 +212,65 @@ TEST(Pipeline, RepeatedLoadsAreIdempotentWithPerCallTiming) {
   load_compressed_model(partial.bytes, f.net);
   EXPECT_FALSE(fc3->has_bound_weights());
   EXPECT_EQ(snapshot(f.net), after_first);
+}
+
+TEST(Pipeline, BiasSizeMismatchWarnsForDenseButThrowsForCodebook) {
+  // A wrong-length bias is recoverable on the dense path (the layer keeps
+  // its own bias; the operator gets a warning) but unservable on the
+  // compressed-domain path — a codebook layer's bias feeds straight into
+  // the forward kernel with no fallback — so a "dc" container must refuse
+  // to load instead of failing later at serving time.
+  auto make_net = [] {
+    nn::Network net("bias-check");
+    net.add<nn::Dense>(16, 8)->set_name("fc1");
+    net.add<nn::ReLU>();
+    net.add<nn::Dense>(8, 4)->set_name("fc2");
+    nn::he_initialize(net, 17);
+    return net;
+  };
+  std::vector<sparse::PrunedLayer> layers;
+  layers.push_back(data::synthesize_pruned_layer("fc1", 8, 16, 0.4, 61));
+  layers.push_back(data::synthesize_pruned_layer("fc2", 4, 8, 0.5, 62));
+  std::map<std::string, std::vector<float>> bad_biases = {
+      {"fc1", std::vector<float>(7, 0.5f)}};  // fc1 has 8 rows, not 7
+
+  auto bias_of = [](nn::Network& net, const char* name) {
+    auto s = net.find_dense(name)->bias().flat();
+    return std::vector<float>(s.begin(), s.end());
+  };
+
+  // Dense-form container: loads, warns, keeps fc1's own bias.
+  {
+    auto model = encode_model(layers, {}, ContainerOptions{}, bad_biases);
+    auto net = make_net();
+    const auto before = bias_of(net, "fc1");
+    load_compressed_model(model.bytes, net);
+    EXPECT_EQ(bias_of(net, "fc1"), before);
+  }
+
+  // Codebook-form ("dc") container: the same mismatch is a hard error.
+  {
+    ContainerOptions copts;
+    copts.data_codec = "dc:bits=4,iters=8";
+    copts.index_codec = "huffman";
+    auto model = encode_model(layers, {}, copts, bad_biases);
+    auto net = make_net();
+    try {
+      load_compressed_model(model.bytes, net);
+      FAIL() << "wrong-length bias on a codebook container accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("bias for codebook layer"),
+                std::string::npos)
+          << e.what();
+    }
+    // A correctly sized bias through the same codec loads fine.
+    std::map<std::string, std::vector<float>> good = {
+        {"fc1", std::vector<float>(8, 0.5f)}};
+    auto ok_model = encode_model(layers, {}, copts, good);
+    auto net2 = make_net();
+    load_compressed_model(ok_model.bytes, net2);
+    EXPECT_EQ(bias_of(net2, "fc1"), std::vector<float>(8, 0.5f));
+  }
 }
 
 TEST(Oracles, CachedHeadMatchesFullPass) {

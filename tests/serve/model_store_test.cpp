@@ -258,6 +258,127 @@ TEST(ModelStore, CorruptLayerFailsEveryWaiterAndCachesNothing) {
   EXPECT_NE(store.get("fc7"), nullptr);
 }
 
+std::vector<std::uint8_t> encode_dc(
+    const std::vector<sparse::PrunedLayer>& ls) {
+  core::ContainerOptions copts;
+  copts.data_codec = "dc:bits=4,iters=8";
+  copts.index_codec = "huffman";
+  return core::encode_model(ls, {}, copts).bytes;
+}
+
+TEST(ModelStore, NativeFormServesDcLayersAsCodebookCsr) {
+  auto layers = some_layers(2);
+  ModelStoreOptions opts;
+  opts.native_form = true;
+  ModelStore store(encode_dc(layers), opts);
+  auto served = store.get("fc6");
+  ASSERT_EQ(served->form, ServingForm::kCodebookCsr);
+  EXPECT_TRUE(served->dense.empty());
+  EXPECT_TRUE(served->csr_val.empty());
+  EXPECT_TRUE(served->has_csr());
+  EXPECT_EQ(served->codebook.size(), 16u);  // dc:bits=4
+  EXPECT_EQ(served->csr_id8.size(), served->nnz());
+  // Compressed-domain residency: far below the 4*rows*cols bytes a dense
+  // f32 decode of the same layer would pin (64x128 -> 32 KB dense).
+  EXPECT_LT(served->bytes(), 4u * 64 * 128 / 4);
+
+  // Without the opt-in, the same container inflates to dense f32.
+  ModelStore plain(encode_dc(layers));
+  auto dense = plain.get("fc6");
+  EXPECT_EQ(dense->form, ServingForm::kDenseF32);
+  EXPECT_EQ(dense->dense.size(), 64u * 128u);
+  EXPECT_TRUE(dense->codebook.empty());
+}
+
+TEST(ModelStore, FormBytesPartitionCachedBytes) {
+  auto layers = some_layers(3);
+  ModelStoreOptions opts;
+  opts.native_form = true;
+  opts.build_csr = true;
+  ModelStore store(encode_dc(layers), opts);
+  store.warmup();
+  auto stats = store.stats();
+  // All three layers are "dc"-coded: everything resident sits in the
+  // codebook-CSR bucket and the buckets always sum to cached_bytes.
+  EXPECT_EQ(stats.form_resident(ServingForm::kCodebookCsr),
+            stats.cached_bytes);
+  EXPECT_EQ(stats.form_resident(ServingForm::kDenseF32), 0u);
+  EXPECT_EQ(stats.form_resident(ServingForm::kSparseCsr), 0u);
+
+  // A dense-decoding store over the same bytes fills the f32 bucket only.
+  ModelStore plain(encode_dc(layers));
+  plain.warmup();
+  auto pstats = plain.stats();
+  EXPECT_EQ(pstats.form_resident(ServingForm::kDenseF32),
+            pstats.cached_bytes);
+  EXPECT_EQ(pstats.form_resident(ServingForm::kCodebookCsr), 0u);
+
+  // A CSR-building store (no native form) fills the sparse-CSR bucket.
+  ModelStoreOptions csr_opts;
+  csr_opts.build_csr = true;
+  ModelStore csr_store(encode_dc(layers), csr_opts);
+  csr_store.warmup();
+  auto cstats = csr_store.stats();
+  EXPECT_EQ(cstats.form_resident(ServingForm::kSparseCsr),
+            cstats.cached_bytes);
+}
+
+TEST(ModelStore, FormBytesTrackEvictionAndReset) {
+  auto layers = some_layers(3);
+  std::size_t per_layer = 0;
+  {
+    ModelStoreOptions probe_opts;
+    probe_opts.native_form = true;
+    ModelStore probe(encode_dc(layers), probe_opts);
+    per_layer = probe.get("fc6")->bytes();
+  }
+  ModelStoreOptions opts;
+  opts.native_form = true;
+  opts.cache_budget_bytes = 2 * per_layer + per_layer / 2;
+  ModelStore store(encode_dc(layers), opts);
+  store.get("fc6");
+  store.get("fc7");
+  store.get("fc8");  // evicts fc6
+  auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.form_resident(ServingForm::kCodebookCsr),
+            stats.cached_bytes);
+
+  // reset_stats zeroes counters but keeps the residency accounting.
+  store.reset_stats();
+  stats = store.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.form_resident(ServingForm::kCodebookCsr),
+            stats.cached_bytes);
+  EXPECT_GT(stats.cached_bytes, 0u);
+
+  // evict_all empties every bucket.
+  store.evict_all();
+  stats = store.stats();
+  EXPECT_EQ(stats.cached_bytes, 0u);
+  for (std::size_t f = 0; f < kNumServingForms; ++f) {
+    EXPECT_EQ(stats.form_bytes[f], 0u) << "form " << f;
+  }
+}
+
+TEST(ModelStore, NativeFormLeavesNonCodebookCodecsDense) {
+  // native_form only changes how codecs WITH a compressed-domain form are
+  // served; an "sz" container through the same store decodes to dense f32
+  // (or sparse-CSR with build_csr) exactly as before.
+  auto layers = some_layers(1);
+  ModelStoreOptions opts;
+  opts.native_form = true;
+  auto bytes = encode(layers);
+  ModelStore store(bytes, opts);
+  auto served = store.get("fc6");
+  EXPECT_EQ(served->form, ServingForm::kDenseF32);
+  EXPECT_EQ(served->dense, decoded_dense(bytes, 0));
+  EXPECT_TRUE(served->codebook.empty());
+  auto stats = store.stats();
+  EXPECT_EQ(stats.form_resident(ServingForm::kDenseF32), stats.cached_bytes);
+  EXPECT_EQ(stats.form_resident(ServingForm::kCodebookCsr), 0u);
+}
+
 TEST(ModelStore, KeepSparseRetainsTwoArrayForm) {
   auto layers = some_layers(1);
   ModelStoreOptions opts;

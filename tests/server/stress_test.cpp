@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -88,6 +89,84 @@ TEST(ServerStress, EightThreadsVsHotSwapReload) {
   const auto snap = metrics.snapshot();
   EXPECT_EQ(snap.ok, ok);
   EXPECT_LE(repo.budget()->used_bytes(), repo.budget()->budget_bytes());
+}
+
+TEST(ServerStress, CodebookModelVsHotSwapReload) {
+  // The compressed-domain variant of the hot-swap race: a "dc" container is
+  // served as codebook-CSR (the repository's stores run native_form), so
+  // every batch runs the codebook-gather kernel while the swapper replaces
+  // the model underneath. Shapes and statuses must stay sane and every
+  // logit finite — a stale codebook or id array would show up as garbage.
+  ModelRepository repo(1 << 20);
+  repo.load("dc", testing::tiny_dc_container(1));
+  SchedulerOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 200;
+  opts.queue_capacity = 1024;
+  opts.workers_per_model = 2;
+  ServerMetrics metrics;
+  RequestScheduler sched(repo, opts, &metrics);
+
+  constexpr int kThreads = 6;
+  constexpr int kRequestsPerThread = 120;
+  std::atomic<std::uint64_t> ok{0}, not_found{0}, other_status{0};
+  std::atomic<std::uint64_t> bad_payload{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        InferRequest req;
+        req.rows = 1 + (i % 3);
+        req.input.assign(static_cast<std::size_t>(req.rows) * 32,
+                         0.01f * static_cast<float>(t + i));
+        auto r = sched.infer("dc", std::move(req));
+        if (r.status == InferStatus::kOk) {
+          ok.fetch_add(1);
+          bool sane = r.cols == 16 &&
+                      r.output.size() ==
+                          static_cast<std::size_t>(r.rows) * 16;
+          for (float v : r.output) {
+            if (!std::isfinite(v)) sane = false;
+          }
+          if (!sane) bad_payload.fetch_add(1);
+        } else if (r.status == InferStatus::kNotFound) {
+          not_found.fetch_add(1);  // raced an unload window; legal
+        } else {
+          other_status.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    for (int round = 0; round < 16; ++round) {
+      repo.load("dc",
+                testing::tiny_dc_container(
+                    static_cast<std::uint64_t>(round + 10)));
+      if (round == 8) {
+        repo.unload("dc");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        repo.load("dc", testing::tiny_dc_container(77));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (auto& c : clients) c.join();
+  swapper.join();
+
+  EXPECT_EQ(ok + not_found + other_status,
+            static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_EQ(other_status, 0u);
+  EXPECT_EQ(bad_payload, 0u);
+  EXPECT_GT(ok, 0u);
+  // The repository's stores really served compressed-domain: all resident
+  // bytes of the surviving model sit in the codebook-CSR form bucket.
+  const auto stats = repo.get("dc")->store->stats();
+  EXPECT_EQ(stats.form_resident(serve::ServingForm::kDenseF32), 0u);
+  EXPECT_EQ(stats.form_resident(serve::ServingForm::kSparseCsr), 0u);
 }
 
 TEST(ServerStress, ColdStartThunderingHerd) {

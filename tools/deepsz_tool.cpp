@@ -122,8 +122,9 @@ constexpr Subcommand kSubcommands[] = {
     {"pack", "<in> <out> [codec=zstd]", "lossless-pack any file"},
     {"unpack", "<in> <out>", "restore a packed file"},
     {"model-info", "<model.dszc>", "inspect a compressed model container"},
-    {"serve-bench", "<model.dszc> [requests=64] [batch=8] [cache-mb=64]",
-     "cold/warm serving latency + cache counters"},
+    {"serve-bench",
+     "<model.dszc> [requests=64] [batch=8] [cache-mb=64] [--native]",
+     "cold/warm serving latency + cache counters (per serving form)"},
     {"serve",
      "--model name=path [--model name=path ...] [--port 8080]\n"
      "        [--cache-bytes B | --cache-mb 256] [--max-batch 16]\n"
@@ -271,13 +272,16 @@ int run(int argc, char** argv) {
                     info.options_help.c_str());
       }
     }
-    std::printf("\n%-18s %-6s %s\n", "strategy", "kind", "summary / options");
+    std::printf("\n%-18s %-6s %-13s %s\n", "strategy", "kind", "serves-as",
+                "summary / options");
     for (const auto& info :
          deepsz::compress::CompressorRegistry::instance().list()) {
-      std::printf("%-18s %-6s %s\n", info.name.c_str(),
-                  info.error_bounded ? "eb" : "fixed", info.summary.c_str());
+      std::printf("%-18s %-6s %-13s %s\n", info.name.c_str(),
+                  info.error_bounded ? "eb" : "fixed",
+                  deepsz::serve::serving_form_name(info.native_form),
+                  info.summary.c_str());
       if (!info.options_help.empty()) {
-        std::printf("%-18s %-6s   options: %s\n", "", "",
+        std::printf("%-18s %-6s %-13s   options: %s\n", "", "", "",
                     info.options_help.c_str());
       }
     }
@@ -448,14 +452,26 @@ int run(int argc, char** argv) {
                 decoded.timing.sz_ms);
     return kExitOk;
   }
-  if (cmd == "serve-bench" && argc >= 3 && argc <= 6) {
+  if (cmd == "serve-bench" && argc >= 3 && argc <= 7) {
+    // "--native" may appear anywhere after the container path; the numeric
+    // arguments keep their positional order.
+    bool native = false;
+    std::vector<const char*> pos;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--native") {
+        native = true;
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
+    if (pos.size() > 3) return usage();
     // Range-check the doubles BEFORE casting: an out-of-range float-to-int
     // conversion is UB (the sanitizer CI job would abort on it).
     const double requests_d =
-        argc >= 4 ? parse_double(argv[3], "requests") : 64.0;
-    const double batch_d = argc >= 5 ? parse_double(argv[4], "batch") : 8.0;
+        pos.size() >= 1 ? parse_double(pos[0], "requests") : 64.0;
+    const double batch_d = pos.size() >= 2 ? parse_double(pos[1], "batch") : 8.0;
     const double cache_mb =
-        argc >= 6 ? parse_double(argv[5], "cache-mb") : 64.0;
+        pos.size() >= 3 ? parse_double(pos[2], "cache-mb") : 64.0;
     if (!(requests_d >= 2 && requests_d <= 1e6) ||
         !(batch_d >= 1 && batch_d <= 1e5) ||
         !(cache_mb >= 0 && cache_mb <= 1e6)) {
@@ -469,6 +485,11 @@ int run(int argc, char** argv) {
     deepsz::serve::ModelStoreOptions sopts;
     sopts.cache_budget_bytes =
         static_cast<std::size_t>(cache_mb * (1 << 20));
+    // --native mirrors the serving daemon's store: CSR views for the sparse
+    // batched forward, and each layer resident in its data-codec's native
+    // serving form (a "dc" container stays codebook-CSR, never dense f32).
+    sopts.build_csr = native;
+    sopts.native_form = native;
     deepsz::serve::ModelStore store(read_file(argv[2]), sopts);
     auto net = deepsz::serve::make_fc_network(store.reader());
     const auto in_features = store.reader().entry(std::size_t{0}).cols;
@@ -535,6 +556,16 @@ int run(int argc, char** argv) {
         "               decode phases: lossless %.2f ms, error-bounded "
         "(block) %.2f ms, reconstruct %.2f ms\n",
         stats.lossless_ms, stats.eb_decode_ms, stats.reconstruct_ms);
+    std::printf("               resident by form:");
+    for (int f = 0; f < deepsz::serve::kNumServingForms; ++f) {
+      std::printf(
+          "%s %s %.2f MB", f ? "," : "",
+          deepsz::serve::serving_form_name(
+              static_cast<deepsz::serve::ServingForm>(f)),
+          static_cast<double>(stats.form_bytes[static_cast<std::size_t>(f)]) /
+              (1 << 20));
+    }
+    std::printf("\n");
     return kExitOk;
   }
   return usage();

@@ -12,6 +12,9 @@
 //                    wire format), pinning the frozen v1 decode path
 //   sz_v2.szs        a bare SZ stream-v2 payload (chunked, three chunks),
 //                    pinning the v2 decode path bit-exactly
+//   dc_v3.dszc       the same layers Deep-Compression coded ("dc" codebook
+//                    data streams + "huffman" index streams), pinning the
+//                    compressed-domain (codebook-CSR) decode path
 //
 // Set DEEPSZ_NO_AVX2=1 when regenerating: v2 *encoding* may differ across
 // hosts with different SIMD support (decoding never does).
@@ -28,6 +31,7 @@
 #include "core/model_codec.h"
 #include "data/weight_synthesis.h"
 #include "lossless/codec.h"
+#include "serve/model_store.h"
 #include "sz/sz.h"
 #include "util/byte_io.h"
 #include "util/crc32.h"
@@ -96,6 +100,16 @@ std::vector<std::uint8_t> encode_indexed_v3() {
       .bytes;
 }
 
+std::vector<std::uint8_t> encode_dc_v3() {
+  const auto layers = fixture_layers();
+  std::map<std::string, std::vector<float>> biases = {
+      {"fc6", fixture_bias()}};
+  core::ContainerOptions copts;
+  copts.data_codec = "dc:bits=4,iters=16";
+  copts.index_codec = "huffman";
+  return core::encode_model(layers, {}, copts, biases).bytes;
+}
+
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -121,6 +135,36 @@ void report(const char* label, const std::vector<std::uint8_t>& bytes) {
     std::printf("  %-4s entries %zu  data crc 0x%08x  index crc 0x%08x\n",
                 l.name.c_str(), l.stored_entries(), float_crc(l.data),
                 util::crc32(l.index));
+  }
+}
+
+/// CRC over a ServedLayer's codebook-CSR arrays in a fixed order, the
+/// constant codebook_golden_test pins.
+std::uint32_t codebook_csr_crc(const serve::ServedLayer& l) {
+  std::vector<std::uint8_t> blob;
+  auto append = [&blob](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    blob.insert(blob.end(), b, b + n);
+  };
+  append(l.csr_rowptr.data(), l.csr_rowptr.size() * sizeof(std::uint32_t));
+  append(l.csr_col.data(), l.csr_col.size() * sizeof(std::uint32_t));
+  append(l.csr_id8.data(), l.csr_id8.size());
+  append(l.csr_id16.data(), l.csr_id16.size() * sizeof(std::uint16_t));
+  append(l.codebook.data(), l.codebook.size() * sizeof(float));
+  return util::crc32(blob);
+}
+
+void report_dc(const char* label, const std::vector<std::uint8_t>& bytes) {
+  serve::ModelStoreOptions opts;
+  opts.native_form = true;
+  serve::ModelStore store(bytes, opts);
+  std::printf("%s: %zu bytes, file crc 0x%08x\n", label, bytes.size(),
+              util::crc32(bytes));
+  for (const auto& e : store.reader().entries()) {
+    auto l = store.get(e.name);
+    std::printf("  %-4s nnz %zu  k %zu  codebook-csr crc 0x%08x\n",
+                e.name.c_str(), l->nnz(), l->codebook.size(),
+                codebook_csr_crc(*l));
   }
 }
 
@@ -155,13 +199,16 @@ int main(int argc, char** argv) {
   auto indexed = encode_indexed_v3();
   auto sz_v1 = encode_sz_stream(1);
   auto sz_v2 = encode_sz_stream(2);
+  auto dc = encode_dc_v3();
   write_file(dir + "/legacy_v2.dszc", legacy);
   write_file(dir + "/indexed_v3.dszc", indexed);
   write_file(dir + "/sz_v1.szs", sz_v1);
   write_file(dir + "/sz_v2.szs", sz_v2);
+  write_file(dir + "/dc_v3.dszc", dc);
   report("legacy_v2.dszc", legacy);
   report("indexed_v3.dszc", indexed);
   report_sz("sz_v1.szs", sz_v1);
   report_sz("sz_v2.szs", sz_v2);
+  report_dc("dc_v3.dszc", dc);
   return 0;
 }
