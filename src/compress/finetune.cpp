@@ -1,0 +1,58 @@
+#include "compress/finetune.h"
+
+#include <stdexcept>
+
+#include "compress/registry.h"
+#include "compress/session.h"
+
+namespace deepsz::compress {
+
+FinetuneReport finetune_and_encode(nn::Network& net,
+                                   const nn::Tensor& train_images,
+                                   const std::vector<int>& train_labels,
+                                   const nn::Tensor& test_images,
+                                   const std::vector<int>& test_labels,
+                                   const FinetuneSpec& spec) {
+  FinetuneReport report;
+
+  train::Trainer trainer(net, train_images, train_labels, test_images,
+                         test_labels, spec.trainer);
+
+  if (!spec.resume_from.empty()) {
+    trainer.restore(train::read_checkpoint_file(spec.resume_from));
+  } else {
+    core::PruneConfig prune = spec.prune;
+    prune.retrain_epochs = 0;  // the Trainer below is the retraining
+    core::prune_and_retrain(net, train_images, train_labels, prune);
+  }
+
+  bool any_masked = false;
+  for (nn::Dense* d : net.dense_layers()) any_masked |= d->has_mask();
+  if (!any_masked) {
+    throw std::invalid_argument(
+        "finetune: no masked fc-layers — configure spec.prune.keep_ratio or "
+        "resume from a checkpoint of a pruned model");
+  }
+
+  report.start_step = trainer.step_count();
+  report.acc_start = trainer.evaluate();
+
+  train::CheckpointManager manager(spec.checkpoint);
+  report.final_loss = trainer.run_to(spec.steps, &manager);
+  if (spec.final_checkpoint) manager.write(trainer);
+  report.end_step = trainer.step_count();
+  report.acc_tuned = trainer.evaluate();
+  report.checkpoint_bounds = manager.bounds();
+  report.checkpoints = manager.written();
+
+  // The network is already pruned and tuned; the session adopts it as-is
+  // and runs Assess -> Optimize -> Encode into a servable v3 container.
+  CompressionSession session(
+      CompressorRegistry::instance().make(spec.strategy), net, train_images,
+      train_labels, test_images, test_labels, spec.encode);
+  session.adopt_pruned();
+  report.compress = session.run();
+  return report;
+}
+
+}  // namespace deepsz::compress

@@ -1,0 +1,72 @@
+// Fine-tune-then-encode: the closed loop between training and serving.
+//
+// finetune_and_encode() prunes a network (or resumes one from a lossy
+// checkpoint), fine-tunes it with the step-granular Trainer while the
+// CheckpointManager streams error-bounded checkpoints every K steps, and
+// then hands the tuned network to a normal CompressionSession so the result
+// is the same servable v3 container every other strategy emits — the system
+// both produces and serves its own compressed models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "train/checkpoint_manager.h"
+#include "train/trainer.h"
+
+namespace deepsz::compress {
+
+struct FinetuneSpec {
+  /// Pruning applied before fine-tuning starts (ignored when resuming —
+  /// the checkpoint carries the masks). retrain_epochs is forced to 0; the
+  /// Trainer IS the retraining.
+  core::PruneConfig prune;
+  /// Trainer hyperparameters (seed, lr, momentum, batch size).
+  train::TrainerConfig trainer;
+  /// Periodic checkpointing (interval, codecs, bound policy).
+  train::CheckpointConfig checkpoint;
+  /// Fine-tune until the trainer's step count reaches this.
+  std::int64_t steps = 200;
+  /// Compression strategy spec for the final encode ("deepsz", "zfp", ...).
+  std::string strategy = "deepsz";
+  /// Session configuration for the final encode (accuracy budget, codec
+  /// overrides). The prune stage inside the session is bypassed via
+  /// adopt_pruned().
+  CompressSpec encode;
+  /// When set, restore this checkpoint instead of pruning from scratch;
+  /// training continues from the checkpoint's step count.
+  std::string resume_from;
+  /// Write one final checkpoint at the end of the run.
+  bool final_checkpoint = true;
+};
+
+struct FinetuneReport {
+  std::int64_t start_step = 0;  // step the run began at (>0 when resumed)
+  std::int64_t end_step = 0;
+  double final_loss = 0.0;
+  nn::Accuracy acc_start;  // after prune/restore, before fine-tuning
+  nn::Accuracy acc_tuned;  // after fine-tuning, before encode
+  /// Per-layer checkpoint bounds the manager used.
+  std::map<std::string, double> checkpoint_bounds;
+  /// Checkpoint files on disk at the end of the run, oldest first.
+  std::vector<std::string> checkpoints;
+  /// The final encode (container bytes in compress.model.bytes).
+  CompressReport compress;
+};
+
+/// Runs the full loop. The network must either carry pruning masks after
+/// spec.prune is applied or be resumed from a masked checkpoint — the final
+/// encode adopts the pruned layers as-is. Throws std::runtime_error on a
+/// bad checkpoint and std::invalid_argument on a spec that yields no masked
+/// layers.
+FinetuneReport finetune_and_encode(nn::Network& net,
+                                   const nn::Tensor& train_images,
+                                   const std::vector<int>& train_labels,
+                                   const nn::Tensor& test_images,
+                                   const std::vector<int>& test_labels,
+                                   const FinetuneSpec& spec);
+
+}  // namespace deepsz::compress

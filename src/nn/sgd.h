@@ -33,6 +33,14 @@ class Sgd {
   const SgdConfig& config() const { return config_; }
   void set_lr(double lr) { config_.lr = lr; }
 
+  /// Momentum buffers, parallel to net.params(); empty before the first
+  /// step(). Checkpointing (src/train/) captures and restores these so a
+  /// resumed run continues the same optimizer trajectory.
+  const std::vector<std::vector<float>>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<std::vector<float>> v) {
+    velocity_ = std::move(v);
+  }
+
  private:
   SgdConfig config_;
   std::vector<std::vector<float>> velocity_;  // parallel to net params

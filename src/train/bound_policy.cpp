@@ -1,0 +1,44 @@
+#include "train/bound_policy.h"
+
+#include "codec/registry.h"
+#include "core/accuracy.h"
+#include "core/assessment.h"
+#include "core/optimizer.h"
+#include "sparse/pruned_layer.h"
+
+namespace deepsz::train {
+
+std::map<std::string, double> select_checkpoint_bounds(
+    nn::Network& net, const tensor::Tensor& test_images,
+    const std::vector<int>& test_labels, const BoundPolicyConfig& config) {
+  // Snapshot every dense layer in the sparse form Algorithm 1 reconstructs
+  // from — the current weights, masked or not.
+  std::vector<sparse::PrunedLayer> layers;
+  for (nn::Dense* d : net.dense_layers()) {
+    const tensor::Tensor& w = d->weight();
+    layers.push_back(sparse::PrunedLayer::from_dense(
+        {w.data(), static_cast<std::size_t>(w.numel())}, d->out_features(),
+        d->in_features(), d->name()));
+  }
+
+  std::map<std::string, double> bounds;
+  if (!layers.empty()) {
+    core::CachedHeadOracle oracle(net, test_images, test_labels);
+    core::AssessmentConfig acfg;
+    acfg.expected_acc_loss = config.expected_acc_loss;
+    acfg.max_points_per_layer = config.max_points_per_layer;
+    acfg.codec = codec::CodecRegistry::instance().make_float(config.codec);
+    auto assessments = core::assess_error_bounds(net, layers, oracle, acfg);
+    auto result =
+        core::optimize_for_accuracy(assessments, config.expected_acc_loss);
+    for (const auto& choice : result.choices) {
+      if (choice.eb > 0.0) bounds[choice.layer] = choice.eb;
+    }
+  }
+  for (const auto& layer : layers) {
+    if (bounds.count(layer.name) == 0) bounds[layer.name] = config.default_eb;
+  }
+  return bounds;
+}
+
+}  // namespace deepsz::train

@@ -1,0 +1,43 @@
+// Per-layer checkpoint error bounds via the paper's assessment machinery.
+//
+// Rather than checkpointing every layer at one global tolerance, the bound
+// policy runs Algorithm 1 (per-layer error-bound assessment) and Algorithm 2
+// (the knapsack optimizer) against the *current* training weights, exactly
+// as the encode pipeline does for deployment containers — so each layer's
+// checkpoint stream is as lossy as the accuracy budget allows and no
+// lossier. Sensitive layers (the small final classifier, typically) get
+// tight bounds; bulky tolerant layers get loose ones, which is where the
+// ~10x checkpoint-storage win comes from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace deepsz::train {
+
+struct BoundPolicyConfig {
+  /// Error-bounded FloatCodec spec the assessment compresses with; must
+  /// match the checkpoint's data codec so assessed sizes are real.
+  std::string codec = "sz";
+  /// Accuracy-degradation budget the chosen bounds must fit (Algorithm 2's
+  /// eps*), as a fraction: 0.004 = 0.4%.
+  double expected_acc_loss = 0.004;
+  /// Bound for layers the assessment cannot place (no feasible point).
+  double default_eb = 1e-3;
+  /// Tested bounds per layer; lower = faster policy runs during training.
+  int max_points_per_layer = 12;
+};
+
+/// Runs Algorithm 1 + 2 over `net`'s dense layers against the held-out set
+/// and returns the chosen error bound per layer name. The network is left
+/// unchanged. Layers with no feasible assessed point map to
+/// config.default_eb.
+std::map<std::string, double> select_checkpoint_bounds(
+    nn::Network& net, const tensor::Tensor& test_images,
+    const std::vector<int>& test_labels, const BoundPolicyConfig& config = {});
+
+}  // namespace deepsz::train

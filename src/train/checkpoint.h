@@ -1,0 +1,178 @@
+// Error-bounded lossy training checkpoints: the "DSZK" container.
+//
+// A checkpoint stores the full training state of a Trainer — every layer's
+// weights and biases, the SGD momentum buffers, and the step/shuffle
+// counters — as named streams coded through the codec registry. Fully
+// connected weight matrices (and their momentum, which shares the weight's
+// sparsity after masked pruning) travel in the paper's two-array sparse
+// form: the data array through an error-bounded FloatCodec at a per-layer
+// bound chosen by the Algorithm 1-2 assessment machinery (bound_policy.h),
+// the position deltas through a lossless ByteCodec. Everything else (biases,
+// conv weights, flat momentum) is lossless.
+//
+// Wire format v1 (all little-endian; see docs/training.md for the full
+// layout):
+//
+//   header    "DSZK" magic, version, model name, seed, step, samples_seen,
+//             stream count
+//   records   per stream: name, kind, flags, rows/cols, element count,
+//             codec registry spec, error bound, payload length + CRC-32,
+//             payload bytes
+//   body CRC  CRC-32 of every byte before it (whole-file integrity: any
+//             single-byte corruption ahead of the footer is detected)
+//   footer    per-stream {offset, length, CRC} table + count + table CRC +
+//             "DSZF" magic — the seekable index, mirroring the model
+//             container's DSZX trailer
+//
+// The reader is hardened against untrusted input: every length is checked
+// against the remaining payload before use, counts are capped, and all
+// payload decoding goes through the registry's hardened codecs. Corrupt or
+// truncated input throws (std::runtime_error / std::out_of_range); it never
+// crashes or over-allocates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deepsz::train {
+
+/// What a checkpoint stream holds; fixes how its payload is coded.
+enum class StreamKind : std::uint8_t {
+  /// Float data array of a sparse-coded fc weight matrix (or its momentum,
+  /// which shares the matching kFcIndex stream's positions). Coded by an
+  /// error-bounded FloatCodec at the stream's recorded bound.
+  kFcData = 0,
+  /// Position-delta byte array of a sparse-coded fc matrix. Lossless.
+  kFcIndex = 1,
+  /// Flat float vector (bias, conv weights, dense momentum). Stored as raw
+  /// little-endian bytes through a lossless ByteCodec.
+  kFloats = 2,
+};
+
+/// One decoded checkpoint stream.
+struct CheckpointStream {
+  std::string name;  // "<layer>.data", "<layer>.index", "<layer>.bias", ...
+  StreamKind kind = StreamKind::kFloats;
+  /// kFcData weights only: the layer had a pruning mask installed, and
+  /// Trainer::restore() must rebuild it from the restored sparsity.
+  bool masked = false;
+  std::int64_t rows = 0, cols = 0;  // fc matrix shape (kFcData/kFcIndex)
+  /// Error bound the payload was encoded at (0 for lossless streams). On
+  /// restore, sparse entries with a 255 delta and |value| <= eb are snapped
+  /// back to exact zero so gap fillers cannot leak tiny weights.
+  double eb = 0.0;
+  std::string codec;  // registry spec that coded the payload
+
+  std::vector<float> floats;        // kFcData / kFloats payload
+  std::vector<std::uint8_t> bytes;  // kFcIndex payload
+};
+
+/// Full training state, the in-memory form of one checkpoint.
+struct TrainingState {
+  std::string model;  // must match the network's name on restore
+  std::uint64_t seed = 0;
+  std::int64_t step = 0;
+  std::int64_t samples_seen = 0;
+  std::vector<CheckpointStream> streams;
+
+  /// Stream by name; nullptr when absent.
+  const CheckpointStream* find(const std::string& name) const;
+};
+
+/// Encode-side knobs. The per-stream bounds come from the caller (the
+/// CheckpointManager fills them from the bound policy).
+struct CheckpointOptions {
+  /// FloatCodec registry spec for kFcData streams ("sz", "zfp", "f32").
+  /// Must be a bound-honoring codec; "f32" gives a lossless baseline.
+  std::string data_codec = "sz";
+  /// ByteCodec registry spec for kFcIndex / kFloats streams.
+  std::string lossless_codec = "zstd";
+  /// Bound for kFcData streams missing from `eb`.
+  double default_eb = 1e-3;
+  /// Per-stream error bounds, keyed by stream name ("ip1.data", "ip1.wvel").
+  std::map<std::string, double> eb;
+};
+
+/// Serializes a training state into a DSZK container. Throws
+/// codec::UnknownCodec / codec::BadOptions on an unresolvable codec spec and
+/// std::invalid_argument on inconsistent stream metadata.
+std::vector<std::uint8_t> write_checkpoint(const TrainingState& state,
+                                           const CheckpointOptions& options =
+                                               {});
+
+/// Directory entry for one stream, parsed without decoding any payload.
+struct CheckpointEntry {
+  std::string name;
+  StreamKind kind = StreamKind::kFloats;
+  bool masked = false;
+  std::int64_t rows = 0, cols = 0;
+  std::uint64_t count = 0;  // decoded element count (floats or bytes)
+  std::string codec;
+  double eb = 0.0;
+  std::uint64_t offset = 0;  // absolute payload offset
+  std::uint64_t length = 0;  // payload bytes
+  std::uint32_t crc = 0;     // payload CRC-32
+};
+
+/// Random access into a checkpoint: construction parses the footer index
+/// and scans record headers (skipping payload bytes); decode_stream() then
+/// CRC-checks and decodes exactly one stream. Non-owning: `bytes` must
+/// outlive the reader. Throws std::runtime_error on corrupt input.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::span<const std::uint8_t> bytes);
+
+  const std::string& model() const { return model_; }
+  std::uint64_t seed() const { return seed_; }
+  std::int64_t step() const { return step_; }
+  std::int64_t samples_seen() const { return samples_seen_; }
+
+  std::size_t num_streams() const { return entries_.size(); }
+  const std::vector<CheckpointEntry>& entries() const { return entries_; }
+  bool contains(const std::string& name) const;
+
+  /// Sum of all streams' encoded payload bytes.
+  std::size_t payload_bytes() const;
+
+  /// CRC-checks and decodes one stream. Throws std::runtime_error on a
+  /// checksum mismatch, a codec failure, or an element-count mismatch.
+  CheckpointStream decode_stream(std::size_t i) const;
+  CheckpointStream decode_stream(const std::string& name) const;
+
+  /// Whole-file integrity: recomputes the body CRC over every byte ahead of
+  /// the footer and throws std::runtime_error on mismatch. read_checkpoint()
+  /// always verifies; seek-only consumers may skip it.
+  void verify_body_crc() const;
+
+ private:
+  void parse_records(std::span<const std::uint8_t> bytes,
+                     std::uint32_t n_footer, std::size_t table_start,
+                     std::size_t table_bytes);
+
+  std::span<const std::uint8_t> bytes_;
+  std::string model_;
+  std::uint64_t seed_ = 0;
+  std::int64_t step_ = 0;
+  std::int64_t samples_seen_ = 0;
+  std::vector<CheckpointEntry> entries_;
+  std::map<std::string, std::size_t> by_name_;
+  std::size_t body_crc_offset_ = 0;
+  std::uint32_t body_crc_ = 0;
+};
+
+/// Decodes a full checkpoint (header + every stream), verifying the body
+/// CRC, the footer, and every payload CRC. Throws std::runtime_error on any
+/// corruption.
+TrainingState read_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers. write_checkpoint_file writes to "<path>.tmp"
+/// and renames, so a crash mid-write never leaves a torn checkpoint at
+/// `path`. Both throw std::runtime_error on I/O failure.
+void write_checkpoint_file(const std::string& path, const TrainingState& state,
+                           const CheckpointOptions& options = {});
+TrainingState read_checkpoint_file(const std::string& path);
+
+}  // namespace deepsz::train

@@ -1,0 +1,95 @@
+#include "train/checkpoint_manager.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "codec/registry.h"
+#include "train/trainer.h"
+
+namespace deepsz::train {
+
+CheckpointManager::CheckpointManager(CheckpointConfig config)
+    : config_(std::move(config)) {
+  if (config_.every <= 0) {
+    throw std::invalid_argument("checkpoint manager: every must be positive");
+  }
+  if (config_.keep_last < 0) {
+    throw std::invalid_argument("checkpoint manager: keep_last must be >= 0");
+  }
+}
+
+void CheckpointManager::ensure_bounds(Trainer& trainer) {
+  if (bounds_ready_) return;
+  bounds_ready_ = true;
+  // A lossless data codec makes assessed bounds meaningless: force 0.
+  auto [codec_name, opts] =
+      codec::CodecRegistry::split_spec(config_.data_codec);
+  (void)opts;
+  if (codec_name == "f32") {
+    for (nn::Dense* d : trainer.net().dense_layers()) {
+      bounds_[d->name()] = 0.0;
+    }
+    return;
+  }
+  if (config_.assess_bounds) {
+    BoundPolicyConfig policy;
+    policy.codec = config_.data_codec;
+    policy.expected_acc_loss = config_.expected_acc_loss;
+    policy.default_eb = config_.default_eb;
+    bounds_ = select_checkpoint_bounds(trainer.net(), trainer.test_images(),
+                                       trainer.test_labels(), policy);
+  }
+  // Layers with no assessed bound checkpoint at the default; record that so
+  // bounds() always reports the bound each layer was actually written with.
+  for (nn::Dense* d : trainer.net().dense_layers()) {
+    bounds_.emplace(d->name(), config_.default_eb);
+  }
+  for (const auto& [layer, eb] : config_.eb_override) bounds_[layer] = eb;
+}
+
+std::string CheckpointManager::maybe_write(Trainer& trainer) {
+  std::int64_t step = trainer.step_count();
+  if (step <= 0 || step % config_.every != 0) return {};
+  if (step == last_written_step_) return {};
+  return write(trainer);
+}
+
+std::string CheckpointManager::write(Trainer& trainer) {
+  ensure_bounds(trainer);
+  std::filesystem::create_directories(config_.dir);
+
+  CheckpointOptions options;
+  options.data_codec = config_.data_codec;
+  options.lossless_codec = config_.lossless_codec;
+  options.default_eb = config_.default_eb;
+  for (const auto& [layer, eb] : bounds_) {
+    options.eb[layer + ".data"] = eb;
+    options.eb[layer + ".wvel"] = eb * config_.momentum_eb_scale;
+  }
+
+  TrainingState state = trainer.capture();
+  char name[32];
+  std::snprintf(name, sizeof name, "ckpt_%06lld.dszk",
+                static_cast<long long>(state.step));
+  std::string path = config_.dir + "/" + name;
+  write_checkpoint_file(path, state, options);
+  last_written_step_ = state.step;
+  // Re-writing the same path (e.g. a forced write twice at one step) must
+  // not register twice, or rotation would delete a live file later.
+  if (written_.empty() || written_.back() != path) {
+    written_.push_back(path);
+  }
+  rotate();
+  return path;
+}
+
+void CheckpointManager::rotate() {
+  if (config_.keep_last == 0) return;
+  while (written_.size() > static_cast<std::size_t>(config_.keep_last)) {
+    std::remove(written_.front().c_str());
+    written_.erase(written_.begin());
+  }
+}
+
+}  // namespace deepsz::train

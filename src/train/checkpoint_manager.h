@@ -1,0 +1,81 @@
+// Periodic error-bounded checkpointing for a running Trainer.
+//
+// Every `every` steps the manager captures the trainer's state, codes it
+// through the checkpoint container (checkpoint.h) with per-layer bounds
+// from the bound policy (bound_policy.h), writes it atomically to
+// `dir/ckpt_NNNNNN.dszk`, and rotates old files down to `keep_last`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "train/bound_policy.h"
+#include "train/checkpoint.h"
+
+namespace deepsz::train {
+
+class Trainer;
+
+struct CheckpointConfig {
+  std::string dir = "checkpoints";
+  /// Write every this many steps (at steps where step % every == 0).
+  std::int64_t every = 100;
+  /// Checkpoint files kept on disk; older ones are deleted. 0 keeps all.
+  int keep_last = 3;
+  /// FloatCodec for fc data/momentum streams; "f32" gives the lossless
+  /// baseline (bounds forced to 0).
+  std::string data_codec = "sz";
+  /// ByteCodec for index/bias/conv streams.
+  std::string lossless_codec = "zstd";
+  /// Bound for layers the policy does not cover.
+  double default_eb = 1e-3;
+  /// Run the Algorithm 1-2 bound policy once (at the first write) to pick
+  /// per-layer bounds; false uses default_eb / eb_override everywhere.
+  bool assess_bounds = true;
+  /// Accuracy budget handed to the bound policy.
+  double expected_acc_loss = 0.004;
+  /// Momentum streams get the weight's bound scaled by this factor.
+  /// Momentum tolerates more loss than weights (it is smoothed state), but
+  /// 1.0 is the safe default.
+  double momentum_eb_scale = 1.0;
+  /// Explicit per-layer bounds (by layer name); wins over the policy.
+  std::map<std::string, double> eb_override;
+};
+
+/// Owns the write-every-K-steps policy; the Trainer calls maybe_write()
+/// after each step (see Trainer::run_to).
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(CheckpointConfig config);
+
+  /// Writes a checkpoint if the trainer's step count is a (nonzero)
+  /// multiple of `every` and nothing was written for this step yet.
+  /// Returns the path written, or "" when skipped.
+  std::string maybe_write(Trainer& trainer);
+
+  /// Unconditionally checkpoints the trainer's current state.
+  std::string write(Trainer& trainer);
+
+  /// The per-layer bounds in effect (empty until the first write when
+  /// assess_bounds is set).
+  const std::map<std::string, double>& bounds() const { return bounds_; }
+
+  /// Paths currently on disk, oldest first.
+  const std::vector<std::string>& written() const { return written_; }
+
+  const CheckpointConfig& config() const { return config_; }
+
+ private:
+  void ensure_bounds(Trainer& trainer);
+  void rotate();
+
+  CheckpointConfig config_;
+  std::map<std::string, double> bounds_;
+  bool bounds_ready_ = false;
+  std::int64_t last_written_step_ = -1;
+  std::vector<std::string> written_;
+};
+
+}  // namespace deepsz::train

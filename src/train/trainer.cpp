@@ -1,0 +1,364 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "sparse/pruned_layer.h"
+#include "sparse/pruning.h"
+#include "train/checkpoint_manager.h"
+#include "util/rng.h"
+
+namespace deepsz::train {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trainer: " + what);
+}
+
+// Stream-name suffix for the j-th parameter tensor of a non-fc layer (every
+// current layer has weight + bias; the fallback keeps future layers codable).
+std::string param_suffix(std::size_t j) {
+  if (j == 0) return ".w";
+  if (j == 1) return ".b";
+  return ".p" + std::to_string(j);
+}
+
+std::string velocity_suffix(std::size_t j) {
+  if (j == 0) return ".wvel";
+  if (j == 1) return ".bvel";
+  return ".p" + std::to_string(j) + "vel";
+}
+
+// True for the paper's gap fillers: a 255-delta entry whose restored value
+// sits within the stream's error bound. Bounded codecs keep |x - x'| <= eb,
+// so an encoded 0.0f filler always satisfies this; a lossless stream records
+// eb = 0 and only exact zeros match.
+bool is_filler(std::uint8_t delta, float value, double eb) {
+  return delta == 255 && std::abs(static_cast<double>(value)) <= eb;
+}
+
+// Rebuilds a dense [rows*cols] array from a sparse data/index stream pair,
+// snapping fillers back to exact zero first so a lossy round-trip cannot
+// implant ~eb-sized junk at padding positions.
+std::vector<float> sparse_to_dense(const CheckpointStream& data,
+                                   const CheckpointStream& index,
+                                   std::int64_t rows, std::int64_t cols) {
+  if (data.floats.size() != index.bytes.size()) {
+    fail("data/index entry count mismatch for " + data.name);
+  }
+  sparse::PrunedLayer pl;
+  pl.name = data.name;
+  pl.rows = rows;
+  pl.cols = cols;
+  pl.data = data.floats;
+  pl.index = index.bytes;
+  for (std::size_t i = 0; i < pl.data.size(); ++i) {
+    if (is_filler(pl.index[i], pl.data[i], data.eb)) pl.data[i] = 0.0f;
+  }
+  return pl.to_dense();
+}
+
+}  // namespace
+
+Trainer::Trainer(nn::Network& net, const tensor::Tensor& train_images,
+                 const std::vector<int>& train_labels,
+                 const tensor::Tensor& test_images,
+                 const std::vector<int>& test_labels, TrainerConfig config)
+    : net_(&net),
+      train_images_(&train_images),
+      train_labels_(&train_labels),
+      test_images_(&test_images),
+      test_labels_(&test_labels),
+      config_(config),
+      sgd_(config.sgd) {
+  const std::int64_t n = train_images.dim(0);
+  if (n <= 0) throw std::invalid_argument("trainer: empty training set");
+  if (static_cast<std::size_t>(n) != train_labels.size()) {
+    throw std::invalid_argument("trainer: train images/labels size mismatch");
+  }
+  if (config_.sgd.batch_size <= 0) {
+    throw std::invalid_argument("trainer: batch_size must be positive");
+  }
+  reshuffle(0);
+}
+
+void Trainer::reshuffle(std::int64_t epoch) {
+  const std::int64_t n = train_images_->dim(0);
+  order_.resize(static_cast<std::size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+  // Each epoch's shuffle comes from its own RNG stream, so resuming needs
+  // only (seed, samples_seen) — no serialized generator internals.
+  util::Pcg32 rng(config_.seed, static_cast<std::uint64_t>(epoch));
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    std::swap(order_[static_cast<std::size_t>(i)],
+              order_[rng.bounded(static_cast<std::uint32_t>(i + 1))]);
+  }
+}
+
+double Trainer::step() {
+  const std::int64_t n = train_images_->dim(0);
+  const std::int64_t start = cursor_;
+  const std::int64_t end = std::min(n, start + config_.sgd.batch_size);
+  const std::int64_t stride = train_images_->numel() / n;
+
+  std::vector<std::int64_t> shape = train_images_->shape();
+  shape[0] = end - start;
+  tensor::Tensor batch(shape);
+  std::vector<int> batch_labels(static_cast<std::size_t>(end - start));
+  for (std::int64_t i = start; i < end; ++i) {
+    std::memcpy(batch.data() + (i - start) * stride,
+                train_images_->data() + order_[static_cast<std::size_t>(i)] *
+                                            stride,
+                static_cast<std::size_t>(stride) * sizeof(float));
+    batch_labels[static_cast<std::size_t>(i - start)] =
+        (*train_labels_)[static_cast<std::size_t>(
+            order_[static_cast<std::size_t>(i)])];
+  }
+
+  double loss = sgd_.step(*net_, batch, batch_labels);
+  samples_seen_ += end - start;
+  cursor_ = end;
+  ++step_;
+  if (cursor_ >= n) {
+    ++epoch_;
+    cursor_ = 0;
+    reshuffle(epoch_);
+  }
+  return loss;
+}
+
+double Trainer::run_to(std::int64_t target_step, CheckpointManager* manager) {
+  double loss = 0.0;
+  while (step_ < target_step) {
+    loss = step();
+    if (manager != nullptr) manager->maybe_write(*this);
+  }
+  return loss;
+}
+
+nn::Accuracy Trainer::evaluate() {
+  return nn::evaluate(*net_, *test_images_, *test_labels_);
+}
+
+TrainingState Trainer::capture() const {
+  TrainingState state;
+  state.model = net_->name();
+  state.seed = config_.seed;
+  state.step = step_;
+  state.samples_seen = samples_seen_;
+
+  const auto& velocity = sgd_.velocity();
+  std::size_t pi = 0;  // running index into net.params() across layers
+
+  for (const auto& layer : net_->layers()) {
+    auto params = layer->params();
+    if (params.empty()) continue;
+    const std::string& lname = layer->name();
+    if (lname.empty()) fail("layer with parameters but no name");
+    if (state.find(lname + ".data") || state.find(lname + ".w")) {
+      fail("duplicate layer name " + lname);
+    }
+
+    // Momentum for this layer's parameters; zeros before the first step.
+    std::vector<std::vector<float>> vel(params.size());
+    for (std::size_t j = 0; j < params.size(); ++j, ++pi) {
+      if (pi < velocity.size() && !velocity[pi].empty()) {
+        vel[j] = velocity[pi];
+      } else {
+        vel[j].assign(static_cast<std::size_t>(params[j]->numel()), 0.0f);
+      }
+      if (vel[j].size() != static_cast<std::size_t>(params[j]->numel())) {
+        fail("velocity/parameter size mismatch in layer " + lname);
+      }
+    }
+
+    auto* dense = dynamic_cast<nn::Dense*>(layer.get());
+    if (dense != nullptr) {
+      const tensor::Tensor& w = dense->weight();
+      const std::int64_t rows = dense->out_features();
+      const std::int64_t cols = dense->in_features();
+      auto pl = sparse::PrunedLayer::from_dense(
+          {w.data(), static_cast<std::size_t>(w.numel())}, rows, cols, lname);
+
+      CheckpointStream data;
+      data.name = lname + ".data";
+      data.kind = StreamKind::kFcData;
+      data.masked = dense->has_mask();
+      data.rows = rows;
+      data.cols = cols;
+      data.floats = pl.data;
+      state.streams.push_back(std::move(data));
+
+      CheckpointStream index;
+      index.name = lname + ".index";
+      index.kind = StreamKind::kFcIndex;
+      index.rows = rows;
+      index.cols = cols;
+      index.bytes = pl.index;
+      state.streams.push_back(std::move(index));
+
+      CheckpointStream bias;
+      bias.name = lname + ".bias";
+      bias.floats.assign(dense->bias().data(),
+                         dense->bias().data() + dense->bias().numel());
+      state.streams.push_back(std::move(bias));
+
+      // Weight momentum, gathered at the weight's stored positions so it
+      // shares the index stream (fillers carry 0). Pruned positions hold no
+      // momentum by construction — masked gradients are suppressed — so the
+      // gather is lossless in structure.
+      CheckpointStream wvel;
+      wvel.name = lname + ".wvel";
+      wvel.kind = StreamKind::kFcData;
+      wvel.rows = rows;
+      wvel.cols = cols;
+      wvel.floats.reserve(pl.data.size());
+      std::int64_t pos = -1;
+      for (std::size_t i = 0; i < pl.index.size(); ++i) {
+        pos += pl.index[i];
+        bool filler = pl.index[i] == 255 && pl.data[i] == 0.0f;
+        wvel.floats.push_back(filler ? 0.0f
+                                     : vel[0][static_cast<std::size_t>(pos)]);
+      }
+      state.streams.push_back(std::move(wvel));
+
+      CheckpointStream bvel;
+      bvel.name = lname + ".bvel";
+      bvel.floats = std::move(vel[1]);
+      state.streams.push_back(std::move(bvel));
+      continue;
+    }
+
+    // Non-fc layer (conv): flat lossless streams per parameter tensor.
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      CheckpointStream p;
+      p.name = lname + param_suffix(j);
+      p.floats.assign(params[j]->data(),
+                      params[j]->data() + params[j]->numel());
+      state.streams.push_back(std::move(p));
+
+      CheckpointStream v;
+      v.name = lname + velocity_suffix(j);
+      v.floats = std::move(vel[j]);
+      state.streams.push_back(std::move(v));
+    }
+  }
+  return state;
+}
+
+void Trainer::restore(const TrainingState& state) {
+  if (state.model != net_->name()) {
+    fail("checkpoint is for model '" + state.model + "', network is '" +
+         net_->name() + "'");
+  }
+  if (state.step < 0 || state.samples_seen < 0) fail("negative step counter");
+
+  auto require = [&](const std::string& name) -> const CheckpointStream& {
+    const CheckpointStream* s = state.find(name);
+    if (s == nullptr) fail("checkpoint is missing stream " + name);
+    return *s;
+  };
+
+  // Stage everything before touching the network, so a malformed checkpoint
+  // cannot leave it half-restored.
+  std::vector<std::vector<float>> new_velocity;
+  struct DensePatch {
+    nn::Dense* layer;
+    std::vector<float> weights;
+    std::vector<float> bias;
+    bool masked;
+  };
+  struct FlatPatch {
+    tensor::Tensor* param;
+    const std::vector<float>* values;
+  };
+  std::vector<DensePatch> dense_patches;
+  std::vector<FlatPatch> flat_patches;
+
+  for (const auto& layer : net_->layers()) {
+    auto params = layer->params();
+    if (params.empty()) continue;
+    const std::string& lname = layer->name();
+
+    auto* dense = dynamic_cast<nn::Dense*>(layer.get());
+    if (dense != nullptr) {
+      const CheckpointStream& data = require(lname + ".data");
+      const CheckpointStream& index = require(lname + ".index");
+      const CheckpointStream& bias = require(lname + ".bias");
+      const CheckpointStream& wvel = require(lname + ".wvel");
+      const CheckpointStream& bvel = require(lname + ".bvel");
+      const std::int64_t rows = dense->out_features();
+      const std::int64_t cols = dense->in_features();
+      if (data.rows != rows || data.cols != cols) {
+        fail("shape mismatch for layer " + lname);
+      }
+      if (bias.floats.size() != static_cast<std::size_t>(rows) ||
+          bvel.floats.size() != static_cast<std::size_t>(rows)) {
+        fail("bias size mismatch for layer " + lname);
+      }
+
+      DensePatch patch;
+      patch.layer = dense;
+      patch.weights = sparse_to_dense(data, index, rows, cols);
+      patch.bias = bias.floats;
+      patch.masked = data.masked;
+
+      // Momentum shares the weight's index stream; re-densify it the same
+      // way, then zero it at pruned positions so a masked layer's update
+      // (w += v) can never resurrect a pruned weight.
+      std::vector<float> wv = sparse_to_dense(wvel, index, rows, cols);
+      if (patch.masked) {
+        for (std::size_t i = 0; i < wv.size(); ++i) {
+          if (patch.weights[i] == 0.0f) wv[i] = 0.0f;
+        }
+      }
+      new_velocity.push_back(std::move(wv));
+      new_velocity.push_back(bvel.floats);
+      dense_patches.push_back(std::move(patch));
+      continue;
+    }
+
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      const CheckpointStream& p = require(lname + param_suffix(j));
+      const CheckpointStream& v = require(lname + velocity_suffix(j));
+      auto numel = static_cast<std::size_t>(params[j]->numel());
+      if (p.floats.size() != numel || v.floats.size() != numel) {
+        fail("size mismatch for stream " + p.name);
+      }
+      flat_patches.push_back(FlatPatch{params[j], &p.floats});
+      new_velocity.push_back(v.floats);
+    }
+  }
+
+  // Validation passed: apply.
+  for (auto& patch : dense_patches) {
+    tensor::Tensor& w = patch.layer->weight();
+    std::memcpy(w.data(), patch.weights.data(),
+                patch.weights.size() * sizeof(float));
+    tensor::Tensor& b = patch.layer->bias();
+    std::memcpy(b.data(), patch.bias.data(), patch.bias.size() * sizeof(float));
+    if (patch.masked) {
+      patch.layer->set_mask(sparse::nonzero_mask(patch.weights));
+    } else {
+      patch.layer->clear_mask();
+    }
+  }
+  for (auto& patch : flat_patches) {
+    std::memcpy(patch.param->data(), patch.values->data(),
+                patch.values->size() * sizeof(float));
+  }
+  sgd_.set_velocity(std::move(new_velocity));
+
+  config_.seed = state.seed;
+  step_ = state.step;
+  samples_seen_ = state.samples_seen;
+  const std::int64_t n = train_images_->dim(0);
+  epoch_ = samples_seen_ / n;
+  cursor_ = samples_seen_ % n;
+  reshuffle(epoch_);
+}
+
+}  // namespace deepsz::train

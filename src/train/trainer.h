@@ -1,0 +1,99 @@
+// Deterministic SGD fine-tuning loop with lossy-checkpoint capture/restore.
+//
+// The Trainer owns the step loop the paper's retraining stage (and the
+// COMET-style compressed-checkpoint workload) runs on: seedable shuffling,
+// per-step SGD with momentum, and a full-fidelity snapshot of the training
+// state that survives a round-trip through the error-bounded checkpoint
+// container (checkpoint.h).
+//
+// Determinism contract: a Trainer's trajectory is a pure function of
+// (network initial state, dataset, TrainerConfig). Each epoch's shuffle is
+// drawn from a fresh Pcg32 seeded with (seed, /*stream=*/epoch), so resume
+// needs no serialized RNG internals — `seed` and `samples_seen` alone
+// reposition the shuffle exactly. Two trainers with identical inputs
+// produce bit-identical weights on the same host; across hosts the gemm
+// backend (AVX2 vs scalar FMA ordering) perturbs float results in the last
+// few ulps, so cross-platform trajectory pins use tolerances, not equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/sgd.h"
+#include "train/checkpoint.h"
+
+namespace deepsz::train {
+
+class CheckpointManager;
+
+struct TrainerConfig {
+  nn::SgdConfig sgd;  // lr 0.01, momentum 0.9, wd 0, batch 64
+  /// Seeds every source of training randomness (shuffle order).
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Step-granular SGD trainer over an in-memory dataset.
+class Trainer {
+ public:
+  /// Borrows the network and datasets; all must outlive the trainer.
+  Trainer(nn::Network& net, const tensor::Tensor& train_images,
+          const std::vector<int>& train_labels,
+          const tensor::Tensor& test_images,
+          const std::vector<int>& test_labels, TrainerConfig config = {});
+
+  /// Runs one mini-batch step (shuffled order, partial batch at the epoch
+  /// boundary); returns the batch loss.
+  double step();
+
+  /// Steps until step() count reaches `target_step`; after every step, gives
+  /// `manager` (if any) the chance to write a periodic checkpoint. Returns
+  /// the last batch loss (0.0 if no steps ran).
+  double run_to(std::int64_t target_step, CheckpointManager* manager = nullptr);
+
+  /// Top-1/top-5 accuracy on the held-out test set.
+  nn::Accuracy evaluate();
+
+  /// Snapshots the full training state: per-layer weights/biases, momentum,
+  /// and counters. Dense-layer weights (and their momentum, gathered at the
+  /// same stored positions) leave in the paper's sparse two-array form so
+  /// the checkpoint writer can code them error-bounded.
+  TrainingState capture() const;
+
+  /// Rebuilds training state from a (possibly lossy) checkpoint: weights,
+  /// masks (re-derived from restored sparsity for masked layers), momentum,
+  /// and the shuffle position. Throws std::runtime_error on a model-name or
+  /// shape mismatch. After restore, the next step() continues the run as if
+  /// never interrupted (bit-exact under lossless codecs; within the recorded
+  /// bounds under sz/zfp).
+  void restore(const TrainingState& state);
+
+  std::int64_t step_count() const { return step_; }
+  std::int64_t samples_seen() const { return samples_seen_; }
+  std::int64_t epoch() const { return epoch_; }
+  std::uint64_t seed() const { return config_.seed; }
+  nn::Network& net() { return *net_; }
+  const tensor::Tensor& test_images() const { return *test_images_; }
+  const std::vector<int>& test_labels() const { return *test_labels_; }
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  void reshuffle(std::int64_t epoch);
+
+  nn::Network* net_;
+  const tensor::Tensor* train_images_;
+  const std::vector<int>* train_labels_;
+  const tensor::Tensor* test_images_;
+  const std::vector<int>* test_labels_;
+  TrainerConfig config_;
+  nn::Sgd sgd_;
+
+  std::int64_t step_ = 0;
+  std::int64_t samples_seen_ = 0;
+  std::int64_t epoch_ = 0;
+  std::int64_t cursor_ = 0;  // position in order_ within the current epoch
+  std::vector<std::int64_t> order_;
+};
+
+}  // namespace deepsz::train

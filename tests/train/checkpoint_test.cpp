@@ -1,0 +1,355 @@
+// DSZK checkpoint container: round-trips, seekable reads, error-bound
+// honoring, manager rotation, and Trainer capture/restore semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/weight_synthesis.h"
+#include "sparse/pruned_layer.h"
+#include "tests/compress/tiny_model.h"
+#include "train/checkpoint.h"
+#include "train/checkpoint_manager.h"
+#include "train/trainer.h"
+
+namespace deepsz::train {
+namespace {
+
+// A hand-built two-layer training state with every stream kind present.
+TrainingState sample_state() {
+  TrainingState state;
+  state.model = "sample-net";
+  state.seed = 0x5eed;
+  state.step = 123;
+  state.samples_seen = 7872;
+
+  auto pl = data::synthesize_pruned_layer("fc1", 24, 96, 0.2, 404);
+  CheckpointStream data;
+  data.name = "fc1.data";
+  data.kind = StreamKind::kFcData;
+  data.masked = true;
+  data.rows = pl.rows;
+  data.cols = pl.cols;
+  data.floats = pl.data;
+  state.streams.push_back(data);
+
+  CheckpointStream index;
+  index.name = "fc1.index";
+  index.kind = StreamKind::kFcIndex;
+  index.rows = pl.rows;
+  index.cols = pl.cols;
+  index.bytes = pl.index;
+  state.streams.push_back(index);
+
+  CheckpointStream bias;
+  bias.name = "fc1.bias";
+  for (int i = 0; i < 24; ++i) bias.floats.push_back(0.01f * i - 0.1f);
+  state.streams.push_back(bias);
+
+  CheckpointStream wvel;
+  wvel.name = "fc1.wvel";
+  wvel.kind = StreamKind::kFcData;
+  wvel.rows = pl.rows;
+  wvel.cols = pl.cols;
+  for (std::size_t i = 0; i < pl.data.size(); ++i) {
+    wvel.floats.push_back(pl.data[i] == 0.0f ? 0.0f : 0.001f * (i % 7));
+  }
+  state.streams.push_back(wvel);
+
+  CheckpointStream bvel;
+  bvel.name = "fc1.bvel";
+  bvel.floats.assign(24, 0.0f);
+  state.streams.push_back(bvel);
+  return state;
+}
+
+CheckpointOptions lossless_options() {
+  CheckpointOptions options;
+  options.data_codec = "f32";
+  options.lossless_codec = "zstd";
+  options.eb = {{"fc1.data", 0.0}, {"fc1.wvel", 0.0}};
+  options.default_eb = 0.0;
+  return options;
+}
+
+TEST(Checkpoint, LosslessRoundTripIsBitExact) {
+  auto state = sample_state();
+  auto bytes = write_checkpoint(state, lossless_options());
+  auto back = read_checkpoint(bytes);
+
+  EXPECT_EQ(back.model, state.model);
+  EXPECT_EQ(back.seed, state.seed);
+  EXPECT_EQ(back.step, state.step);
+  EXPECT_EQ(back.samples_seen, state.samples_seen);
+  ASSERT_EQ(back.streams.size(), state.streams.size());
+  for (std::size_t i = 0; i < state.streams.size(); ++i) {
+    const auto& a = state.streams[i];
+    const auto& b = back.streams[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.masked, a.masked);
+    EXPECT_EQ(b.rows, a.rows);
+    EXPECT_EQ(b.cols, a.cols);
+    EXPECT_EQ(b.floats, a.floats) << a.name;
+    EXPECT_EQ(b.bytes, a.bytes) << a.name;
+    EXPECT_EQ(b.eb, 0.0) << a.name;
+  }
+}
+
+TEST(Checkpoint, LossyStreamsHonorTheRecordedBound) {
+  auto state = sample_state();
+  CheckpointOptions options;
+  options.data_codec = "sz";
+  options.eb = {{"fc1.data", 1e-3}, {"fc1.wvel", 5e-4}};
+  auto back = read_checkpoint(write_checkpoint(state, options));
+
+  const CheckpointStream* data = back.find("fc1.data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->eb, 1e-3);
+  ASSERT_EQ(data->floats.size(), state.streams[0].floats.size());
+  for (std::size_t i = 0; i < data->floats.size(); ++i) {
+    EXPECT_LE(std::abs(data->floats[i] - state.streams[0].floats[i]), 1e-3);
+  }
+  const CheckpointStream* wvel = back.find("fc1.wvel");
+  ASSERT_NE(wvel, nullptr);
+  EXPECT_EQ(wvel->eb, 5e-4);
+  for (std::size_t i = 0; i < wvel->floats.size(); ++i) {
+    EXPECT_LE(std::abs(wvel->floats[i] - state.streams[3].floats[i]), 5e-4);
+  }
+  // The lossless streams stay bit-exact regardless of the data codec.
+  EXPECT_EQ(back.find("fc1.index")->bytes, state.streams[1].bytes);
+  EXPECT_EQ(back.find("fc1.bias")->floats, state.streams[2].floats);
+}
+
+TEST(Checkpoint, ReaderSeeksOneStreamWithoutDecodingOthers) {
+  auto state = sample_state();
+  auto bytes = write_checkpoint(state, lossless_options());
+  CheckpointReader reader(bytes);
+
+  EXPECT_EQ(reader.model(), "sample-net");
+  EXPECT_EQ(reader.step(), 123);
+  EXPECT_EQ(reader.samples_seen(), 7872);
+  ASSERT_EQ(reader.num_streams(), 5u);
+  EXPECT_TRUE(reader.contains("fc1.wvel"));
+  EXPECT_FALSE(reader.contains("fc9.data"));
+  EXPECT_GT(reader.payload_bytes(), 0u);
+  EXPECT_LT(reader.payload_bytes(), bytes.size());
+
+  // Metadata is available without decoding any payload.
+  const auto& entries = reader.entries();
+  EXPECT_EQ(entries[0].name, "fc1.data");
+  EXPECT_EQ(entries[0].count, state.streams[0].floats.size());
+  EXPECT_EQ(entries[0].codec, "f32");
+  EXPECT_TRUE(entries[0].masked);
+  EXPECT_EQ(entries[1].kind, StreamKind::kFcIndex);
+
+  auto bias = reader.decode_stream("fc1.bias");
+  EXPECT_EQ(bias.floats, state.streams[2].floats);
+  auto by_index = reader.decode_stream(std::size_t{2});
+  EXPECT_EQ(by_index.floats, bias.floats);
+  EXPECT_THROW(reader.decode_stream("nope"), std::runtime_error);
+  EXPECT_THROW(reader.decode_stream(std::size_t{5}), std::out_of_range);
+}
+
+TEST(Checkpoint, WriterRejectsBadStreamMetadata) {
+  auto state = sample_state();
+  state.streams[0].name = "";
+  EXPECT_THROW(write_checkpoint(state), std::invalid_argument);
+
+  state = sample_state();
+  state.streams[0].rows = 0;
+  EXPECT_THROW(write_checkpoint(state), std::invalid_argument);
+
+  state = sample_state();
+  CheckpointOptions options;
+  options.eb = {{"fc1.data", std::nan("")}};
+  EXPECT_THROW(write_checkpoint(state, options), std::invalid_argument);
+
+  state = sample_state();
+  options = {};
+  options.data_codec = "no-such-codec";
+  EXPECT_THROW(write_checkpoint(state, options), std::invalid_argument);
+}
+
+TEST(Checkpoint, FileRoundTripAndAtomicReplace) {
+  auto dir = std::filesystem::temp_directory_path() / "deepsz_ckpt_test";
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "state.dszk").string();
+
+  auto state = sample_state();
+  write_checkpoint_file(path, state, lossless_options());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto back = read_checkpoint_file(path);
+  EXPECT_EQ(back.streams[0].floats, state.streams[0].floats);
+
+  // Overwrite with different counters: the rename replaces atomically.
+  state.step = 456;
+  write_checkpoint_file(path, state, lossless_options());
+  EXPECT_EQ(read_checkpoint_file(path).step, 456);
+
+  EXPECT_THROW(read_checkpoint_file((dir / "missing.dszk").string()),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------- Trainer
+
+TEST(CheckpointResume, LossyRestoreHonorsBoundsAndRebuildsMask) {
+  auto m = testing::make_tiny_pruned(/*prune=*/true);
+  Trainer trainer(m.net, m.train.images, m.train.labels, m.test.images,
+                  m.test.labels, TrainerConfig{});
+  trainer.run_to(12);
+  auto state = trainer.capture();
+
+  CheckpointOptions options;
+  options.data_codec = "sz";
+  options.eb = {{"fc1.data", 1e-3}, {"fc1.wvel", 1e-3},
+                {"fc2.data", 1e-3}, {"fc2.wvel", 1e-3}};
+  auto lossy = read_checkpoint(write_checkpoint(state, options));
+
+  auto m2 = testing::make_tiny_pruned(/*prune=*/false);
+  Trainer restored(m2.net, m2.train.images, m2.train.labels, m2.test.images,
+                   m2.test.labels, TrainerConfig{});
+  restored.restore(lossy);
+
+  EXPECT_EQ(restored.step_count(), 12);
+  EXPECT_EQ(restored.samples_seen(), trainer.samples_seen());
+
+  for (nn::Dense* orig : m.net.dense_layers()) {
+    nn::Dense* back = m2.net.find_dense(orig->name());
+    ASSERT_NE(back, nullptr);
+    ASSERT_TRUE(back->has_mask()) << orig->name();
+    const tensor::Tensor& wo = orig->weight();
+    const tensor::Tensor& wb = back->weight();
+    ASSERT_EQ(wb.numel(), wo.numel());
+    for (std::int64_t i = 0; i < wo.numel(); ++i) {
+      if (wo[i] == 0.0f) {
+        // Pruned positions restore to exactly zero — a lossy codec must
+        // not implant ~eb noise where the mask says zero.
+        EXPECT_EQ(wb[i], 0.0f) << orig->name() << "[" << i << "]";
+      } else {
+        EXPECT_LE(std::abs(wb[i] - wo[i]), 1e-3)
+            << orig->name() << "[" << i << "]";
+      }
+    }
+    // The rebuilt mask matches the original pruning pattern.
+    ASSERT_NE(orig->mask(), nullptr);
+    EXPECT_EQ(*back->mask(), *orig->mask()) << orig->name();
+  }
+
+  // The resumed run must keep training without disturbing the masks.
+  restored.run_to(20);
+  for (nn::Dense* back : m2.net.dense_layers()) {
+    const auto& mask = *back->mask();
+    const tensor::Tensor& w = back->weight();
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      if (mask[static_cast<std::size_t>(i)] == 0.0f) {
+        EXPECT_EQ(w[i], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(CheckpointResume, RestoreRejectsMismatches) {
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  Trainer trainer(m.net, m.train.images, m.train.labels, m.test.images,
+                  m.test.labels, TrainerConfig{});
+  auto state = trainer.capture();
+
+  auto wrong_model = state;
+  wrong_model.model = "other-net";
+  EXPECT_THROW(trainer.restore(wrong_model), std::runtime_error);
+
+  auto missing = state;
+  missing.streams.erase(missing.streams.begin());  // drop fc1.data
+  EXPECT_THROW(trainer.restore(missing), std::runtime_error);
+
+  auto bad_bias = state;
+  for (auto& s : bad_bias.streams) {
+    if (s.name == "fc1.bias") s.floats.pop_back();
+  }
+  EXPECT_THROW(trainer.restore(bad_bias), std::runtime_error);
+
+  // A failed restore must not corrupt the trainer: training still runs.
+  trainer.run_to(2);
+  EXPECT_EQ(trainer.step_count(), 2);
+}
+
+TEST(CheckpointManager, WritesEveryKAndRotates) {
+  auto dir = std::filesystem::temp_directory_path() / "deepsz_ckpt_mgr";
+  std::filesystem::remove_all(dir);
+
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  Trainer trainer(m.net, m.train.images, m.train.labels, m.test.images,
+                  m.test.labels, TrainerConfig{});
+
+  CheckpointConfig cfg;
+  cfg.dir = dir.string();
+  cfg.every = 3;
+  cfg.keep_last = 2;
+  cfg.assess_bounds = false;  // fixed bound: the policy has its own test
+  cfg.default_eb = 1e-3;
+  CheckpointManager manager(cfg);
+
+  trainer.run_to(10, &manager);
+  // Steps 3, 6, 9 hit the interval; rotation keeps the last two.
+  ASSERT_EQ(manager.written().size(), 2u);
+  EXPECT_TRUE(manager.written()[0].find("ckpt_000006") != std::string::npos);
+  EXPECT_TRUE(manager.written()[1].find("ckpt_000009") != std::string::npos);
+  for (const auto& path : manager.written()) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir / "ckpt_000003.dszk"));
+
+  // The newest checkpoint resumes to the step it was written at.
+  auto back = read_checkpoint_file(manager.written().back());
+  EXPECT_EQ(back.step, 9);
+
+  // maybe_write refuses a duplicate at the same step; write() forces one.
+  EXPECT_EQ(manager.maybe_write(trainer), "");
+  EXPECT_NE(manager.write(trainer), "");
+  EXPECT_EQ(read_checkpoint_file(manager.written().back()).step, 10);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointManager, F32CodecForcesLosslessBounds) {
+  auto m = testing::make_tiny_pruned(/*prune=*/false);
+  Trainer trainer(m.net, m.train.images, m.train.labels, m.test.images,
+                  m.test.labels, TrainerConfig{});
+
+  auto dir = std::filesystem::temp_directory_path() / "deepsz_ckpt_f32";
+  std::filesystem::remove_all(dir);
+  CheckpointConfig cfg;
+  cfg.dir = dir.string();
+  cfg.every = 2;
+  cfg.data_codec = "f32";
+  cfg.assess_bounds = true;  // would assess, but f32 short-circuits it
+  CheckpointManager manager(cfg);
+
+  trainer.run_to(2, &manager);
+  ASSERT_EQ(manager.written().size(), 1u);
+  for (const auto& [layer, eb] : manager.bounds()) {
+    EXPECT_EQ(eb, 0.0) << layer;
+  }
+  // A lossless checkpoint restores the weights bit-exactly.
+  auto back = read_checkpoint_file(manager.written()[0]);
+  auto now = trainer.capture();
+  EXPECT_EQ(back.find("fc1.data")->floats, now.find("fc1.data")->floats);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointManager, RejectsBadConfig) {
+  CheckpointConfig cfg;
+  cfg.every = 0;
+  EXPECT_THROW(CheckpointManager{cfg}, std::invalid_argument);
+  cfg.every = 1;
+  cfg.keep_last = -1;
+  EXPECT_THROW(CheckpointManager{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepsz::train

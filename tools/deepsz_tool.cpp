@@ -37,6 +37,7 @@
 
 #include "codec/registry.h"
 #include "compress/compare.h"
+#include "compress/finetune.h"
 #include "compress/registry.h"
 #include "compress/session.h"
 #include "core/model_codec.h"
@@ -112,6 +113,16 @@ constexpr Subcommand kSubcommands[] = {
      "compress a zoo model (tiny|lenet300|lenet5)"},
     {"compare", "<model> [strategy-spec...]",
      "ratio/accuracy/timing table (default: every strategy)"},
+    {"train",
+     "<model> [steps=200] [--seed N] [--ckpt-dir D] [--every K]\n"
+     "        [--codec <float-spec>] [--eb X] [--resume <ckpt.dszk>]",
+     "deterministic SGD training with error-bounded checkpoints"},
+    {"finetune",
+     "<model> <out.dszc> [steps=200] [--seed N] [--keep <ratio>]\n"
+     "        [--ckpt-dir D] [--every K] [--codec <float-spec>] [--eb X]\n"
+     "        [--resume <ckpt.dszk>] [--strategy <spec>]",
+     "prune + fine-tune with lossy checkpoints, then encode a servable "
+     "container"},
     {"sz-compress", "<in.f32> <out> [eb=1e-3] [codec=sz]",
      "error-bounded compression of a raw fp32 file"},
     {"sz-decompress", "<in.sz> <out.f32>", "restore a raw fp32 file"},
@@ -359,6 +370,154 @@ int run(int argc, char** argv) {
     }
     std::printf("compared %zu strategies\n", rows.size());
     return all_ok ? kExitOk : kExitRuntime;
+  }
+  if (cmd == "train" && argc >= 3) {
+    std::int64_t steps = 200;
+    bool have_steps = false;
+    deepsz::train::TrainerConfig tcfg;
+    deepsz::train::CheckpointConfig ccfg;
+    std::string resume;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("train: " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        tcfg.seed = static_cast<std::uint64_t>(parse_double(next(), "seed"));
+      } else if (arg == "--ckpt-dir") {
+        ccfg.dir = next();
+      } else if (arg == "--every") {
+        const double every = parse_double(next(), "every");
+        if (!(every >= 1 && every <= 1e9)) {
+          throw deepsz::codec::BadOptions("--every must be in [1, 1e9]");
+        }
+        ccfg.every = static_cast<std::int64_t>(every);
+      } else if (arg == "--codec") {
+        ccfg.data_codec = next();
+      } else if (arg == "--eb") {
+        ccfg.default_eb = parse_double(next(), "error bound");
+        ccfg.assess_bounds = false;  // explicit bound replaces the policy
+      } else if (arg == "--resume") {
+        resume = next();
+      } else if (!have_steps && !arg.empty() && arg[0] != '-') {
+        const double steps_d = parse_double(arg.c_str(), "steps");
+        if (!(steps_d >= 0 && steps_d <= 1e9)) {
+          throw deepsz::codec::BadOptions("steps must be in [0, 1e9]");
+        }
+        steps = static_cast<std::int64_t>(steps_d);
+        have_steps = true;
+      } else {
+        return usage();
+      }
+    }
+    auto m = load_tool_model(argv[2]);
+    deepsz::train::Trainer trainer(m.net, m.train.images, m.train.labels,
+                                   m.test.images, m.test.labels, tcfg);
+    if (!resume.empty()) {
+      trainer.restore(deepsz::train::read_checkpoint_file(resume));
+      std::printf("resumed %s at step %lld (seed %llu)\n", argv[2],
+                  static_cast<long long>(trainer.step_count()),
+                  static_cast<unsigned long long>(trainer.seed()));
+    }
+    auto acc0 = trainer.evaluate();
+    deepsz::train::CheckpointManager manager(ccfg);
+    const auto start_step = trainer.step_count();
+    double loss = trainer.run_to(steps, &manager);
+    if (trainer.step_count() > start_step) manager.write(trainer);
+    auto acc1 = trainer.evaluate();
+    std::printf("trained %s: step %lld -> %lld, loss %.4f, top-1 %.4f -> "
+                "%.4f in %.1f s\n",
+                argv[2], static_cast<long long>(start_step),
+                static_cast<long long>(trainer.step_count()), loss, acc0.top1,
+                acc1.top1, timer.millis() / 1000.0);
+    for (const auto& path : manager.written()) {
+      std::printf("  checkpoint %s\n", path.c_str());
+    }
+    for (const auto& [layer, eb] : manager.bounds()) {
+      std::printf("  bound %-8s %g\n", layer.c_str(), eb);
+    }
+    return kExitOk;
+  }
+  if (cmd == "finetune" && argc >= 4) {
+    deepsz::compress::FinetuneSpec fspec;
+    double keep_override = 0.0;
+    bool have_steps = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("finetune: " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        fspec.trainer.seed =
+            static_cast<std::uint64_t>(parse_double(next(), "seed"));
+      } else if (arg == "--keep") {
+        keep_override = parse_double(next(), "keep ratio");
+        if (!(keep_override > 0.0 && keep_override <= 1.0)) {
+          throw deepsz::codec::BadOptions("--keep must be in (0, 1]");
+        }
+      } else if (arg == "--ckpt-dir") {
+        fspec.checkpoint.dir = next();
+      } else if (arg == "--every") {
+        const double every = parse_double(next(), "every");
+        if (!(every >= 1 && every <= 1e9)) {
+          throw deepsz::codec::BadOptions("--every must be in [1, 1e9]");
+        }
+        fspec.checkpoint.every = static_cast<std::int64_t>(every);
+      } else if (arg == "--codec") {
+        fspec.checkpoint.data_codec = next();
+      } else if (arg == "--eb") {
+        fspec.checkpoint.default_eb = parse_double(next(), "error bound");
+        fspec.checkpoint.assess_bounds = false;
+      } else if (arg == "--resume") {
+        fspec.resume_from = next();
+      } else if (arg == "--strategy") {
+        fspec.strategy = next();
+      } else if (!have_steps && !arg.empty() && arg[0] != '-') {
+        const double steps_d = parse_double(arg.c_str(), "steps");
+        if (!(steps_d >= 0 && steps_d <= 1e9)) {
+          throw deepsz::codec::BadOptions("steps must be in [0, 1e9]");
+        }
+        fspec.steps = static_cast<std::int64_t>(steps_d);
+        have_steps = true;
+      } else {
+        return usage();
+      }
+    }
+    auto m = load_tool_model(argv[2]);
+    fspec.prune.keep_ratio = m.keep_ratio;
+    if (keep_override > 0.0) {
+      for (auto& [name, ratio] : fspec.prune.keep_ratio) {
+        ratio = keep_override;
+      }
+    }
+    auto report = deepsz::compress::finetune_and_encode(
+        m.net, m.train.images, m.train.labels, m.test.images, m.test.labels,
+        fspec);
+    write_file(argv[3], report.compress.model.bytes);
+    std::printf("fine-tuned %s: step %lld -> %lld, loss %.4f, top-1 %.4f -> "
+                "%.4f\n",
+                argv[2], static_cast<long long>(report.start_step),
+                static_cast<long long>(report.end_step), report.final_loss,
+                report.acc_start.top1, report.acc_tuned.top1);
+    for (const auto& path : report.checkpoints) {
+      std::printf("  checkpoint %s\n", path.c_str());
+    }
+    for (const auto& [layer, eb] : report.checkpoint_bounds) {
+      std::printf("  bound %-8s %g\n", layer.c_str(), eb);
+    }
+    std::printf("%s: %zu -> %zu bytes (%.1fx), decoded top-1 %.4f, %s\n",
+                report.compress.strategy.c_str(),
+                report.compress.dense_fc_bytes,
+                report.compress.model.compressed_payload_bytes(),
+                report.compress.compression_ratio,
+                report.compress.acc_decoded.top1, argv[3]);
+    return kExitOk;
   }
   if (cmd == "sz-compress" && argc >= 4 && argc <= 6) {
     auto data = as_floats(read_file(argv[2]));

@@ -15,6 +15,9 @@
 //   dc_v3.dszc       the same layers Deep-Compression coded ("dc" codebook
 //                    data streams + "huffman" index streams), pinning the
 //                    compressed-domain (codebook-CSR) decode path
+//   ckpt_v1.dszk     a DSZK training checkpoint (fc6 weight/index/bias plus
+//                    velocity streams, sz-coded data, zstd lossless),
+//                    pinning the checkpoint decode path
 //
 // Set DEEPSZ_NO_AVX2=1 when regenerating: v2 *encoding* may differ across
 // hosts with different SIMD support (decoding never does).
@@ -33,6 +36,7 @@
 #include "lossless/codec.h"
 #include "serve/model_store.h"
 #include "sz/sz.h"
+#include "train/checkpoint.h"
 #include "util/byte_io.h"
 #include "util/crc32.h"
 
@@ -191,6 +195,77 @@ void report_sz(const char* label, const std::vector<std::uint8_t>& stream) {
               stream.size(), util::crc32(stream), float_crc(decoded));
 }
 
+/// Hand-built training state (NOT a Trainer run — those depend on the gemm
+/// backend) so the checkpoint fixture is reproducible on any host.
+train::TrainingState ckpt_fixture_state() {
+  const auto fc6 = data::synthesize_pruned_layer("fc6", 24, 32, 0.25, 1001);
+  train::TrainingState state;
+  state.model = "golden-net";
+  state.seed = 2024;
+  state.step = 321;
+  state.samples_seen = 41088;
+
+  train::CheckpointStream data;
+  data.name = "fc6.data";
+  data.kind = train::StreamKind::kFcData;
+  data.masked = true;
+  data.rows = fc6.rows;
+  data.cols = fc6.cols;
+  data.floats = fc6.data;
+  state.streams.push_back(std::move(data));
+
+  train::CheckpointStream index;
+  index.name = "fc6.index";
+  index.kind = train::StreamKind::kFcIndex;
+  index.rows = fc6.rows;
+  index.cols = fc6.cols;
+  index.bytes = fc6.index;
+  state.streams.push_back(std::move(index));
+
+  train::CheckpointStream bias;
+  bias.name = "fc6.bias";
+  bias.kind = train::StreamKind::kFloats;
+  bias.floats = fixture_bias();
+  state.streams.push_back(std::move(bias));
+
+  train::CheckpointStream wvel;
+  wvel.name = "fc6.wvel";
+  wvel.kind = train::StreamKind::kFloats;
+  for (std::size_t i = 0; i < fc6.data.size(); ++i) {
+    wvel.floats.push_back(0.001f * static_cast<float>(i % 5) - 0.002f);
+  }
+  state.streams.push_back(std::move(wvel));
+
+  train::CheckpointStream bvel;
+  bvel.name = "fc6.bvel";
+  bvel.kind = train::StreamKind::kFloats;
+  bvel.floats.assign(24, 0.0f);
+  state.streams.push_back(std::move(bvel));
+  return state;
+}
+
+std::vector<std::uint8_t> encode_ckpt_v1() {
+  train::CheckpointOptions options;
+  options.data_codec = "sz";
+  options.lossless_codec = "zstd";
+  options.eb = {{"fc6.data", 1e-3}};
+  return train::write_checkpoint(ckpt_fixture_state(), options);
+}
+
+void report_ckpt(const char* label, const std::vector<std::uint8_t>& bytes) {
+  train::CheckpointReader reader(bytes);
+  reader.verify_body_crc();
+  std::printf("%s: %zu bytes, file crc 0x%08x\n", label, bytes.size(),
+              util::crc32(bytes));
+  for (std::size_t i = 0; i < reader.num_streams(); ++i) {
+    auto s = reader.decode_stream(i);
+    std::uint32_t crc =
+        s.kind == train::StreamKind::kFcIndex ? util::crc32(s.bytes)
+                                              : float_crc(s.floats);
+    std::printf("  %-9s decoded crc 0x%08x\n", s.name.c_str(), crc);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,15 +275,18 @@ int main(int argc, char** argv) {
   auto sz_v1 = encode_sz_stream(1);
   auto sz_v2 = encode_sz_stream(2);
   auto dc = encode_dc_v3();
+  auto ckpt = encode_ckpt_v1();
   write_file(dir + "/legacy_v2.dszc", legacy);
   write_file(dir + "/indexed_v3.dszc", indexed);
   write_file(dir + "/sz_v1.szs", sz_v1);
   write_file(dir + "/sz_v2.szs", sz_v2);
   write_file(dir + "/dc_v3.dszc", dc);
+  write_file(dir + "/ckpt_v1.dszk", ckpt);
   report("legacy_v2.dszc", legacy);
   report("indexed_v3.dszc", indexed);
   report_sz("sz_v1.szs", sz_v1);
   report_sz("sz_v2.szs", sz_v2);
   report_dc("dc_v3.dszc", dc);
+  report_ckpt("ckpt_v1.dszk", ckpt);
   return 0;
 }
