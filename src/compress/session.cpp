@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -76,11 +77,20 @@ void CompressionSession::prepare_state_hooks(Stage stage) {
 
 void CompressionSession::begin_stage(Stage stage) {
   checkpoint();
+  stage_start_ns_ = obs::now_ns();
   prepare_state_hooks(stage);
 }
 
 void CompressionSession::finish_stage(Stage stage, bool skipped,
                                       double seconds, std::string detail) {
+  if (obs::Tracer::enabled()) {
+    // Span the stage with its own reported duration (the stage timers start
+    // after begin_stage, so the span and the report agree).
+    obs::Tracer::emit(stage_name(stage), "compress", info_.name,
+                      skipped ? "skipped" : "done", stage_start_ns_,
+                      static_cast<std::uint64_t>(seconds * 1e9));
+    obs::Tracer::record_stage(stage_name(stage), info_.name, seconds * 1e3);
+  }
   auto& r = mutable_report(stage);
   r.done = true;
   r.skipped = skipped;

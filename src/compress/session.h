@@ -117,6 +117,7 @@ class CompressionSession {
   CompressorInfo info_;
   SessionState state_;
   std::array<StageReport, kNumStages> reports_;
+  std::uint64_t stage_start_ns_ = 0;  // trace-span start of the running stage
   ProgressFn progress_;
   std::atomic<bool> cancel_{false};
 };

@@ -1,0 +1,102 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace deepsz::obs {
+
+namespace {
+
+/// JSON string escaping; labels are short, so no attempt at cleverness.
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Trace-event timestamps are microseconds (may be fractional; we emit
+/// thousandths to keep sub-µs spans visible).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot) {
+  std::string out;
+  out.reserve(128 + snapshot.events.size() * 160);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot.events) {
+    if (e.name == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.category != nullptr ? e.category : "app");
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_us(out, e.start_ns);
+    out += ",\"dur\":";
+    append_us(out, e.dur_ns);
+    out += ",\"pid\":1,\"tid\":";
+    append_u64(out, e.tid);
+    out += ",\"args\":{";
+    bool first_arg = true;
+    if (e.detail[0] != '\0') {
+      out += "\"detail\":\"";
+      append_escaped(out, e.detail);
+      out += '"';
+      first_arg = false;
+    }
+    if (e.phase[0] != '\0') {
+      if (!first_arg) out += ',';
+      out += "\"phase\":\"";
+      append_escaped(out, e.phase);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":\"";
+  append_u64(out, snapshot.dropped);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace deepsz::obs

@@ -1,0 +1,18 @@
+// Chrome trace-event export: turns a Tracer snapshot into the JSON object
+// format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace deepsz::obs {
+
+/// Serializes the snapshot as a Chrome trace-event JSON document. Every
+/// span becomes one "X" (complete) event with microsecond ts/dur, pid 1,
+/// tid = the recording ring's id, and `detail`/`phase` under "args". The
+/// dropped-span count is reported in "otherData".
+std::string to_chrome_json(const TraceSnapshot& snapshot);
+
+}  // namespace deepsz::obs

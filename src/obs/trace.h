@@ -1,0 +1,197 @@
+// End-to-end tracing: per-request spans from socket to codec.
+//
+// Every instrumented scope creates a TraceSpan (RAII); on destruction the
+// span is recorded into the calling thread's lock-free ring buffer. Rings
+// are fixed-capacity (drop-oldest, counted), written with relaxed atomics
+// only — the hot path takes no lock — and the process-wide Tracer snapshots
+// every ring without stopping writers via per-slot sequence validation
+// (a seqlock: a torn slot fails validation and is skipped, never returned).
+//
+// Two cost regimes:
+//   - runtime-disabled (the default): every instrumentation point is ONE
+//     relaxed atomic load and a branch; no ring is touched, no label copied.
+//   - compiled out (-DDEEPSZ_NO_TRACING): TraceSpan and Tracer collapse to
+//     empty inline stubs; call sites compile to nothing.
+//
+// Alongside the rings, Tracer keeps per-(stage, model) latency histograms —
+// the aggregate view `/metrics` exports as deepsz_stage_ms{stage,model} —
+// fed by the same spans via TraceSpan::set_stage(). Span durations live in
+// the ring for a bounded window; stage histograms accumulate forever.
+//
+// Export: obs/export.h turns a snapshot into Chrome trace-event JSON that
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing; the
+// daemon serves it at `GET /v1/trace?last_ms=N`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace deepsz::obs {
+
+/// Label capacity per slot (one byte reserved for the NUL): dynamic labels
+/// (model, layer, phase) are copied truncated so the ring stays fixed-size
+/// and the writer never allocates.
+inline constexpr std::size_t kArgBytes = 24;
+
+/// One recorded span, as copied out of a ring by Tracer::snapshot().
+/// `name` and `category` are static-lifetime strings (the TraceSpan
+/// contract); `detail` and `phase` are NUL-terminated truncated copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char detail[kArgBytes] = {};
+  char phase[kArgBytes] = {};
+  std::uint64_t start_ns = 0;  // since process start (steady clock)
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // ring id, stable per OS thread while it lives
+};
+
+/// Everything Tracer::snapshot() returns: retained events (oldest first)
+/// plus how many were overwritten before anyone looked.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// One per-(stage, model) latency histogram, for /metrics.
+struct StageTimes {
+  std::string stage;
+  std::string model;
+  util::Histogram hist;
+};
+
+/// Nanoseconds since process start on the steady clock — the time base of
+/// every trace event. Available even with tracing compiled out (it also
+/// backs the /metrics uptime gauge).
+std::uint64_t now_ns();
+
+/// A steady_clock time_point on the trace time base, for spans whose start
+/// was captured before the emitting code runs (queue waits).
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp);
+
+#ifndef DEEPSZ_NO_TRACING
+
+class Tracer {
+ public:
+  /// The one branch every instrumentation point pays when tracing is off.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on);
+
+  /// Records one complete span into the calling thread's ring. `name` and
+  /// `category` must be static-lifetime strings; `detail`/`phase` are
+  /// copied (truncated to kArgBytes - 1). No-op while disabled.
+  static void emit(const char* name, const char* category,
+                   std::string_view detail, std::string_view phase,
+                   std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Adds one observation to the (stage, model) histogram. No-op while
+  /// disabled. Takes a mutex (not ring-buffered): callers are per-batch or
+  /// per-miss scopes, not per-element loops.
+  static void record_stage(std::string_view stage, std::string_view model,
+                           double ms);
+
+  /// Copies every ring without stopping writers. `last_ns` > 0 keeps only
+  /// events starting within the trailing window. Events are sorted by
+  /// start time; `dropped` counts ring overwrites since process start (or
+  /// the last reset()).
+  static TraceSnapshot snapshot(std::uint64_t last_ns = 0);
+
+  /// Spans overwritten before snapshot could see them, across all rings.
+  static std::uint64_t dropped_total();
+
+  /// The per-(stage, model) histograms, for /metrics.
+  static std::vector<StageTimes> stage_snapshot();
+
+  /// Slots per thread ring created AFTER this call (existing rings keep
+  /// their capacity). Rounded up to a power of two; default 4096.
+  static void set_ring_capacity(std::size_t slots);
+
+  /// Clears every ring, the stage histograms, and the dropped counter.
+  /// Callers must ensure no thread is concurrently recording (test and
+  /// tool use only).
+  static void reset();
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// RAII scope: records [construction, destruction) as one complete span.
+/// When tracing is disabled at construction the span is inert — every
+/// method is a no-op and nothing is recorded at destruction, even if
+/// tracing was enabled meanwhile (a half-timed span would lie).
+class TraceSpan {
+ public:
+  /// `name`/`category` must be static-lifetime strings (they are stored as
+  /// pointers in the ring). Typical categories: "http", "server", "serve",
+  /// "compress", "train".
+  explicit TraceSpan(const char* name, const char* category = "app") {
+    if (!Tracer::enabled()) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = now_ns();
+  }
+  ~TraceSpan() { close(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return name_ != nullptr; }
+
+  /// Free-form label (layer or model name), truncated to kArgBytes - 1.
+  void set_detail(std::string_view detail);
+  /// Phase/kind label (decode phase, serving form, outcome).
+  void set_phase(std::string_view phase);
+  /// Also record the duration into the (name, model) stage histogram at
+  /// close — the bridge from spans to deepsz_stage_ms{stage,model}.
+  void set_stage(std::string_view model);
+
+  /// Ends the span now (idempotent; the destructor calls it).
+  void close();
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  char detail_[kArgBytes] = {};
+  char phase_[kArgBytes] = {};
+  char stage_model_[kArgBytes] = {};
+  bool stage_set_ = false;
+};
+
+#else  // DEEPSZ_NO_TRACING: every call site compiles to nothing.
+
+class Tracer {
+ public:
+  static constexpr bool enabled() { return false; }
+  static void set_enabled(bool) {}
+  static void emit(const char*, const char*, std::string_view,
+                   std::string_view, std::uint64_t, std::uint64_t) {}
+  static void record_stage(std::string_view, std::string_view, double) {}
+  static TraceSnapshot snapshot(std::uint64_t = 0) { return {}; }
+  static std::uint64_t dropped_total() { return 0; }
+  static std::vector<StageTimes> stage_snapshot() { return {}; }
+  static void set_ring_capacity(std::size_t) {}
+  static void reset() {}
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, const char* = "app") {}
+  static constexpr bool active() { return false; }
+  void set_detail(std::string_view) {}
+  void set_phase(std::string_view) {}
+  void set_stage(std::string_view) {}
+  void close() {}
+};
+
+#endif  // DEEPSZ_NO_TRACING
+
+}  // namespace deepsz::obs

@@ -4,10 +4,43 @@
 #include <stdexcept>
 
 #include "baselines/codec_adapters.h"
+#include "obs/trace.h"
 #include "util/threadpool.h"
 #include "util/timer.h"
 
 namespace deepsz::serve {
+
+namespace {
+
+/// One "decode" span (tagged with form + layer) plus sequential child spans
+/// synthesized from the codec's own DecodeTiming — the Fig. 7-style
+/// lossless / eb_decode / reconstruct breakdown, without re-timing anything.
+/// Each phase also feeds the (stage, model) histograms behind
+/// deepsz_stage_ms.
+void trace_decode(const std::string& model, const std::string& layer_name,
+                  const ServedLayer& layer, std::uint64_t t0) {
+  const std::uint64_t t1 = obs::now_ns();
+  const char* form = serving_form_name(layer.form);
+  obs::Tracer::emit("decode", "serve", layer_name, form, t0,
+                    t1 > t0 ? t1 - t0 : 0);
+  std::uint64_t cursor = t0;
+  const auto child = [&](const char* phase_name, double ms) {
+    const auto dur = static_cast<std::uint64_t>(ms * 1e6);
+    obs::Tracer::emit(phase_name, "serve", layer_name, form, cursor, dur);
+    cursor += dur;
+  };
+  child("lossless", layer.timing.lossless_ms);
+  child("eb_decode", layer.timing.sz_ms);
+  child("reconstruct", layer.timing.reconstruct_ms);
+  obs::Tracer::record_stage("decode", model, layer.timing.total_ms());
+  obs::Tracer::record_stage("decode_lossless", model,
+                            layer.timing.lossless_ms);
+  obs::Tracer::record_stage("decode_eb", model, layer.timing.sz_ms);
+  obs::Tracer::record_stage("decode_reconstruct", model,
+                            layer.timing.reconstruct_ms);
+}
+
+}  // namespace
 
 /// Rendezvous for callers that requested a layer already being decoded.
 struct ModelStore::InFlight {
@@ -75,10 +108,16 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   // Decode outside mu_ so distinct layers decode concurrently.
   std::shared_ptr<const ServedLayer> layer;
   std::exception_ptr error;
+  const bool tracing = obs::Tracer::enabled();
+  const std::uint64_t trace_t0 = tracing ? obs::now_ns() : 0;
   try {
     layer = decode_now(entry_index);
   } catch (...) {
     error = std::current_exception();
+  }
+  if (tracing && layer) {
+    trace_decode(options_.trace_label.empty() ? "store" : options_.trace_label,
+                 name, *layer, trace_t0);
   }
 
   {

@@ -60,6 +60,10 @@ struct ModelStoreOptions {
   /// store attaches on construction and detaches (uncharging its resident
   /// bytes) on destruction.
   std::shared_ptr<SharedCacheBudget> shared_budget;
+  /// Model label for trace spans and deepsz_stage_ms{stage,model} — set by
+  /// ModelRepository to the serving name. Empty disables the model label
+  /// ("store" is used) but never the spans themselves.
+  std::string trace_label;
 };
 
 /// One decoded, inference-ready fc-layer. Immutable after publication;

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace deepsz::server {
@@ -359,7 +360,10 @@ void HttpFrontEnd::serve_connection(Conn& conn) {
     if (const std::string* c = req.header("connection")) {
       keep_alive = lowercased(*c) != "close";
     }
+    obs::TraceSpan dispatch_span("http_dispatch", "http");
+    dispatch_span.set_detail(req.target);
     const HttpResponse resp = dispatch_safely(handler_, req);
+    dispatch_span.close();
     if (!write_response(conn.fd, resp, keep_alive)) break;
   }
   ::shutdown(conn.fd, SHUT_RDWR);  // close happens in reap_finished()

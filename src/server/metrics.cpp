@@ -28,9 +28,14 @@ util::Histogram batch_buckets() {
 }  // namespace
 
 ServerMetrics::ServerMetrics()
-    : latency_ms_(latency_buckets()), batch_rows_(batch_buckets()) {}
+    : latency_ms_(latency_buckets()),
+      batch_rows_(batch_buckets()),
+      queue_ok_ms_(latency_buckets()),
+      queue_rejected_ms_(latency_buckets()),
+      execute_ms_(latency_buckets()) {}
 
-void ServerMetrics::record_result(InferStatus status, double latency_ms) {
+void ServerMetrics::record_result(InferStatus status, double latency_ms,
+                                  double queue_ms) {
   switch (status) {
     case InferStatus::kOk:
       ok_.fetch_add(1, std::memory_order_relaxed);
@@ -54,9 +59,16 @@ void ServerMetrics::record_result(InferStatus status, double latency_ms) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  if (status == InferStatus::kOk) {
+  const bool rejected = status == InferStatus::kOverloaded ||
+                        status == InferStatus::kDeadlineExceeded;
+  if (status == InferStatus::kOk || (rejected && queue_ms >= 0.0)) {
     util::MutexLock lock(hist_mu_);
-    latency_ms_.record(latency_ms);
+    if (status == InferStatus::kOk) {
+      latency_ms_.record(latency_ms);
+      if (queue_ms >= 0.0) queue_ok_ms_.record(queue_ms);
+    } else {
+      queue_rejected_ms_.record(queue_ms);
+    }
   }
 }
 
@@ -66,6 +78,7 @@ void ServerMetrics::record_batch(std::int64_t rows, double forward_ms) {
                           std::memory_order_relaxed);
   util::MutexLock lock(hist_mu_);
   batch_rows_.record(static_cast<double>(rows));
+  execute_ms_.record(forward_ms);
   forward_ms_ += forward_ms;
 }
 
@@ -84,12 +97,18 @@ ServerMetrics::Snapshot ServerMetrics::snapshot() const {
              .queue_depth = queue_depth_.load(std::memory_order_relaxed),
              .forward_ms = 0.0,
              .latency_ms = latency_buckets(),
-             .batch_rows_hist = batch_buckets()};
+             .batch_rows_hist = batch_buckets(),
+             .queue_ok_ms = latency_buckets(),
+             .queue_rejected_ms = latency_buckets(),
+             .execute_ms = latency_buckets()};
   s.requests = s.ok + s.not_found + s.invalid_input + s.shed +
                s.deadline_expired + s.shutting_down + s.errors;
   util::MutexLock lock(hist_mu_);
   s.latency_ms = latency_ms_;
   s.batch_rows_hist = batch_rows_;
+  s.queue_ok_ms = queue_ok_ms_;
+  s.queue_rejected_ms = queue_rejected_ms_;
+  s.execute_ms = execute_ms_;
   s.forward_ms = forward_ms_;
   return s;
 }
@@ -101,6 +120,9 @@ void ServerMetrics::reset() {
   util::MutexLock lock(hist_mu_);
   latency_ms_.reset();
   batch_rows_.reset();
+  queue_ok_ms_.reset();
+  queue_rejected_ms_.reset();
+  execute_ms_.reset();
   forward_ms_ = 0.0;
 }
 

@@ -22,10 +22,16 @@ class ServerMetrics {
 
   /// One terminal request outcome; `latency_ms` is admission-to-completion
   /// (recorded into the latency histogram for kOk only, so shed requests do
-  /// not fake a fast tail).
-  void record_result(InferStatus status, double latency_ms);
+  /// not fake a fast tail). `queue_ms` >= 0 is the admission-to-batch wait:
+  /// it feeds the ok queue-wait histogram for kOk and the rejected one for
+  /// shed / deadline-expired outcomes — without the rejected histogram,
+  /// load-shedding tuning only ever sees the survivors' waits.
+  void record_result(InferStatus status, double latency_ms,
+                     double queue_ms = -1.0);
 
-  /// One batched forward pass of `rows` coalesced rows.
+  /// One batched forward pass of `rows` coalesced rows. `forward_ms` also
+  /// feeds the execute-time histogram (the other half of the
+  /// queue-wait-vs-execute split).
   void record_batch(std::int64_t rows, double forward_ms);
 
   /// Queue depth gauge, maintained by the scheduler.
@@ -49,6 +55,9 @@ class ServerMetrics {
     double forward_ms = 0.0;            // cumulative batched forward time
     util::Histogram latency_ms;         // per-request, kOk only
     util::Histogram batch_rows_hist;    // rows per executed batch
+    util::Histogram queue_ok_ms;        // queue wait, served requests
+    util::Histogram queue_rejected_ms;  // queue wait, shed/deadline-expired
+    util::Histogram execute_ms;         // forward time per executed batch
 
     double mean_batch_rows() const {
       return batches ? static_cast<double>(batched_rows) /
@@ -69,6 +78,9 @@ class ServerMetrics {
   mutable util::Mutex hist_mu_;
   util::Histogram latency_ms_ DEEPSZ_GUARDED_BY(hist_mu_);
   util::Histogram batch_rows_ DEEPSZ_GUARDED_BY(hist_mu_);
+  util::Histogram queue_ok_ms_ DEEPSZ_GUARDED_BY(hist_mu_);
+  util::Histogram queue_rejected_ms_ DEEPSZ_GUARDED_BY(hist_mu_);
+  util::Histogram execute_ms_ DEEPSZ_GUARDED_BY(hist_mu_);
   double forward_ms_ DEEPSZ_GUARDED_BY(hist_mu_) = 0.0;
 };
 

@@ -35,6 +35,8 @@ std::shared_ptr<ServedModel> ModelRepository::build(
   // Serve each layer in its data-codec's native form: "dc" containers stay
   // resident as codebook-CSR (~4-5 bits/weight) instead of inflating to f32.
   opts.native_form = true;
+  // Decode spans and stage histograms attribute to the serving name.
+  opts.trace_label = name;
   model->store =
       std::make_shared<serve::ModelStore>(std::move(container), opts);
 

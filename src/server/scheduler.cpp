@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
 #include "serve/inference_session.h"
 #include "util/timer.h"
 
@@ -116,7 +117,11 @@ std::future<InferResult> RequestScheduler::submit(const std::string& model,
     ModelQueue& mq = queue_for(model);
     util::MutexLock lock(mq.m);
     if (mq.q.size() >= options_.queue_capacity) {
-      if (metrics_) metrics_->record_result(InferStatus::kOverloaded, 0.0);
+      // Shed at admission: the queue wait is genuinely zero, and recording
+      // it keeps the rejected-wait histogram honest about admission sheds.
+      if (metrics_) {
+        metrics_->record_result(InferStatus::kOverloaded, 0.0, 0.0);
+      }
       ready.set_value(fail(InferStatus::kOverloaded,
                            "queue full (" +
                                std::to_string(options_.queue_capacity) +
@@ -160,6 +165,7 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
   for (;;) {
     std::vector<Pending> batch;
     std::int64_t rows = 0;
+    Clock::time_point gather_t0{};
     {
       util::MutexLock lock(mq.m);
       if (mq.q.empty() && !mq.stop && state.session) {
@@ -175,6 +181,7 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
       if (mq.q.empty()) return;  // stop && drained
 
       take_front_locked(mq, batch, rows);
+      gather_t0 = Clock::now();
 
       // Gather: drain whatever is queued, then (unless stopping) linger up
       // to max_delay_us from the first pop for stragglers to coalesce. The
@@ -207,16 +214,39 @@ void RequestScheduler::worker_loop(std::string name, ModelQueue& mq) {
       }
     }
     if (metrics_) metrics_->on_dequeue(static_cast<std::int64_t>(batch.size()));
+    if (obs::Tracer::enabled()) {
+      // The linger window: first pop of this batch until the gather closed.
+      const std::uint64_t t0 = obs::to_trace_ns(gather_t0);
+      const std::uint64_t t1 = obs::to_trace_ns(Clock::now());
+      obs::Tracer::emit("linger", "server", name,
+                        std::to_string(batch.size()) + "req", t0,
+                        t1 > t0 ? t1 - t0 : 0);
+    }
     execute_batch(name, std::move(batch), state);
   }
 }
 
 void RequestScheduler::finish(Pending& p, InferResult result) {
   if (metrics_) {
-    metrics_->record_result(result.status,
-                            ms_since(p.enqueued, Clock::now()));
+    metrics_->record_result(result.status, ms_since(p.enqueued, Clock::now()),
+                            result.queue_ms);
   }
   p.promise.set_value(std::move(result));
+}
+
+/// One "queue" span per request that reached a batch: admission to batch
+/// start, phase "ok" or "expired".
+void RequestScheduler::trace_queue_wait(const std::string& name,
+                                        const Pending& p,
+                                        Clock::time_point batch_start,
+                                        const char* outcome) {
+  if (!obs::Tracer::enabled()) return;
+  const std::uint64_t t0 = obs::to_trace_ns(p.enqueued);
+  const std::uint64_t t1 = obs::to_trace_ns(batch_start);
+  obs::Tracer::emit("queue", "server", name, outcome, t0,
+                    t1 > t0 ? t1 - t0 : 0);
+  obs::Tracer::record_stage("queue", name,
+                            ms_since(p.enqueued, batch_start));
 }
 
 void RequestScheduler::execute_batch(const std::string& name,
@@ -231,6 +261,7 @@ void RequestScheduler::execute_batch(const std::string& name,
   live.reserve(batch.size());
   for (auto& p : batch) {
     if (p.req.has_deadline() && p.req.deadline < start) {
+      trace_queue_wait(name, p, start, "expired");
       InferResult r = fail(InferStatus::kDeadlineExceeded, "deadline expired");
       r.queue_ms = ms_since(p.enqueued, start);
       finish(p, std::move(r));
@@ -279,8 +310,15 @@ void RequestScheduler::execute_batch(const std::string& name,
       dst += p.req.input.size();
     }
 
+    for (const auto& p : runnable) trace_queue_wait(name, p, start, "ok");
+
     util::WallTimer forward;
+    obs::TraceSpan forward_span("forward", "server");
+    forward_span.set_detail(name);
+    forward_span.set_phase(std::to_string(rows) + "rows");
+    forward_span.set_stage(name);
     nn::Tensor y = state.session->infer(x);
+    forward_span.close();
     const double forward_ms = forward.millis();
     if (metrics_) metrics_->record_batch(rows, forward_ms);
 

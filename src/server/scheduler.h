@@ -110,6 +110,9 @@ class RequestScheduler {
   void execute_batch(const std::string& name, std::vector<Pending> batch,
                      WorkerState& state);
   void finish(Pending& p, InferResult result);
+  static void trace_queue_wait(const std::string& name, const Pending& p,
+                               std::chrono::steady_clock::time_point batch_start,
+                               const char* outcome);
 
   ModelRepository& repo_;
   const SchedulerOptions options_;

@@ -7,6 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "util/cpu.h"
+
+#ifndef DEEPSZ_VERSION
+#define DEEPSZ_VERSION "0.0.0-dev"
+#endif
+
 namespace deepsz::server {
 
 namespace {
@@ -163,6 +171,18 @@ void append_cache_json(std::ostringstream& os, const serve::CacheStats& s) {
   os << "},\"decode_ms\":" << s.decode_ms << "}";
 }
 
+std::string compiler_label() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
 void append_model_json(std::ostringstream& os, const ServedModel& m) {
   os << "{\"name\":\"" << json_escaped(m.name) << "\",\"version\":"
      << m.version << ",\"layers\":" << m.store->reader().num_layers()
@@ -202,7 +222,14 @@ void Server::stop() {
 }
 
 HttpResponse Server::handle(const HttpRequest& req) {
-  const std::string& t = req.target;
+  // Routes match on the path alone; the query string (today only
+  // /v1/trace?last_ms=N uses one) is split off here.
+  std::string t = req.target;
+  std::string query;
+  if (const std::size_t q = t.find('?'); q != std::string::npos) {
+    query = t.substr(q + 1);
+    t.resize(q);
+  }
   if (t == "/healthz") {
     if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
     return HttpResponse::text(200, "ok\n");
@@ -211,6 +238,10 @@ HttpResponse Server::handle(const HttpRequest& req) {
     if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
     return HttpResponse::text(200, metrics_text(),
                               "text/plain; version=0.0.4");
+  }
+  if (t == "/v1/trace") {
+    if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
+    return handle_trace(query);
   }
   if (t == "/v1/models") {
     if (req.method != "GET") return HttpResponse::text(405, "GET only\n");
@@ -252,6 +283,32 @@ HttpResponse Server::handle(const HttpRequest& req) {
   return HttpResponse::text(404, "no such route\n");
 }
 
+/// GET /v1/trace[?last_ms=N]: the tracing ring buffers as Chrome trace-event
+/// JSON (loadable in Perfetto). last_ms limits the window.
+HttpResponse Server::handle_trace(const std::string& query) const {
+  std::uint64_t last_ns = 0;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string kv = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const std::size_t eq = kv.find('=');
+    const std::string key = kv.substr(0, eq);
+    if (key != "last_ms") continue;  // unknown params are ignored
+    const std::string val = eq == std::string::npos ? "" : kv.substr(eq + 1);
+    char* end = nullptr;
+    const double ms = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || !(ms > 0.0)) {
+      return HttpResponse::text(400, "bad last_ms\n");
+    }
+    last_ns = static_cast<std::uint64_t>(ms * 1e6);
+  }
+  return HttpResponse::text(200,
+                            obs::to_chrome_json(obs::Tracer::snapshot(last_ns)),
+                            "application/json");
+}
+
 HttpResponse Server::handle_infer(const std::string& name,
                                   const HttpRequest& req) {
   const std::string* ct = req.header("content-type");
@@ -260,6 +317,9 @@ HttpResponse Server::handle_infer(const std::string& name,
 
   InferRequest infer_req;
   try {
+    obs::TraceSpan parse_span("http_parse", "http");
+    parse_span.set_detail(name);
+    parse_span.set_phase(binary ? "binary" : "csv");
     if (binary) {
       parse_binary(req.body, &infer_req.input, &infer_req.rows);
     } else {
@@ -286,6 +346,9 @@ HttpResponse Server::handle_infer(const std::string& name,
                               std::string(status_name(result.status)) + ": " +
                                   result.error + "\n");
   }
+  obs::TraceSpan serialize_span("serialize", "http");
+  serialize_span.set_detail(name);
+  serialize_span.set_phase(binary ? "binary" : "csv");
   if (binary) {
     return HttpResponse::bytes(
         200, format_binary(result.output, result.rows, result.cols));
@@ -350,13 +413,29 @@ std::string Server::models_json() const {
 std::string Server::metrics_text() const {
   const auto s = metrics_.snapshot();
   std::ostringstream os;
+  // Prometheus exposition groups every sample of a family after ONE
+  // HELP/TYPE pair, so per-model families iterate models inside the family,
+  // not the other way round.
+  auto family = [&](const char* name, const char* type, const char* help) {
+    os << "# HELP deepsz_" << name << " " << help << "\n";
+    os << "# TYPE deepsz_" << name << " " << type << "\n";
+  };
   auto counter = [&](const char* name, std::uint64_t v,
                      const char* labels = nullptr) {
     os << "deepsz_" << name;
     if (labels) os << "{" << labels << "}";
     os << " " << v << "\n";
   };
+  auto quantiles = [&](const char* name, const util::Histogram& h,
+                       const std::string& labels = "") {
+    for (double q : {0.5, 0.95, 0.99}) {
+      os << "deepsz_" << name << "{" << labels
+         << (labels.empty() ? "" : ",") << "quantile=\"" << q << "\"} "
+         << h.quantile(q) << "\n";
+    }
+  };
 
+  family("requests_total", "counter", "Terminal request outcomes by status.");
   counter("requests_total", s.ok, "status=\"ok\"");
   counter("requests_total", s.not_found, "status=\"not_found\"");
   counter("requests_total", s.invalid_input, "status=\"invalid_input\"");
@@ -364,48 +443,114 @@ std::string Server::metrics_text() const {
   counter("requests_total", s.deadline_expired, "status=\"deadline_exceeded\"");
   counter("requests_total", s.shutting_down, "status=\"shutting_down\"");
   counter("requests_total", s.errors, "status=\"internal_error\"");
+  family("batches_total", "counter", "Batched forward passes executed.");
   counter("batches_total", s.batches);
+  family("batched_rows_total", "counter", "Rows across executed batches.");
   counter("batched_rows_total", s.batched_rows);
+  family("queue_depth", "gauge", "Requests queued across all models.");
   os << "deepsz_queue_depth " << s.queue_depth << "\n";
+  family("mean_batch_rows", "gauge", "Mean rows per executed batch.");
   os << "deepsz_mean_batch_rows " << s.mean_batch_rows() << "\n";
+  family("forward_ms_total", "counter", "Cumulative batched forward time.");
   os << "deepsz_forward_ms_total " << s.forward_ms << "\n";
-  for (double q : {0.5, 0.95, 0.99}) {
-    os << "deepsz_request_latency_ms{quantile=\"" << q << "\"} "
-       << s.latency_ms.quantile(q) << "\n";
+  family("request_latency_ms", "gauge",
+         "Admission-to-completion latency quantiles, served requests only.");
+  quantiles("request_latency_ms", s.latency_ms);
+  family("batch_rows", "gauge", "Rows-per-batch quantiles.");
+  quantiles("batch_rows", s.batch_rows_hist);
+  // The queue-wait-vs-execute split: where does a served request's latency
+  // go, and how long did shed/expired requests wait before rejection.
+  family("queue_wait_ms", "gauge",
+         "Admission-to-batch queue wait quantiles by outcome.");
+  quantiles("queue_wait_ms", s.queue_ok_ms, "outcome=\"ok\"");
+  quantiles("queue_wait_ms", s.queue_rejected_ms, "outcome=\"rejected\"");
+  family("execute_ms", "gauge", "Forward-pass time quantiles per batch.");
+  quantiles("execute_ms", s.execute_ms);
+
+  const auto stages = obs::Tracer::stage_snapshot();
+  family("stage_ms", "gauge",
+         "Per-stage latency quantiles from trace spans, by stage and model.");
+  for (const auto& st : stages) {
+    quantiles("stage_ms", st.hist,
+              "stage=\"" + json_escaped(st.stage) + "\",model=\"" +
+                  json_escaped(st.model) + "\"");
   }
-  for (double q : {0.5, 0.95, 0.99}) {
-    os << "deepsz_batch_rows{quantile=\"" << q << "\"} "
-       << s.batch_rows_hist.quantile(q) << "\n";
+  family("stage_ms_count", "counter",
+         "Trace span observations per stage and model.");
+  for (const auto& st : stages) {
+    os << "deepsz_stage_ms_count{stage=\"" << json_escaped(st.stage)
+       << "\",model=\"" << json_escaped(st.model) << "\"} " << st.hist.count()
+       << "\n";
   }
+  family("trace_enabled", "gauge", "1 when span recording is on.");
+  os << "deepsz_trace_enabled " << (obs::Tracer::enabled() ? 1 : 0) << "\n";
+  family("trace_dropped_spans_total", "counter",
+         "Spans overwritten in the ring buffers before export.");
+  os << "deepsz_trace_dropped_spans_total " << obs::Tracer::dropped_total()
+     << "\n";
 
   const auto& budget = repo_.budget();
+  family("cache_budget_bytes", "gauge", "Shared decoded-layer cache budget.");
   os << "deepsz_cache_budget_bytes " << budget->budget_bytes() << "\n";
+  family("cache_used_bytes", "gauge", "Decoded-layer bytes resident.");
   os << "deepsz_cache_used_bytes " << budget->used_bytes() << "\n";
+  family("cache_cross_model_evictions", "counter",
+         "Layers evicted under cross-model pressure.");
   os << "deepsz_cache_cross_model_evictions " << budget->evictions() << "\n";
+  family("models_loaded", "gauge", "Models currently loaded.");
   os << "deepsz_models_loaded " << repo_.size() << "\n";
 
-  for (const auto& model : repo_.list()) {
+  family("build_info", "gauge",
+         "Constant 1; build metadata in the labels.");
+  os << "deepsz_build_info{version=\"" << DEEPSZ_VERSION << "\",compiler=\""
+     << compiler_label() << "\",avx2=\""
+     << (util::have_avx2_fma() ? "true" : "false") << "\"} 1\n";
+  family("uptime_seconds", "gauge", "Seconds since process start.");
+  os << "deepsz_uptime_seconds " << static_cast<double>(obs::now_ns()) / 1e9
+     << "\n";
+
+  const auto models = repo_.list();
+  auto model_family = [&](const char* name, const char* type,
+                          const char* help, auto value_of) {
+    os << "# HELP deepsz_model_" << name << " " << help << "\n";
+    os << "# TYPE deepsz_model_" << name << " " << type << "\n";
+    for (const auto& model : models) {
+      os << "deepsz_model_" << name << "{model=\""
+         << json_escaped(model->name) << "\"} " << value_of(*model) << "\n";
+    }
+  };
+  using M = const ServedModel&;
+  model_family("version", "gauge", "Loaded model version.",
+               [](M m) { return m.version; });
+  model_family("cache_hits", "counter", "Layer-cache hits.",
+               [](M m) { return m.store->stats().hits; });
+  model_family("cache_misses", "counter", "Layer-cache misses (decodes).",
+               [](M m) { return m.store->stats().misses; });
+  model_family("cache_coalesced", "counter",
+               "Decodes avoided by joining one in flight.",
+               [](M m) { return m.store->stats().coalesced; });
+  model_family("cache_evictions", "counter", "Layers evicted.",
+               [](M m) { return m.store->stats().evictions; });
+  model_family("cache_resident_bytes", "gauge", "Decoded bytes resident.",
+               [](M m) { return m.store->stats().cached_bytes; });
+  model_family("cache_resident_layers", "gauge", "Decoded layers resident.",
+               [](M m) { return m.store->stats().cached_layers; });
+  os << "# HELP deepsz_model_cache_resident_bytes_form Resident bytes by "
+        "serving form.\n";
+  os << "# TYPE deepsz_model_cache_resident_bytes_form gauge\n";
+  for (const auto& model : models) {
     const auto cs = model->store->stats();
-    const std::string label = "model=\"" + json_escaped(model->name) + "\"";
-    auto model_counter = [&](const char* name, std::uint64_t v) {
-      os << "deepsz_model_" << name << "{" << label << "} " << v << "\n";
-    };
-    model_counter("version", model->version);
-    model_counter("cache_hits", cs.hits);
-    model_counter("cache_misses", cs.misses);
-    model_counter("cache_coalesced", cs.coalesced);
-    model_counter("cache_evictions", cs.evictions);
-    model_counter("cache_resident_bytes", cs.cached_bytes);
-    model_counter("cache_resident_layers", cs.cached_layers);
     for (int f = 0; f < serve::kNumServingForms; ++f) {
-      os << "deepsz_model_cache_resident_bytes_form{" << label << ",form=\""
+      os << "deepsz_model_cache_resident_bytes_form{model=\""
+         << json_escaped(model->name) << "\",form=\""
          << serve::serving_form_name(static_cast<serve::ServingForm>(f))
          << "\"} " << cs.form_bytes[static_cast<std::size_t>(f)] << "\n";
     }
-    model_counter("queue_depth", scheduler_.queue_depth(model->name));
-    os << "deepsz_model_cache_hit_rate{" << label << "} " << cs.hit_rate()
-       << "\n";
   }
+  model_family("queue_depth", "gauge", "Requests queued for this model.",
+               [&](M m) { return scheduler_.queue_depth(m.name); });
+  model_family("cache_hit_rate", "gauge", "Layer-cache hit rate.",
+               [](M m) { return m.store->stats().hit_rate(); });
   return os.str();
 }
 

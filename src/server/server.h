@@ -9,6 +9,7 @@
 //   POST /v1/models/<name>:reload    -> re-read the model's source file
 //   POST /v1/models/<name>:unload    -> drop the model
 //   GET  /metrics                    -> Prometheus-style text exposition
+//   GET  /v1/trace?last_ms=N         -> Chrome trace-event JSON (Perfetto)
 //
 // Infer payloads (docs/serving.md): a text/csv body is one row of
 // comma-separated floats per line and answers in kind; an
@@ -69,6 +70,7 @@ class Server {
   std::string models_json() const;
 
  private:
+  HttpResponse handle_trace(const std::string& query) const;
   HttpResponse handle_infer(const std::string& name, const HttpRequest& req);
   HttpResponse handle_model_action(const std::string& name,
                                    const std::string& action,

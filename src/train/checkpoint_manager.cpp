@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "codec/registry.h"
+#include "obs/trace.h"
 #include "train/trainer.h"
 
 namespace deepsz::train {
@@ -56,6 +57,7 @@ std::string CheckpointManager::maybe_write(Trainer& trainer) {
 }
 
 std::string CheckpointManager::write(Trainer& trainer) {
+  obs::TraceSpan span("checkpoint", "train");
   ensure_bounds(trainer);
   std::filesystem::create_directories(config_.dir);
 
@@ -73,6 +75,7 @@ std::string CheckpointManager::write(Trainer& trainer) {
   std::snprintf(name, sizeof name, "ckpt_%06lld.dszk",
                 static_cast<long long>(state.step));
   std::string path = config_.dir + "/" + name;
+  span.set_detail(name);
   write_checkpoint_file(path, state, options);
   last_written_step_ = state.step;
   // Re-writing the same path (e.g. a forced write twice at one step) must

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "sparse/pruned_layer.h"
 #include "sparse/pruning.h"
 #include "train/checkpoint_manager.h"
@@ -99,6 +100,8 @@ void Trainer::reshuffle(std::int64_t epoch) {
 }
 
 double Trainer::step() {
+  obs::TraceSpan span("train_step", "train");
+  span.set_detail(net_->name());
   const std::int64_t n = train_images_->dim(0);
   const std::int64_t start = cursor_;
   const std::int64_t end = std::min(n, start + config_.sgd.batch_size);
@@ -140,6 +143,8 @@ double Trainer::run_to(std::int64_t target_step, CheckpointManager* manager) {
 }
 
 nn::Accuracy Trainer::evaluate() {
+  obs::TraceSpan span("evaluate", "train");
+  span.set_detail(net_->name());
   return nn::evaluate(*net_, *test_images_, *test_labels_);
 }
 

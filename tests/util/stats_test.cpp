@@ -146,6 +146,49 @@ TEST(Histogram, MergeMatchesCombinedRecording) {
   EXPECT_DOUBLE_EQ(a.quantile(0.5), both.quantile(0.5));
 }
 
+TEST(Histogram, OverflowOnlySamplesStayInObservedRange) {
+  // Every sample lands past the last bound: quantiles have no bucket edge to
+  // interpolate against, so the observed-min/max clamp is all that keeps the
+  // estimates sane.
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(100.0);
+  h.record(200.0);
+  h.record(400.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 0, 3}));
+  EXPECT_DOUBLE_EQ(h.min(), 100.0);
+  EXPECT_DOUBLE_EQ(h.max(), 400.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GE(h.quantile(q), 100.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 400.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileMonotonicWithOverflowMix) {
+  // In-range and overflow samples together: quantile(q) must be
+  // non-decreasing in q even across the bucket/overflow seam.
+  auto h = Histogram::exponential(1.0, 2.0, 4);  // bounds 1,2,4,8
+  for (double v : {0.5, 1.5, 3.0, 6.0, 20.0, 40.0}) h.record(v);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST(Histogram, MergeAccumulatesOverflowBucket) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.record(10.0);
+  b.record(20.0);
+  b.record(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.bucket_counts(), (std::vector<std::uint64_t>{1, 0, 2}));
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+}
+
 TEST(Histogram, MergeRejectsMismatchedBounds) {
   auto a = Histogram::exponential(1.0, 2.0, 8);
   auto b = Histogram::exponential(1.0, 3.0, 8);

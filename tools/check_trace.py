@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validator for Chrome trace-event JSON produced by the obs/ subsystem.
+
+Usage: check_trace.py <trace.json> [--require name1,name2,...] [--min-events N]
+
+Checks, failing (exit 1) on the first class of violation:
+
+  - the file is well-formed JSON with a `traceEvents` array;
+  - every event carries the required keys for its phase: complete ("X")
+    events need name/cat/ts/dur/pid/tid with numeric non-negative
+    timestamps, and duration ("B"/"E") events need name/ts and must nest
+    properly per (pid, tid) — every B closed by a matching E, never an E
+    without an open B;
+  - `--require a,b,c` asserts each named span appears at least once
+    (how CI proves a serving trace really covered queue/decode/forward);
+  - `--min-events N` guards against an empty-but-valid trace.
+
+The exporter currently emits only "X" events; the B/E balance check
+exists so a future switch to duration events cannot silently produce
+traces Perfetto refuses to nest.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_complete_event(i: int, ev: dict) -> None:
+    for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+        if key not in ev:
+            fail(f"event {i}: complete event missing {key!r}: {ev}")
+    for key in ("ts", "dur"):
+        if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+            fail(f"event {i}: non-numeric or negative {key!r}: {ev[key]!r}")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"event {i}: empty name")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--require", default="",
+                    help="comma-separated span names that must appear")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of events (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("top level is not an object with a traceEvents array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    names = set()
+    # (pid, tid) -> stack of open B names, for duration-event balance.
+    open_spans = {}
+    begin_end = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "X":
+            check_complete_event(i, ev)
+            names.add(ev["name"])
+        elif ph in ("B", "E"):
+            begin_end += 1
+            if "name" not in ev or "ts" not in ev:
+                fail(f"event {i}: {ph} event missing name/ts")
+            key = (ev.get("pid"), ev.get("tid"))
+            stack = open_spans.setdefault(key, [])
+            if ph == "B":
+                stack.append(ev["name"])
+                names.add(ev["name"])
+            else:
+                if not stack:
+                    fail(f"event {i}: E for {ev['name']!r} with no open B "
+                         f"on pid/tid {key}")
+                top = stack.pop()
+                if top != ev["name"]:
+                    fail(f"event {i}: E for {ev['name']!r} closes open B "
+                         f"for {top!r} (improper nesting)")
+        elif ph in ("M", "C", "i", "I"):
+            pass  # metadata / counter / instant: no structural requirements
+        else:
+            fail(f"event {i}: unknown phase {ph!r}")
+
+    for key, stack in open_spans.items():
+        if stack:
+            fail(f"unclosed B event(s) {stack} on pid/tid {key}")
+
+    if len(events) < args.min_events:
+        fail(f"{len(events)} event(s), need at least {args.min_events}")
+
+    required = [n for n in args.require.split(",") if n]
+    missing = [n for n in required if n not in names]
+    if missing:
+        fail(f"required span name(s) missing: {', '.join(missing)}; "
+             f"present: {', '.join(sorted(names))}")
+
+    dropped = trace.get("otherData", {}).get("dropped_spans")
+    print(f"check_trace: OK: {len(events)} event(s), "
+          f"{len(names)} distinct name(s), {begin_end} B/E event(s) balanced"
+          + (f", {dropped} dropped" if dropped is not None else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

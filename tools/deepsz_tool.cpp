@@ -17,6 +17,7 @@
 //   deepsz_tool model-info    <model.dszc>
 //   deepsz_tool serve-bench   <model.dszc> [requests] [batch] [cache-mb]
 //   deepsz_tool serve         --model name=path ... [--port N] ...
+//   deepsz_tool trace         <model.dszc> <out.json> [requests] [rows]
 //
 // Raw float files are little-endian fp32 with no header. Every subcommand
 // answers `--help` with its own usage on stdout and exit 0.
@@ -46,6 +47,8 @@
 #include "modelzoo/zoo.h"
 #include "nn/init.h"
 #include "nn/sgd.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/inference_session.h"
 #include "serve/model_store.h"
 #include "server/server.h"
@@ -139,8 +142,11 @@ constexpr Subcommand kSubcommands[] = {
     {"serve",
      "--model name=path [--model name=path ...] [--port 8080]\n"
      "        [--cache-bytes B | --cache-mb 256] [--max-batch 16]\n"
-     "        [--max-delay-us 2000] [--queue-cap 256] [--workers 2]",
+     "        [--max-delay-us 2000] [--queue-cap 256] [--workers 2]\n"
+     "        [--trace-file out.json] [--no-trace]",
      "multi-model HTTP serving daemon (POST /v1/models/<name>:infer)"},
+    {"trace", "<model.dszc> <out.json> [requests=4] [rows=2]",
+     "replay a container load + inference and write a Perfetto trace"},
 };
 
 void print_exit_codes(std::FILE* to) {
@@ -249,6 +255,7 @@ volatile std::sig_atomic_t g_serve_stop = 0;
 void on_serve_signal(int) { g_serve_stop = 1; }
 
 int run_serve(int argc, char** argv);
+int run_trace(int argc, char** argv);
 
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
@@ -262,6 +269,7 @@ int run(int argc, char** argv) {
   }
   if (subcommand_help(cmd, argc, argv)) return kExitOk;
   if (cmd == "serve") return run_serve(argc, argv);
+  if (cmd == "trace") return run_trace(argc, argv);
   if (cmd == "codecs" && argc == 2) {
     // One row per codec with its full registry metadata — the docs'
     // codec/version tables are generated from this output, so it is the
@@ -735,6 +743,8 @@ int run_serve(int argc, char** argv) {
   deepsz::server::ServerOptions opts;
   opts.http.port = 8080;
   std::vector<std::pair<std::string, std::string>> models;  // name -> path
+  std::string trace_file;
+  bool tracing = true;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -772,6 +782,10 @@ int run_serve(int argc, char** argv) {
     } else if (arg == "--workers") {
       opts.scheduler.workers_per_model =
           static_cast<int>(parse_double(next(), "workers"));
+    } else if (arg == "--trace-file") {
+      trace_file = next();
+    } else if (arg == "--no-trace") {
+      tracing = false;
     } else {
       throw std::invalid_argument("serve: unknown flag \"" + arg + "\"");
     }
@@ -784,6 +798,11 @@ int run_serve(int argc, char** argv) {
   // supervisor's SIGTERM during startup still takes the clean exit path.
   std::signal(SIGINT, on_serve_signal);
   std::signal(SIGTERM, on_serve_signal);
+
+  // Tracing is on by default — the bench gate holds its p50 cost under 3% —
+  // so GET /v1/trace always has data; --no-trace reduces every span site to
+  // one relaxed load.
+  deepsz::obs::Tracer::set_enabled(tracing);
 
   Server server(opts);
   for (const auto& [name, path] : models) {
@@ -806,6 +825,15 @@ int run_serve(int argc, char** argv) {
   }
   std::fprintf(stderr, "shutting down\n");
   server.stop();
+  if (!trace_file.empty()) {
+    const std::string json =
+        deepsz::obs::to_chrome_json(deepsz::obs::Tracer::snapshot());
+    write_file(trace_file,
+               {reinterpret_cast<const std::uint8_t*>(json.data()),
+                json.size()});
+    std::fprintf(stderr, "wrote trace (%zu bytes) to %s\n", json.size(),
+                 trace_file.c_str());
+  }
   const auto s = server.metrics().snapshot();
   std::printf("served %llu request(s): %llu ok, %llu shed, %llu failed; "
               "%llu batch(es), mean %.2f rows\n",
@@ -815,6 +843,63 @@ int run_serve(int argc, char** argv) {
               static_cast<unsigned long long>(s.requests - s.ok - s.shed),
               static_cast<unsigned long long>(s.batches),
               s.mean_batch_rows());
+  return kExitOk;
+}
+
+/// `deepsz_tool trace <model.dszc> <out.json> [requests=4] [rows=2]`:
+/// loads the container into a fresh serving stack, runs one cold inference
+/// (queue wait + every per-layer decode with phase/form attribution +
+/// forward) and a few warm ones, then writes the Chrome trace-event JSON —
+/// the offline twin of GET /v1/trace, for profiling a container without
+/// standing a daemon up.
+int run_trace(int argc, char** argv) {
+  if (argc < 4 || argc > 6) return usage();
+  const double requests_d = argc >= 5 ? parse_double(argv[4], "requests") : 4.0;
+  const double rows_d = argc >= 6 ? parse_double(argv[5], "rows") : 2.0;
+  if (!(requests_d >= 1 && requests_d <= 1e5) ||
+      !(rows_d >= 1 && rows_d <= 1e4)) {
+    throw deepsz::codec::BadOptions(
+        "trace: need 1 <= requests <= 1e5, 1 <= rows <= 1e4");
+  }
+  const int requests = static_cast<int>(requests_d);
+  const std::int64_t rows = static_cast<std::int64_t>(rows_d);
+
+  deepsz::obs::Tracer::set_enabled(true);
+
+  deepsz::server::Server server;
+  auto model = server.repository().load_file("model", argv[2]);
+  deepsz::server::LoopbackTransport transport(server.handler());
+
+  deepsz::util::Pcg32 rng(0x7ace);
+  for (int r = 0; r < requests; ++r) {
+    std::string csv;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t c = 0; c < model->in_features; ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.4f",
+                      rng.normal(0.0, 1.0));
+        csv += buf;
+        csv += (c + 1 < model->in_features) ? ',' : '\n';
+      }
+    }
+    const auto resp =
+        transport.post("/v1/models/model:infer", csv, "text/csv");
+    if (resp.status != 200) {
+      throw std::runtime_error("trace: inference failed with HTTP " +
+                               std::to_string(resp.status));
+    }
+  }
+  server.stop();  // drains the scheduler so every span is recorded
+
+  const auto snapshot = deepsz::obs::Tracer::snapshot();
+  const std::string json = deepsz::obs::to_chrome_json(snapshot);
+  write_file(argv[3], {reinterpret_cast<const std::uint8_t*>(json.data()),
+                       json.size()});
+  std::printf(
+      "wrote %zu span(s) (%llu dropped) to %s\n"
+      "open in https://ui.perfetto.dev or chrome://tracing\n",
+      snapshot.events.size(),
+      static_cast<unsigned long long>(snapshot.dropped), argv[3]);
   return kExitOk;
 }
 
