@@ -1,0 +1,181 @@
+// Delta rollout bench + acceptance gates for fleet hot-swap:
+//
+//   [gate A] shipping a fine-tuned LeNet-300 as a v4 delta moves >= 10x
+//            fewer bytes than re-shipping the full v3 container
+//   [gate B] a warm delta hot-swap (base already resident) reaches
+//            serve-ready no slower than a full-container reload (p50)
+//   [gate C] the delta-loaded model's decoded arrays are CRC-identical to
+//            the full successor container loaded directly — bit-exact, the
+//            format's contract
+//
+// Exits nonzero if any gate fails, so CI can run it as a check.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/delta_codec.h"
+#include "core/model_codec.h"
+#include "core/pruner.h"
+#include "server/model_repository.h"
+#include "train/trainer.h"
+#include "util/crc32.h"
+
+using namespace deepsz;
+
+namespace {
+
+int g_failures = 0;
+
+void gate(const char* name, bool ok, const std::string& detail) {
+  std::printf("  [%s] %s: %s\n", ok ? "PASS" : "FAIL", name, detail.c_str());
+  if (!ok) ++g_failures;
+}
+
+struct FinetunePair {
+  std::vector<std::uint8_t> base;    // v3 container, pruned + retrained
+  std::vector<std::uint8_t> target;  // v3 container after extra fine-tuning
+};
+
+// A head-only fine-tune pair — the standard transfer-learning rollout delta
+// shipping is built for: the cached pruned+retrained LeNet-300 is the base;
+// the target keeps the feature layers FROZEN (their arrays are carried over
+// verbatim, so they become `same` records) and takes the classifier head
+// from a few more masked SGD steps. Both containers are encoded at
+// identical error bounds.
+FinetunePair make_pair() {
+  auto model = bench::pretrained_pruned("lenet300");
+  std::map<std::string, double> ebs;
+  auto layers = core::extract_pruned_layers(model.net);
+  for (const auto& l : layers) ebs[l.name] = 1e-3;
+  core::ContainerOptions copts;
+
+  FinetunePair out;
+  out.base = core::encode_model(layers, ebs, copts).bytes;
+
+  train::TrainerConfig cfg;
+  cfg.seed = 4242;
+  cfg.sgd.lr = 1e-3;
+  train::Trainer tuner(model.net, model.train.images, model.train.labels,
+                       model.test.images, model.test.labels, cfg);
+  tuner.run_to(4);
+  auto tuned = core::extract_pruned_layers(model.net);
+  auto target_layers = layers;          // frozen features: A's exact arrays
+  target_layers.back() = tuned.back();  // fine-tuned classifier head
+  out.target = core::encode_model(target_layers, ebs, copts).bytes;
+  return out;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double p50(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Serve-ready: the model is loaded and every layer is decoded + resident.
+void touch_all(const server::ModelRepository& repo, const std::string& name) {
+  repo.get(name)->store->warmup(false);
+}
+
+void bench_rollout(const FinetunePair& pair) {
+  bench::print_title(
+      "Delta rollout: fine-tuned LeNet-300 shipped as a v4 delta",
+      "base = pruned+retrained; target = head-only fine-tune (features frozen)");
+
+  core::DeltaOptions dopts;
+  dopts.base_id = "lenet300_base.dszc";
+  auto delta = core::encode_delta_model(pair.base, pair.target, dopts);
+
+  bench::print_row({"artifact", "bytes", "vs full"}, 16);
+  bench::print_row({"full target", bench::fmt_bytes(pair.target.size()),
+                    "1.00x"},
+                   16);
+  const double ratio = static_cast<double>(pair.target.size()) /
+                       static_cast<double>(delta.bytes.size());
+  bench::print_row({"delta", bench::fmt_bytes(delta.bytes.size()),
+                    bench::fmt(ratio, 2) + "x fewer"},
+                   16);
+  bench::print_row({"layer", "kind", "resid", "corr", "mask"}, 12);
+  for (const auto& st : delta.stats) {
+    const char* kind = st.kind == core::LayerKind::kSame    ? "same"
+                       : st.kind == core::LayerKind::kDelta ? "delta"
+                                                            : "full";
+    bench::print_row({st.layer, kind, bench::fmt_bytes(st.data_bytes),
+                      bench::fmt_bytes(st.corr_bytes),
+                      bench::fmt_bytes(st.index_bytes)},
+                     12);
+  }
+
+  gate("delta ships >= 10x fewer bytes than full container", ratio >= 10.0,
+       bench::fmt_bytes(delta.bytes.size()) + " vs " +
+           bench::fmt_bytes(pair.target.size()) + " = " +
+           bench::fmt(ratio, 2) + "x (need >= 10x)");
+
+  // -- Gate B: warm hot-swap latency vs full reload, both to serve-ready.
+  constexpr int kTrials = 15;
+  std::vector<double> full_ms, warm_ms;
+  server::ModelRepository repo;
+  repo.load("base", pair.base);
+  touch_all(repo, "base");  // resident: the warm-swap precondition
+  for (int i = 0; i < kTrials; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    repo.load("prod", pair.target);
+    touch_all(repo, "prod");
+    full_ms.push_back(ms_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    repo.load("prod", delta.bytes);  // crc auto-detect -> "base"
+    touch_all(repo, "prod");
+    warm_ms.push_back(ms_since(t0));
+  }
+  const double full_p50 = p50(full_ms), warm_p50 = p50(warm_ms);
+  bench::print_row({"swap path", "p50 ms"}, 20);
+  bench::print_row({"full reload", bench::fmt(full_p50, 3)}, 20);
+  bench::print_row({"warm delta swap", bench::fmt(warm_p50, 3)}, 20);
+  gate("warm delta swap p50 <= full reload p50", warm_p50 <= full_p50,
+       bench::fmt(warm_p50, 3) + " ms vs " + bench::fmt(full_p50, 3) + " ms");
+
+  // -- Gate C: bit-exactness through the serving stack.
+  core::ContainerReader direct(pair.target);
+  core::ContainerReader chained(delta.bytes);
+  chained.set_base(std::make_shared<core::ContainerReader>(pair.base));
+  bool exact = direct.num_layers() == chained.num_layers();
+  std::string detail;
+  for (std::size_t i = 0; exact && i < direct.num_layers(); ++i) {
+    auto want = direct.decode_layer(i);
+    auto got = chained.decode_layer(i);
+    const auto crc_of = [](const std::vector<float>& v) {
+      return util::crc32(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(float)));
+    };
+    if (crc_of(got.data) != crc_of(want.data) ||
+        util::crc32(got.index) != util::crc32(want.index)) {
+      exact = false;
+      detail = want.name + " mismatch";
+    } else if (i == 0) {
+      detail = "data crc " + std::to_string(crc_of(want.data));
+    }
+  }
+  gate("delta-loaded layers CRC-identical to direct load", exact,
+       exact ? ("all " + std::to_string(direct.num_layers()) +
+                " layers bit-exact (" + detail + ")")
+             : detail);
+}
+
+}  // namespace
+
+int main() {
+  bench_rollout(make_pair());
+  std::printf("\n%s\n", g_failures == 0 ? "all gates passed"
+                                        : "GATE FAILURES — see above");
+  return g_failures == 0 ? 0 : 1;
+}

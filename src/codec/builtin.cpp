@@ -212,6 +212,46 @@ class F32Codec : public FloatCodec {
   }
 };
 
+/// zero: frames only the element count; decodes to exact 0.0f zeros. The
+/// degenerate end of the FloatCodec family — used by the delta encoder when
+/// the XOR correction stream alone carries a layer's change more cheaply
+/// than an error-bounded residual stream (a gentle fine-tune leaves most
+/// residuals exactly zero, and any lossy decode smears non-zero noise that
+/// inflates the corrections).
+class ZeroCodec : public FloatCodec {
+ public:
+  explicit ZeroCodec(const Options& opts) { opts.check_known({}); }
+
+  std::string name() const override { return "zero"; }
+
+  std::vector<std::uint8_t> encode(std::span<const float> data,
+                                   const FloatParams&) const override {
+    std::vector<std::uint8_t> out;
+    util::put_le<std::uint32_t>(out, kZeroMagic);
+    util::put_le<std::uint64_t>(out, data.size());
+    // The count's complement doubles as integrity: the count controls the
+    // decode allocation, so it must not be forgeable by one flipped byte.
+    util::put_le<std::uint64_t>(out, ~static_cast<std::uint64_t>(data.size()));
+    return out;
+  }
+
+  std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    util::ByteReader r(stream);
+    if (r.get<std::uint32_t>() != kZeroMagic) {
+      throw std::runtime_error("zero decode: bad magic");
+    }
+    const auto count = r.get<std::uint64_t>();
+    if (r.get<std::uint64_t>() != ~count) {
+      throw std::runtime_error("zero decode: corrupt element count");
+    }
+    return std::vector<float>(static_cast<std::size_t>(count), 0.0f);
+  }
+
+ private:
+  static constexpr std::uint32_t kZeroMagic = 0x304f525a;  // "ZRO0"
+};
+
 // ---------------------------------------------------------------------- zfp
 
 class ZfpCodec : public FloatCodec {
@@ -272,6 +312,17 @@ void register_builtins(CodecRegistry& reg) {
     info.stream_versions = "raw";
     reg.register_float(info, [](const Options& opts) {
       return std::make_shared<F32Codec>(opts);
+    });
+  }
+  {
+    CodecInfo info;
+    info.name = "zero";
+    info.summary = "all-zeros placeholder (delta corrections carry the data)";
+    info.stream_versions = "raw";
+    info.bounded = false;  // tolerance ignored: the caller's correction
+                           // stream, not this codec, bounds the error
+    reg.register_float(info, [](const Options& opts) {
+      return std::make_shared<ZeroCodec>(opts);
     });
   }
   {

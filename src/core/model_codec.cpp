@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "codec/registry.h"
+#include "core/container_wire.h"
 #include "util/byte_io.h"
 #include "util/crc32.h"
 #include "util/threadpool.h"
@@ -16,18 +17,20 @@
 namespace deepsz::core {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x435a5344;  // "DSZC"
-// Version 2: implicit SZ data stream + lossless index frame per layer.
-// Version 3: per-stream registry codec specs (container v2 of the redesign).
-constexpr std::uint32_t kVersionLegacy = 2;
-constexpr std::uint32_t kVersionCurrent = 3;
+using wire::kFooterMagic;
+using wire::kHeaderBytes;
+using wire::kMagic;
+using wire::kTrailerBytes;
+using wire::kVersionCurrent;
+using wire::kVersionDelta;
+using wire::kVersionLegacy;
 
-// Seekable-index footer: [body][crc32(body) u32][body_len u64][magic u32].
-// Appended after the last layer record; readers that predate it parse the
-// records and never look at the trailing bytes.
-constexpr std::uint32_t kFooterMagic = 0x585a5344;  // "DSZX"
-constexpr std::size_t kTrailerBytes = 16;
-constexpr std::size_t kHeaderBytes = 12;  // magic + version + layer count
+/// Float array viewed as its in-memory (little-endian) byte image — the
+/// representation all CRC pins of decoded data/bias arrays are taken over.
+std::span<const std::uint8_t> float_bytes(std::span<const float> v) {
+  return {reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(float)};
+}
 
 /// Runs fn(i) for i in [0, n), across the global pool when requested.
 /// Exceptions are captured per task and the first one rethrown, since
@@ -226,19 +229,28 @@ EncodedModel encode_model(const std::vector<sparse::PrunedLayer>& layers,
 ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes,
                                  DirectorySource source)
     : bytes_(bytes) {
-  std::uint32_t version = 0;
   std::uint32_t n_layers = 0;
   try {
     util::ByteReader r(bytes_);
     if (r.get<std::uint32_t>() != kMagic) {
       throw std::runtime_error("ContainerReader: bad magic");
     }
-    version = r.get<std::uint32_t>();
-    if (version != kVersionLegacy && version != kVersionCurrent) {
+    version_ = r.get<std::uint32_t>();
+    if (version_ != kVersionLegacy && version_ != kVersionCurrent &&
+        version_ != kVersionDelta) {
       throw std::runtime_error("ContainerReader: unsupported version " +
-                               std::to_string(version));
+                               std::to_string(version_));
     }
     n_layers = r.get<std::uint32_t>();
+    if (version_ == kVersionDelta) {
+      base_id_ = r.get_string();
+      base_crc_ = r.get<std::uint32_t>();
+      if (base_id_.empty()) {
+        throw std::runtime_error(
+            "ContainerReader: delta container with empty base_id");
+      }
+    }
+    header_bytes_ = r.pos();
   } catch (const std::out_of_range&) {
     throw std::runtime_error("ContainerReader: truncated container");
   }
@@ -273,7 +285,7 @@ ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes,
     parse_footer(body_start, body_len, n_layers);
     has_footer_ = true;
   } else {
-    scan_records(version, n_layers, payload_end);
+    scan_records(n_layers, payload_end);
   }
   validate_entries(payload_end);
 }
@@ -312,6 +324,25 @@ void ContainerReader::parse_footer(std::size_t body_start,
       e.index.crc = r.get<std::uint32_t>();
       e.bias_offset = r.get<std::uint64_t>();
       e.bias_count = r.get<std::uint64_t>();
+      if (version_ == kVersionDelta) {
+        const auto kind = r.get<std::uint8_t>();
+        const auto mask = r.get<std::uint8_t>();
+        if (kind > 2 || mask > 2) {
+          throw std::runtime_error("ContainerReader: bad layer kind in " +
+                                   e.name);
+        }
+        e.kind = static_cast<LayerKind>(kind);
+        e.mask_mode = static_cast<MaskMode>(mask);
+        e.corr.codec = r.get_string();
+        e.corr.offset = r.get<std::uint64_t>();
+        e.corr.length = r.get<std::uint64_t>();
+        e.corr.crc = r.get<std::uint32_t>();
+        e.base_data_crc = r.get<std::uint32_t>();
+        e.base_index_crc = r.get<std::uint32_t>();
+        e.base_bias_crc = r.get<std::uint32_t>();
+        e.recon_data_crc = r.get<std::uint32_t>();
+        e.recon_index_crc = r.get<std::uint32_t>();
+      }
       entries_.push_back(std::move(e));
     }
     if (!r.done()) {
@@ -322,35 +353,82 @@ void ContainerReader::parse_footer(std::size_t body_start,
   }
 }
 
-void ContainerReader::scan_records(std::uint32_t version,
-                                   std::uint32_t n_layers,
+void ContainerReader::scan_records(std::uint32_t n_layers,
                                    std::size_t payload_end) {
+  // Reads one codec-spec'd stream header + payload extent into `ref`.
+  auto scan_stream = [](util::ByteReader& r, StreamRef& ref) {
+    ref.codec = r.get_string();
+    ref.length = r.get<std::uint64_t>();
+    ref.crc = r.get<std::uint32_t>();
+    ref.offset = r.pos();
+    r.get_bytes(static_cast<std::size_t>(ref.length));
+  };
+  auto scan_bias = [](util::ByteReader& r, ContainerEntry& e) {
+    e.bias_count = r.get<std::uint64_t>();
+    if (e.bias_count > r.remaining() / sizeof(float)) {
+      throw std::runtime_error("ContainerReader: corrupt bias count in " +
+                               e.name);
+    }
+    e.bias_offset = e.bias_count > 0 ? r.pos() : 0;
+    r.get_bytes(static_cast<std::size_t>(e.bias_count) * sizeof(float));
+  };
   try {
     util::ByteReader r(bytes_.first(payload_end));
-    r.get_bytes(kHeaderBytes);  // already validated by the constructor
+    r.get_bytes(header_bytes_);  // already validated by the constructor
     for (std::uint32_t l = 0; l < n_layers; ++l) {
       ContainerEntry e;
+      if (version_ == kVersionDelta) {
+        const auto kind = r.get<std::uint8_t>();
+        if (kind > 2) {
+          throw std::runtime_error("ContainerReader: bad layer kind tag");
+        }
+        e.kind = static_cast<LayerKind>(kind);
+      }
       e.name = r.get_string();
       e.rows = r.get<std::int64_t>();
       e.cols = r.get<std::int64_t>();
-      e.eb = r.get<double>();
-      if (version == kVersionCurrent) e.data.codec = r.get_string();
-      e.data.length = r.get<std::uint64_t>();
-      e.data.crc = r.get<std::uint32_t>();
-      e.data.offset = r.pos();
-      r.get_bytes(static_cast<std::size_t>(e.data.length));
-      if (version == kVersionCurrent) e.index.codec = r.get_string();
-      e.index.length = r.get<std::uint64_t>();
-      e.index.crc = r.get<std::uint32_t>();
-      e.index.offset = r.pos();
-      r.get_bytes(static_cast<std::size_t>(e.index.length));
-      e.bias_count = r.get<std::uint64_t>();
-      if (e.bias_count > r.remaining() / sizeof(float)) {
-        throw std::runtime_error("ContainerReader: corrupt bias count in " +
-                                 e.name);
+      switch (e.kind) {
+        case LayerKind::kFull:
+          e.eb = r.get<double>();
+          if (version_ != kVersionLegacy) {
+            scan_stream(r, e.data);
+            scan_stream(r, e.index);
+          } else {
+            e.data.length = r.get<std::uint64_t>();
+            e.data.crc = r.get<std::uint32_t>();
+            e.data.offset = r.pos();
+            r.get_bytes(static_cast<std::size_t>(e.data.length));
+            e.index.length = r.get<std::uint64_t>();
+            e.index.crc = r.get<std::uint32_t>();
+            e.index.offset = r.pos();
+            r.get_bytes(static_cast<std::size_t>(e.index.length));
+          }
+          scan_bias(r, e);
+          break;
+        case LayerKind::kSame:
+          e.base_data_crc = r.get<std::uint32_t>();
+          e.base_index_crc = r.get<std::uint32_t>();
+          e.base_bias_crc = r.get<std::uint32_t>();
+          break;
+        case LayerKind::kDelta: {
+          e.eb = r.get<double>();
+          const auto mask = r.get<std::uint8_t>();
+          if (mask > 2) {
+            throw std::runtime_error("ContainerReader: bad mask mode in " +
+                                     e.name);
+          }
+          e.mask_mode = static_cast<MaskMode>(mask);
+          scan_stream(r, e.data);  // residual
+          scan_stream(r, e.corr);  // bit corrections
+          if (e.mask_mode != MaskMode::kSameAsBase) scan_stream(r, e.index);
+          e.base_data_crc = r.get<std::uint32_t>();
+          e.base_index_crc = r.get<std::uint32_t>();
+          e.recon_data_crc = r.get<std::uint32_t>();
+          e.recon_index_crc = r.get<std::uint32_t>();
+          scan_bias(r, e);
+          break;
+        }
       }
-      e.bias_offset = e.bias_count > 0 ? r.pos() : 0;
-      r.get_bytes(static_cast<std::size_t>(e.bias_count) * sizeof(float));
       entries_.push_back(std::move(e));
     }
     // Only our own encoder emits these files, and it writes nothing between
@@ -388,8 +466,31 @@ void ContainerReader::validate_entries(std::size_t payload_end) {
     if (e.rows < 0 || e.cols < 0) {
       throw std::runtime_error("ContainerReader: negative shape in " + e.name);
     }
+    if (version_ != kVersionDelta && e.kind != LayerKind::kFull) {
+      throw std::runtime_error("ContainerReader: delta record in a non-delta "
+                               "container: " + e.name);
+    }
+    if (e.kind == LayerKind::kSame &&
+        (e.data.length != 0 || e.index.length != 0 || e.corr.length != 0 ||
+         e.bias_count != 0)) {
+      throw std::runtime_error(
+          "ContainerReader: same-layer record carries stream bytes in " +
+          e.name);
+    }
+    if (e.kind == LayerKind::kFull && e.corr.length != 0) {
+      throw std::runtime_error(
+          "ContainerReader: full record with a correction stream in " +
+          e.name);
+    }
+    if (e.kind == LayerKind::kDelta &&
+        e.mask_mode == MaskMode::kSameAsBase && e.index.length != 0) {
+      throw std::runtime_error(
+          "ContainerReader: same-mask delta record carries an index stream "
+          "in " + e.name);
+    }
     add_extent(e.name, e.data.offset, e.data.length);
     add_extent(e.name, e.index.offset, e.index.length);
+    add_extent(e.name, e.corr.offset, e.corr.length);
     // Guard the multiplication: a count near 2^62 would wrap to a small
     // (even zero) byte extent and sail through the range check.
     if (e.bias_count > payload_end / sizeof(float)) {
@@ -429,6 +530,148 @@ std::size_t ContainerReader::payload_bytes() const {
   return total;
 }
 
+// ---------------------------------------------------------------------------
+// Delta-container surface
+// ---------------------------------------------------------------------------
+
+bool ContainerReader::is_delta() const { return version_ == kVersionDelta; }
+
+std::uint32_t ContainerReader::container_crc() const {
+  return util::crc32(bytes_);
+}
+
+void ContainerReader::set_base(std::shared_ptr<const ContainerReader> base) {
+  if (!is_delta()) {
+    throw std::runtime_error(
+        "ContainerReader: set_base on a non-delta container");
+  }
+  if (!base) {
+    throw std::runtime_error("ContainerReader: null base container");
+  }
+  if (base->container_crc() != base_crc_) {
+    throw std::runtime_error(
+        "ContainerReader: base container CRC mismatch for base_id \"" +
+        base_id_ + "\" (wrong, stale, or tampered base)");
+  }
+  if (base->is_delta() && base->base_ == nullptr) {
+    throw std::runtime_error(
+        "ContainerReader: base delta chain is unresolved");
+  }
+  const int depth = base->depth_ + 1;
+  if (depth > kMaxChainDepth) {
+    throw std::runtime_error("ContainerReader: delta chain deeper than " +
+                             std::to_string(kMaxChainDepth));
+  }
+  base_ = std::move(base);
+  depth_ = depth;
+}
+
+const ContainerReader& ContainerReader::require_base(
+    const std::string& layer) const {
+  if (!base_) {
+    throw std::runtime_error("ContainerReader: layer " + layer +
+                             " needs base container \"" + base_id_ +
+                             "\" but none is attached");
+  }
+  if (!base_->contains(layer)) {
+    throw std::runtime_error("ContainerReader: layer " + layer +
+                             " is missing from base container \"" + base_id_ +
+                             "\"");
+  }
+  return *base_;
+}
+
+sparse::PrunedLayer ContainerReader::apply_delta(
+    std::size_t i, const sparse::PrunedLayer& base_layer,
+    DecodeTiming* timing) const {
+  const auto& e = entries_.at(i);
+  if (e.kind != LayerKind::kDelta) {
+    throw std::runtime_error("ContainerReader: apply_delta on a non-delta "
+                             "record: " + e.name);
+  }
+  if (util::crc32(float_bytes(base_layer.data)) != e.base_data_crc ||
+      util::crc32(base_layer.index) != e.base_index_crc) {
+    throw std::runtime_error(
+        "ContainerReader: base layer checksum mismatch in " + e.name +
+        " (delta applied to the wrong base)");
+  }
+
+  const auto residual_stream = checked_span(e.data, e.name);
+  const auto corr_stream = checked_span(e.corr, e.name);
+
+  util::WallTimer timer;
+  auto corr =
+      byte_codec(e.corr.codec.empty() ? "store" : e.corr.codec)
+          ->decode(corr_stream);
+  std::vector<std::uint8_t> index;
+  switch (e.mask_mode) {
+    case MaskMode::kSameAsBase:
+      index = base_layer.index;
+      break;
+    case MaskMode::kXorDelta: {
+      auto mask =
+          byte_codec(e.index.codec.empty() ? "store" : e.index.codec)
+              ->decode(checked_span(e.index, e.name));
+      if (mask.size() != base_layer.index.size()) {
+        throw std::runtime_error(
+            "ContainerReader: mask delta length mismatch in " + e.name);
+      }
+      index = base_layer.index;
+      for (std::size_t k = 0; k < index.size(); ++k) index[k] ^= mask[k];
+      break;
+    }
+    case MaskMode::kFullIndex:
+      index = byte_codec(e.index.codec.empty() ? "store" : e.index.codec)
+                  ->decode(checked_span(e.index, e.name));
+      break;
+  }
+  const double lossless_ms = timer.millis();
+
+  timer.reset();
+  auto residual = float_codec(e.data.codec.empty() ? "sz" : e.data.codec)
+                      ->decode(residual_stream);
+  const double sz_ms = timer.millis();
+
+  if (corr.size() != residual.size() * sizeof(float)) {
+    throw std::runtime_error(
+        "ContainerReader: correction stream length mismatch in " + e.name);
+  }
+  if (residual.size() != index.size()) {
+    throw std::runtime_error("ContainerReader: data/index mismatch in " +
+                             e.name);
+  }
+
+  // data = (base + residual), then the XOR correction restores the target's
+  // exact bit pattern regardless of what the lossy residual codec did.
+  timer.reset();
+  sparse::PrunedLayer layer;
+  layer.name = e.name;
+  layer.rows = e.rows;
+  layer.cols = e.cols;
+  layer.data.resize(residual.size());
+  const std::size_t base_n = base_layer.data.size();
+  for (std::size_t k = 0; k < residual.size(); ++k) {
+    const float b = k < base_n ? base_layer.data[k] : 0.0f;
+    layer.data[k] = b + residual[k];
+  }
+  auto* data_bytes = reinterpret_cast<std::uint8_t*>(layer.data.data());
+  for (std::size_t k = 0; k < corr.size(); ++k) data_bytes[k] ^= corr[k];
+  layer.index = std::move(index);
+
+  if (util::crc32(float_bytes(layer.data)) != e.recon_data_crc ||
+      util::crc32(layer.index) != e.recon_index_crc) {
+    throw std::runtime_error(
+        "ContainerReader: reconstruction checksum mismatch in " + e.name +
+        " (corrupt or forged delta streams)");
+  }
+  if (timing) {
+    timing->lossless_ms = lossless_ms;
+    timing->sz_ms = sz_ms;
+    timing->reconstruct_ms = timer.millis();
+  }
+  return layer;
+}
+
 std::shared_ptr<codec::FloatCodec> ContainerReader::float_codec(
     const std::string& spec) const {
   util::MutexLock lock(codec_mu_);
@@ -463,20 +706,52 @@ std::shared_ptr<codec::ByteCodec> ContainerReader::byte_codec(
   }
 }
 
+std::span<const std::uint8_t> ContainerReader::checked_span(
+    const StreamRef& ref, const std::string& name) const {
+  const auto stream = bytes_.subspan(static_cast<std::size_t>(ref.offset),
+                                     static_cast<std::size_t>(ref.length));
+  if (util::crc32(stream) != ref.crc) {
+    throw std::runtime_error("ContainerReader: checksum mismatch in " + name);
+  }
+  return stream;
+}
+
 sparse::PrunedLayer ContainerReader::decode_layer(std::size_t i,
                                                   DecodeTiming* timing) const {
+  return decode_layer_impl(i, timing, kMaxChainDepth);
+}
+
+sparse::PrunedLayer ContainerReader::decode_layer_impl(std::size_t i,
+                                                       DecodeTiming* timing,
+                                                       int depth_budget) const {
   const auto& e = entries_.at(i);
-  const auto data_stream =
-      bytes_.subspan(static_cast<std::size_t>(e.data.offset),
-                     static_cast<std::size_t>(e.data.length));
-  const auto index_stream =
-      bytes_.subspan(static_cast<std::size_t>(e.index.offset),
-                     static_cast<std::size_t>(e.index.length));
-  if (util::crc32(data_stream) != e.data.crc ||
-      util::crc32(index_stream) != e.index.crc) {
-    throw std::runtime_error("ContainerReader: checksum mismatch in " +
-                             e.name);
+  if (e.kind != LayerKind::kFull && depth_budget <= 0) {
+    throw std::runtime_error("ContainerReader: delta chain deeper than " +
+                             std::to_string(kMaxChainDepth));
   }
+  if (e.kind == LayerKind::kSame) {
+    const auto& base = require_base(e.name);
+    auto layer =
+        base.decode_layer_impl(base.index_of(e.name), timing, depth_budget - 1);
+    if (layer.rows != e.rows || layer.cols != e.cols ||
+        util::crc32(float_bytes(layer.data)) != e.base_data_crc ||
+        util::crc32(layer.index) != e.base_index_crc) {
+      throw std::runtime_error(
+          "ContainerReader: base layer checksum mismatch in " + e.name +
+          " (same-layer reference resolved against the wrong base)");
+    }
+    return layer;
+  }
+  if (e.kind == LayerKind::kDelta) {
+    const auto& base = require_base(e.name);
+    auto base_layer =
+        base.decode_layer_impl(base.index_of(e.name), nullptr,
+                               depth_budget - 1);
+    return apply_delta(i, base_layer, timing);
+  }
+
+  const auto data_stream = checked_span(e.data, e.name);
+  const auto index_stream = checked_span(e.index, e.name);
 
   sparse::PrunedLayer layer;
   layer.name = e.name;
@@ -515,13 +790,11 @@ sparse::PrunedLayer ContainerReader::decode_layer(const std::string& name,
 std::vector<std::uint8_t> ContainerReader::decode_index_stream(
     std::size_t i, double* lossless_ms) const {
   const auto& e = entries_.at(i);
-  const auto index_stream =
-      bytes_.subspan(static_cast<std::size_t>(e.index.offset),
-                     static_cast<std::size_t>(e.index.length));
-  if (util::crc32(index_stream) != e.index.crc) {
-    throw std::runtime_error("ContainerReader: checksum mismatch in " +
-                             e.name);
+  if (e.kind != LayerKind::kFull) {
+    throw std::runtime_error(
+        "ContainerReader: decode_index_stream on a delta record: " + e.name);
   }
+  const auto index_stream = checked_span(e.index, e.name);
   util::WallTimer timer;
   auto deltas = byte_codec(e.index.codec.empty() ? "store" : e.index.codec)
                     ->decode(index_stream);
@@ -532,18 +805,34 @@ std::vector<std::uint8_t> ContainerReader::decode_index_stream(
 std::span<const std::uint8_t> ContainerReader::checked_data_stream(
     std::size_t i) const {
   const auto& e = entries_.at(i);
-  const auto data_stream =
-      bytes_.subspan(static_cast<std::size_t>(e.data.offset),
-                     static_cast<std::size_t>(e.data.length));
-  if (util::crc32(data_stream) != e.data.crc) {
-    throw std::runtime_error("ContainerReader: checksum mismatch in " +
-                             e.name);
+  if (e.kind != LayerKind::kFull) {
+    throw std::runtime_error(
+        "ContainerReader: checked_data_stream on a delta record: " + e.name);
   }
-  return data_stream;
+  return checked_span(e.data, e.name);
 }
 
 std::vector<float> ContainerReader::decode_bias(std::size_t i) const {
+  return decode_bias_impl(i, kMaxChainDepth);
+}
+
+std::vector<float> ContainerReader::decode_bias_impl(std::size_t i,
+                                                     int depth_budget) const {
   const auto& e = entries_.at(i);
+  if (e.kind == LayerKind::kSame) {
+    if (depth_budget <= 0) {
+      throw std::runtime_error("ContainerReader: delta chain deeper than " +
+                               std::to_string(kMaxChainDepth));
+    }
+    const auto& base = require_base(e.name);
+    auto bias =
+        base.decode_bias_impl(base.index_of(e.name), depth_budget - 1);
+    if (util::crc32(float_bytes(bias)) != e.base_bias_crc) {
+      throw std::runtime_error(
+          "ContainerReader: base bias checksum mismatch in " + e.name);
+    }
+    return bias;
+  }
   std::vector<float> bias(static_cast<std::size_t>(e.bias_count));
   if (!bias.empty()) {
     std::memcpy(bias.data(),
@@ -572,7 +861,11 @@ DecodedModel decode_model(std::span<const std::uint8_t> bytes,
   model.layers.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& e = reader.entry(i);
-    if (e.bias_count > 0) model.biases[e.name] = reader.decode_bias(i);
+    // kSame layers have bias_count 0 but may forward a bias from the base.
+    if (e.bias_count > 0 || e.kind == LayerKind::kSame) {
+      auto bias = reader.decode_bias(i);
+      if (!bias.empty()) model.biases[e.name] = std::move(bias);
+    }
   }
 
   std::vector<DecodeTiming> timings(n);

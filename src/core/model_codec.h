@@ -157,6 +157,28 @@ struct StreamRef {
   std::uint32_t crc = 0;       // CRC-32 of the payload
 };
 
+/// How a version-4 (delta container) layer record relates to the base
+/// container named in the header. Version 2/3 records are always kFull.
+enum class LayerKind : std::uint8_t {
+  /// Self-contained v3-style record: both streams present, no base needed.
+  kFull = 0,
+  /// Zero-byte reference: data, index and bias are bit-identical to the base
+  /// layer of the same name; the record stores only CRC pins of the base's
+  /// decoded arrays so a wrong base is detected, never silently served.
+  kSame = 1,
+  /// Residual record: data = base + FloatCodec(residual), bit-exactness
+  /// restored by a lossless XOR correction stream; index carried as a
+  /// sparsity-mask delta (see ContainerEntry::mask_mode).
+  kDelta = 2,
+};
+
+/// How a kDelta record carries the layer's index (position-delta) array.
+enum class MaskMode : std::uint8_t {
+  kSameAsBase = 0,  // zero bytes: index identical to the base layer's
+  kXorDelta = 1,    // lossless stream of base.index XOR target.index
+  kFullIndex = 2,   // lossless stream of the full target index
+};
+
 /// One layer's directory entry: everything needed to decode the layer
 /// without parsing any other record.
 struct ContainerEntry {
@@ -164,14 +186,29 @@ struct ContainerEntry {
   std::int64_t rows = 0;
   std::int64_t cols = 0;
   double eb = 0.0;
-  StreamRef data;              // error-bounded stream (weights)
-  StreamRef index;             // lossless stream (position deltas)
+  StreamRef data;              // error-bounded stream (weights / residual)
+  StreamRef index;             // lossless stream (position deltas / mask)
   std::uint64_t bias_offset = 0;  // absolute offset of the raw fp32 bias
   std::uint64_t bias_count = 0;   // number of bias floats (0 = none stored)
 
-  /// Compressed payload cost of this layer (both streams).
+  // Version-4 delta fields; defaults describe a v2/v3 full record.
+  LayerKind kind = LayerKind::kFull;
+  MaskMode mask_mode = MaskMode::kSameAsBase;
+  StreamRef corr;  // kDelta: lossless bit-correction stream (4 bytes/value)
+  /// CRC-32 pins of the base layer's decoded arrays (data floats as bytes,
+  /// index bytes, bias floats as bytes) — verified before any delta is
+  /// applied so a wrong or tampered base is a clean error.
+  std::uint32_t base_data_crc = 0;
+  std::uint32_t base_index_crc = 0;
+  std::uint32_t base_bias_crc = 0;
+  /// CRC-32 pins of the reconstructed arrays — a forged-but-resigned
+  /// residual/correction stream cannot produce a silently wrong layer.
+  std::uint32_t recon_data_crc = 0;
+  std::uint32_t recon_index_crc = 0;
+
+  /// Compressed payload cost of this layer (all streams).
   std::size_t payload_bytes() const {
-    return static_cast<std::size_t>(data.length + index.length);
+    return static_cast<std::size_t>(data.length + index.length + corr.length);
   }
 };
 
@@ -184,8 +221,19 @@ struct ContainerEntry {
 /// record headers only and still never decodes or checksums stream payloads.
 /// The reader is non-owning: `bytes` must outlive it. decode_layer() is
 /// const and thread-safe; distinct layers decode concurrently.
+///
+/// Delta containers (version 4, see delta_codec.h) additionally name a base
+/// container. Attach the resolved base with set_base() — which verifies the
+/// base's whole-file CRC against the header's base_crc and bounds the chain
+/// depth — before decoding any kSame/kDelta layer; decoding one without a
+/// base attached throws. set_base() is setup-phase only: call it before
+/// handing the reader to concurrent decoders.
 class ContainerReader {
  public:
+  /// Longest allowed base chain (delta-of-delta-of-...). Resolution beyond
+  /// this — including any cycle, which presents as an ever-growing chain —
+  /// is rejected with a clean error.
+  static constexpr int kMaxChainDepth = 8;
   /// Where the layer directory comes from. kAuto prefers the footer index
   /// and falls back to scanning; kScanRecords always walks the records —
   /// decode_model uses it so corruption anywhere in a record (not just in
@@ -214,9 +262,49 @@ class ContainerReader {
   /// Sum of all layers' compressed stream bytes.
   std::size_t payload_bytes() const;
 
+  // -- Delta-container (version 4) surface ----------------------------------
+
+  /// Container wire version (2, 3, or 4).
+  std::uint32_t version() const { return version_; }
+  /// True for a version-4 delta container (base_id/base_crc in the header).
+  bool is_delta() const;
+  /// Identifier of the base container this delta applies to (typically the
+  /// base's file path or served-model name); empty for full containers.
+  const std::string& base_id() const { return base_id_; }
+  /// CRC-32 of the entire base container file this delta was diffed against.
+  std::uint32_t base_crc() const { return base_crc_; }
+  /// CRC-32 of this container's own bytes (what a successor delta's
+  /// base_crc must match). O(container size), not memoized.
+  std::uint32_t container_crc() const;
+
+  /// Attaches the resolved base reader. Verifies base->container_crc()
+  /// against the header's base_crc, requires the base's own chain to be
+  /// resolved, and bounds the total chain depth at kMaxChainDepth. The
+  /// shared_ptr keeps the base (and, via aliasing, its owning storage)
+  /// alive for this reader's lifetime. Throws std::runtime_error on a
+  /// mismatched/forged base, an unresolved base chain, or an over-deep
+  /// chain; also when called on a non-delta container.
+  void set_base(std::shared_ptr<const ContainerReader> base);
+  /// The attached base, nullptr when none (or not a delta container).
+  const ContainerReader* base() const { return base_.get(); }
+  /// Number of delta hops below this container (0 = full container or
+  /// delta with no base attached yet).
+  int chain_depth() const { return depth_; }
+
+  /// Applies layer i's delta record to a caller-supplied decode of the base
+  /// layer (the warm hot-swap path reconstructs the base arrays from the
+  /// already-resident served form instead of re-decoding the base
+  /// container). Verifies the record's base CRC pins against `base_layer`
+  /// and the reconstruction CRC pins against the result; throws
+  /// std::runtime_error on any mismatch or on a non-kDelta record.
+  sparse::PrunedLayer apply_delta(std::size_t i,
+                                  const sparse::PrunedLayer& base_layer,
+                                  DecodeTiming* timing = nullptr) const;
+
   /// Decodes exactly one layer: CRC-checks and decodes that layer's two
-  /// streams and nothing else. `timing`, when given, receives the lossless /
-  /// error-bounded phase split for this layer alone.
+  /// streams and nothing else. kSame/kDelta layers resolve through the
+  /// attached base (throws when none is attached). `timing`, when given,
+  /// receives the lossless / error-bounded phase split for this layer alone.
   sparse::PrunedLayer decode_layer(std::size_t i,
                                    DecodeTiming* timing = nullptr) const;
   sparse::PrunedLayer decode_layer(const std::string& name,
@@ -229,30 +317,48 @@ class ContainerReader {
   // mismatch, exactly like decode_layer.
 
   /// Decodes layer i's lossless index stream (position deltas) only.
+  /// Full (kFull) records only — a delta record's index slot holds a mask
+  /// delta, not position deltas, so this throws on kSame/kDelta.
   /// `lossless_ms`, when given, receives the codec time.
   std::vector<std::uint8_t> decode_index_stream(
       std::size_t i, double* lossless_ms = nullptr) const;
 
   /// CRC-checks layer i's data stream and returns its payload bytes,
-  /// undecoded. The span views the container bytes.
+  /// undecoded. The span views the container bytes. kFull records only.
   std::span<const std::uint8_t> checked_data_stream(std::size_t i) const;
 
   /// Copies the layer's stored bias out of the container ({} when absent).
+  /// kSame layers forward to the attached base, verifying the bias CRC pin.
   std::vector<float> decode_bias(std::size_t i) const;
   std::vector<float> decode_bias(const std::string& name) const;
 
  private:
   void parse_footer(std::size_t body_start, std::size_t body_len,
                     std::uint32_t n_layers);
-  void scan_records(std::uint32_t version, std::uint32_t n_layers,
-                    std::size_t payload_end);
+  void scan_records(std::uint32_t n_layers, std::size_t payload_end);
   void validate_entries(std::size_t payload_end);
+  const ContainerReader& require_base(const std::string& layer) const;
+  /// CRC-checks one stream's payload and returns it as a span of bytes_.
+  std::span<const std::uint8_t> checked_span(const StreamRef& ref,
+                                             const std::string& name) const;
+  // Recursion through the base chain carries an explicit budget so even a
+  // forged pointer cycle (two readers attached to each other) is a clean
+  // error, never unbounded recursion.
+  sparse::PrunedLayer decode_layer_impl(std::size_t i, DecodeTiming* timing,
+                                        int depth_budget) const;
+  std::vector<float> decode_bias_impl(std::size_t i, int depth_budget) const;
 
   std::shared_ptr<codec::FloatCodec> float_codec(const std::string& spec) const;
   std::shared_ptr<codec::ByteCodec> byte_codec(const std::string& spec) const;
 
   std::span<const std::uint8_t> bytes_;
   bool has_footer_ = false;
+  std::uint32_t version_ = 0;
+  std::size_t header_bytes_ = 0;  // fixed prefix + v4 base fields
+  std::string base_id_;
+  std::uint32_t base_crc_ = 0;
+  std::shared_ptr<const ContainerReader> base_;
+  int depth_ = 0;
   std::vector<ContainerEntry> entries_;
   std::map<std::string, std::size_t> by_name_;
 

@@ -56,6 +56,22 @@ ModelStore::ModelStore(std::vector<std::uint8_t> container,
     : container_(std::move(container)),
       options_(std::move(options)),
       reader_(container_) {
+  if (reader_.is_delta()) {
+    if (!options_.base_store) {
+      throw std::runtime_error(
+          "ModelStore: delta container requires base \"" + reader_.base_id() +
+          "\" but no base store was provided");
+    }
+    // Aliasing shared_ptr: ownership of the base ModelStore (which owns the
+    // base container bytes) travels with the reader pointer, so the base
+    // chain stays alive for this store's lifetime even if the base model is
+    // unloaded elsewhere mid-swap. set_base verifies the base's CRC.
+    reader_.set_base(std::shared_ptr<const core::ContainerReader>(
+        options_.base_store, &options_.base_store->reader()));
+  } else if (options_.base_store) {
+    throw std::runtime_error(
+        "ModelStore: base store supplied for a non-delta container");
+  }
   if (options_.shared_budget) options_.shared_budget->attach(this);
 }
 
@@ -72,6 +88,22 @@ ModelStore::~ModelStore() {
 std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
   // Unknown names throw std::out_of_range before any cache bookkeeping.
   const std::size_t entry_index = reader_.index_of(name);
+
+  // A kSame layer is bit-identical to the base's: forward to the base store
+  // so the decoded entry is shared across the whole delta chain (one
+  // residency, one budget charge). Counted as a hit here — this store ran
+  // no codec; any decode cost lands in the base store's stats.
+  if (reader_.entry(entry_index).kind == core::LayerKind::kSame) {
+    if (!options_.base_store) {
+      throw std::runtime_error("ModelStore: same-layer " + name +
+                               " has no base store");
+    }
+    {
+      util::MutexLock lock(mu_);
+      ++stats_.hits;
+    }
+    return options_.base_store->get(name);
+  }
 
   std::shared_ptr<InFlight> flight;
   bool owner = false;
@@ -148,15 +180,86 @@ std::shared_ptr<const ServedLayer> ModelStore::get(const std::string& name) {
 
 std::shared_ptr<const ServedLayer> ModelStore::decode_now(
     std::size_t entry_index) {
-  if (options_.native_form &&
-      native_form_for_codec_spec(reader_.entry(entry_index).data.codec) ==
-          ServingForm::kCodebookCsr) {
+  const core::ContainerEntry& e = reader_.entry(entry_index);
+  if (e.kind == core::LayerKind::kDelta) return decode_delta_now(entry_index);
+  // Codebook serving applies to full records only: a delta record's data
+  // stream holds the residual, not a dc payload.
+  if (options_.native_form && e.kind == core::LayerKind::kFull &&
+      native_form_for_codec_spec(e.data.codec) == ServingForm::kCodebookCsr) {
     return decode_codebook_now(entry_index);
   }
-  auto served = std::make_shared<ServedLayer>();
   core::DecodeTiming timing;
   auto sparse_layer = reader_.decode_layer(entry_index, &timing);
+  return make_served_dense(entry_index, std::move(sparse_layer), timing);
+}
 
+std::shared_ptr<const ServedLayer> ModelStore::decode_delta_now(
+    std::size_t entry_index) {
+  const core::ContainerEntry& e = reader_.entry(entry_index);
+  core::DecodeTiming timing;
+
+  // Warm hot-swap path: when the base layer is already resident in a dense
+  // form, rebuild the base's two-array representation from it — the dense
+  // matrix is an exact scatter of the data array at strictly-increasing
+  // positions, so gathering dense[pos_i] over the base's (cheap, lossless)
+  // index deltas is bit-exact — and apply the delta to that, skipping the
+  // base's error-bounded decode entirely. The record's base CRC pins verify
+  // the rebuilt arrays before the delta is applied. Walk kSame references
+  // down the chain to the full record that owns the index stream; a kDelta
+  // base or a codebook/non-resident base falls back to the cold full-chain
+  // decode below.
+  if (options_.base_store) {
+    auto resident = options_.base_store->peek(e.name);
+    const core::ContainerReader* br = &options_.base_store->reader();
+    while (br->contains(e.name) &&
+           br->entry(e.name).kind == core::LayerKind::kSame && br->base()) {
+      br = br->base();
+    }
+    if (resident && !resident->dense.empty() && br->contains(e.name) &&
+        br->entry(e.name).kind == core::LayerKind::kFull) {
+      auto deltas =
+          br->decode_index_stream(br->index_of(e.name), &timing.lossless_ms);
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(resident->rows) *
+          static_cast<std::uint64_t>(resident->cols);
+      sparse::PrunedLayer base_layer;
+      base_layer.name = e.name;
+      base_layer.rows = resident->rows;
+      base_layer.cols = resident->cols;
+      base_layer.data.reserve(deltas.size());
+      std::int64_t pos = -1;
+      for (std::uint8_t d : deltas) {
+        if (d == 0) {
+          throw std::runtime_error("ModelStore: zero position delta in " +
+                                   e.name);
+        }
+        pos += d;
+        if (static_cast<std::uint64_t>(pos) >= total) {
+          throw std::runtime_error("ModelStore: index overruns matrix in " +
+                                   e.name);
+        }
+        base_layer.data.push_back(
+            resident->dense[static_cast<std::size_t>(pos)]);
+      }
+      base_layer.index = std::move(deltas);
+      core::DecodeTiming apply_timing;
+      auto sparse_layer =
+          reader_.apply_delta(entry_index, base_layer, &apply_timing);
+      timing.lossless_ms += apply_timing.lossless_ms;
+      timing.sz_ms += apply_timing.sz_ms;
+      timing.reconstruct_ms += apply_timing.reconstruct_ms;
+      return make_served_dense(entry_index, std::move(sparse_layer), timing);
+    }
+  }
+
+  auto sparse_layer = reader_.decode_layer(entry_index, &timing);
+  return make_served_dense(entry_index, std::move(sparse_layer), timing);
+}
+
+std::shared_ptr<const ServedLayer> ModelStore::make_served_dense(
+    std::size_t entry_index, sparse::PrunedLayer sparse_layer,
+    core::DecodeTiming timing) {
+  auto served = std::make_shared<ServedLayer>();
   util::WallTimer timer;
   served->name = sparse_layer.name;
   served->rows = sparse_layer.rows;
@@ -180,7 +283,7 @@ std::shared_ptr<const ServedLayer> ModelStore::decode_now(
           static_cast<std::uint32_t>(served->csr_col.size()));
     }
   }
-  timing.reconstruct_ms = timer.millis();
+  timing.reconstruct_ms += timer.millis();
   served->form = served->has_csr() ? ServingForm::kSparseCsr
                                    : ServingForm::kDenseF32;
   served->timing = timing;
@@ -315,6 +418,11 @@ std::size_t ModelStore::evict_lru_one() {
 
 std::shared_ptr<const ServedLayer> ModelStore::peek(
     const std::string& name) const {
+  // kSame layers live in the base store's cache, not this one.
+  if (options_.base_store && reader_.contains(name) &&
+      reader_.entry(name).kind == core::LayerKind::kSame) {
+    return options_.base_store->peek(name);
+  }
   util::MutexLock lock(mu_);
   auto it = cache_.find(name);
   return it != cache_.end() ? it->second.layer : nullptr;

@@ -33,6 +33,8 @@
 
 namespace deepsz::serve {
 
+class ModelStore;
+
 struct ModelStoreOptions {
   /// Cache budget over ServedLayer::bytes(). Layers larger than the whole
   /// budget are still served (decoded, returned, dropped immediately).
@@ -64,6 +66,15 @@ struct ModelStoreOptions {
   /// ModelRepository to the serving name. Empty disables the model label
   /// ("store" is used) but never the spans themselves.
   std::string trace_label;
+  /// Base store for a delta container (DSZC v4): required when the container
+  /// declares a base, rejected (construction throws) when missing. The store
+  /// attaches the base's reader via ContainerReader::set_base — which
+  /// verifies the base container's CRC — and holds the shared_ptr for its
+  /// lifetime, so unloading the base elsewhere never invalidates this store.
+  /// kSame layers forward get()/peek() to the base store (shared residency,
+  /// no double-charge); kDelta layers reconstruct warm against the base's
+  /// resident dense form when possible, else cold through the full chain.
+  std::shared_ptr<ModelStore> base_store;
 };
 
 /// One decoded, inference-ready fc-layer. Immutable after publication;
@@ -219,6 +230,11 @@ class ModelStore {
       DEEPSZ_EXCLUDES(mu_);
   std::shared_ptr<const ServedLayer> decode_codebook_now(
       std::size_t entry_index) DEEPSZ_EXCLUDES(mu_);
+  std::shared_ptr<const ServedLayer> decode_delta_now(std::size_t entry_index)
+      DEEPSZ_EXCLUDES(mu_);
+  std::shared_ptr<const ServedLayer> make_served_dense(
+      std::size_t entry_index, sparse::PrunedLayer sparse_layer,
+      core::DecodeTiming timing) DEEPSZ_EXCLUDES(mu_);
   void insert_and_evict_locked(const std::string& name,
                                std::shared_ptr<const ServedLayer> layer)
       DEEPSZ_REQUIRES(mu_);

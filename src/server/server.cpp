@@ -114,6 +114,23 @@ std::string format_csv(const std::vector<float>& values, std::int64_t rows,
   return out;
 }
 
+/// Value of `key` in an HTTP query string ("a=1&b=2"), or "" when absent.
+/// No percent-decoding: served-model names are plain identifiers.
+std::string query_param(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string kv = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const std::size_t eq = kv.find('=');
+    if (kv.substr(0, eq) == key) {
+      return eq == std::string::npos ? "" : kv.substr(eq + 1);
+    }
+  }
+  return "";
+}
+
 constexpr std::size_t kBinaryHeader = 2 * sizeof(std::uint32_t);
 
 /// Binary layout: [u32 rows][u32 cols][rows*cols f32], all little-endian.
@@ -188,7 +205,9 @@ void append_model_json(std::ostringstream& os, const ServedModel& m) {
      << m.version << ",\"layers\":" << m.store->reader().num_layers()
      << ",\"in_features\":" << m.in_features
      << ",\"out_features\":" << m.out_features
-     << ",\"container_bytes\":" << m.container_bytes << ",\"source_path\":\""
+     << ",\"container_bytes\":" << m.container_bytes
+     << ",\"shipped_bytes\":" << m.shipped_bytes << ",\"base\":\""
+     << json_escaped(m.base_ref) << "\",\"source_path\":\""
      << json_escaped(m.source_path) << "\",\"cache\":";
   append_cache_json(os, m.store->stats());
   os << "}";
@@ -276,7 +295,7 @@ HttpResponse Server::handle(const HttpRequest& req) {
     }
     if (action == "load" || action == "reload" || action == "unload") {
       if (req.method != "POST") return HttpResponse::text(405, "POST only\n");
-      return handle_model_action(rest, action, req);
+      return handle_model_action(rest, action, query, req);
     }
     return HttpResponse::text(404, "unknown action \"" + action + "\"\n");
   }
@@ -360,16 +379,22 @@ HttpResponse Server::handle_infer(const std::string& name,
 
 HttpResponse Server::handle_model_action(const std::string& name,
                                          const std::string& action,
+                                         const std::string& query,
                                          const HttpRequest& req) {
   try {
     if (action == "load") {
       if (req.body.empty()) {
         return HttpResponse::text(400, "load needs a container body\n");
       }
-      auto model = repo_.load(name, req.body);
+      auto model =
+          repo_.load(name, req.body, "", query_param(query, "base"));
+      std::string note;
+      if (!model->base_ref.empty()) {
+        note = " (delta against \"" + model->base_ref + "\")";
+      }
       return HttpResponse::text(200, "loaded \"" + name + "\" version " +
                                          std::to_string(model->version) +
-                                         "\n");
+                                         note + "\n");
     }
     if (action == "reload") {
       auto model = repo_.reload(name);
@@ -499,6 +524,10 @@ std::string Server::metrics_text() const {
   os << "deepsz_cache_cross_model_evictions " << budget->evictions() << "\n";
   family("models_loaded", "gauge", "Models currently loaded.");
   os << "deepsz_models_loaded " << repo_.size() << "\n";
+  family("swap_bytes_shipped", "counter",
+         "Container bytes shipped across every load; a warm delta swap "
+         "counts only the delta.");
+  os << "deepsz_swap_bytes_shipped " << repo_.bytes_shipped() << "\n";
 
   family("build_info", "gauge",
          "Constant 1; build metadata in the labels.");

@@ -6,6 +6,8 @@
 //   GET  /v1/models/<name>           -> JSON for one model (404 if absent)
 //   POST /v1/models/<name>:infer     -> run inference (CSV or binary body)
 //   POST /v1/models/<name>:load      -> body = container bytes; load/hot-swap
+//        ?base=<model> names the served base for a DSZC v4 delta body
+//        (optional: a resident base also auto-detects by container CRC)
 //   POST /v1/models/<name>:reload    -> re-read the model's source file
 //   POST /v1/models/<name>:unload    -> drop the model
 //   GET  /metrics                    -> Prometheus-style text exposition
@@ -74,6 +76,7 @@ class Server {
   HttpResponse handle_infer(const std::string& name, const HttpRequest& req);
   HttpResponse handle_model_action(const std::string& name,
                                    const std::string& action,
+                                   const std::string& query,
                                    const HttpRequest& req);
 
   const ServerOptions options_;

@@ -1,0 +1,223 @@
+// Differential property test for delta containers: for (base, successor)
+// pairs covering every record kind, every mask mode, both container codec
+// families and both residual codecs, apply(diff(A, B), A) must reconstruct
+// B BIT-exactly — per-layer data/index/bias compared as exact byte images,
+// not to tolerance. Bit-exactness is the format's contract (the XOR
+// correction stream closes whatever gap the lossy residual codec leaves),
+// so any mismatch here is a real wire-format bug.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta_codec.h"
+#include "core/model_codec.h"
+#include "data/weight_synthesis.h"
+#include "util/rng.h"
+
+namespace deepsz::core {
+namespace {
+
+struct Model {
+  std::vector<sparse::PrunedLayer> layers;
+  std::map<std::string, std::vector<float>> biases;
+};
+
+Model base_model(std::uint64_t seed) {
+  Model m;
+  m.layers.push_back(
+      data::synthesize_pruned_layer("fc1", 24, 32, 0.25, seed));
+  m.layers.push_back(
+      data::synthesize_pruned_layer("fc2", 16, 24, 0.30, seed + 1));
+  m.layers.push_back(
+      data::synthesize_pruned_layer("fc3", 10, 16, 0.40, seed + 2));
+  util::Pcg32 rng(seed ^ 0xb1a5);
+  for (const auto& l : m.layers) {
+    std::vector<float> b(static_cast<std::size_t>(l.rows));
+    for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 0.1));
+    m.biases[l.name] = b;
+  }
+  return m;
+}
+
+// Successor variants, each exercising a different record kind / mask mode.
+Model identical(const Model& base, std::uint64_t) { return base; }
+
+Model perturbed(const Model& base, std::uint64_t seed) {
+  Model m = base;  // same sparsity pattern -> delta records, same-as-base mask
+  util::Pcg32 rng(seed);
+  for (auto& l : m.layers) {
+    for (auto& v : l.data) v += static_cast<float>(rng.normal(0.0, 2e-3));
+  }
+  return m;
+}
+
+Model remasked(const Model& base, std::uint64_t seed) {
+  Model m = base;  // fc2 repruned: different index stream -> a mask delta
+  m.layers[1] = data::synthesize_pruned_layer("fc2", 16, 24, 0.30, seed + 77);
+  return m;
+}
+
+Model extra_layer(const Model& base, std::uint64_t seed) {
+  Model m = base;  // fc4 absent from the base -> a full record
+  m.layers.push_back(
+      data::synthesize_pruned_layer("fc4", 8, 10, 0.50, seed + 99));
+  return m;
+}
+
+Model reshaped(const Model& base, std::uint64_t seed) {
+  Model m = base;  // fc3 regrown: shape change forces a full record
+  m.layers[2] = data::synthesize_pruned_layer("fc3", 12, 16, 0.40, seed + 55);
+  return m;
+}
+
+Model bias_only(const Model& base, std::uint64_t seed) {
+  Model m = base;  // values identical, bias not -> still a delta record
+  util::Pcg32 rng(seed);
+  for (auto& [name, b] : m.biases) {
+    for (auto& v : b) v += static_cast<float>(rng.normal(0.0, 1e-2));
+  }
+  return m;
+}
+
+using Variant = Model (*)(const Model&, std::uint64_t);
+const std::pair<const char*, Variant> kVariants[] = {
+    {"identical", identical},   {"perturbed", perturbed},
+    {"remasked", remasked},     {"extra_layer", extra_layer},
+    {"reshaped", reshaped},     {"bias_only", bias_only},
+};
+
+std::vector<std::uint8_t> encode(const Model& m, const std::string& codec) {
+  ContainerOptions copts;
+  std::map<std::string, double> ebs;
+  if (codec == "dc") {
+    copts.data_codec = "dc:bits=4,iters=8";
+    copts.index_codec = "huffman";
+  } else {
+    for (const auto& l : m.layers) ebs[l.name] = 1e-3;
+  }
+  return encode_model(m.layers, ebs, copts, m.biases).bytes;
+}
+
+void expect_bits_equal(const sparse::PrunedLayer& got,
+                       const sparse::PrunedLayer& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.rows, want.rows) << what;
+  ASSERT_EQ(got.cols, want.cols) << what;
+  ASSERT_EQ(got.index, want.index) << what << ": index bytes differ";
+  ASSERT_EQ(got.data.size(), want.data.size()) << what;
+  // memcmp, not float ==: NaN and -0.0 must round-trip as exact bits too.
+  EXPECT_EQ(std::memcmp(got.data.data(), want.data.data(),
+                        got.data.size() * sizeof(float)),
+            0)
+      << what << ": data bits differ";
+}
+
+TEST(DeltaRoundtrip, ReconstructsSuccessorBitExactlyAcrossStrategies) {
+  std::uint64_t seed = 4201;
+  for (const char* container_codec : {"default", "dc"}) {
+    for (const char* residual_codec : {"sz", "zfp"}) {
+      for (const auto& [vname, variant] : kVariants) {
+        SCOPED_TRACE(std::string(container_codec) + "/" + residual_codec +
+                     "/" + vname);
+        const Model base = base_model(seed);
+        const Model succ = variant(base, seed + 13);
+        ++seed;
+
+        auto base_bytes = encode(base, container_codec);
+        auto target_bytes = encode(succ, container_codec);
+        DeltaOptions dopts;
+        dopts.residual_codec = residual_codec;
+        auto delta = encode_delta_model(base_bytes, target_bytes, dopts);
+
+        ContainerReader target(target_bytes);
+        ContainerReader reader(delta.bytes);
+        ASSERT_TRUE(reader.is_delta());
+        reader.set_base(std::make_shared<ContainerReader>(base_bytes));
+
+        ASSERT_EQ(reader.num_layers(), target.num_layers());
+        for (std::size_t i = 0; i < target.num_layers(); ++i) {
+          const std::string& name = target.entry(i).name;
+          expect_bits_equal(reader.decode_layer(name),
+                            target.decode_layer(name), name);
+          EXPECT_EQ(reader.decode_bias(name), target.decode_bias(name))
+              << name << ": bias differs";
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaRoundtrip, IdenticalSuccessorIsAllSameRecords) {
+  const Model base = base_model(77);
+  auto bytes = encode(base, "default");
+  auto delta = encode_delta_model(bytes, bytes, DeltaOptions{});
+  EXPECT_EQ(delta.count(LayerKind::kSame), base.layers.size());
+  EXPECT_EQ(delta.count(LayerKind::kDelta), 0u);
+  EXPECT_EQ(delta.count(LayerKind::kFull), 0u);
+  // Same records are zero-payload references: the whole delta is a small
+  // fixed overhead, far under the full container it replaces.
+  EXPECT_LT(delta.bytes.size(), bytes.size() / 2);
+}
+
+TEST(DeltaRoundtrip, ExpectedKindsPerVariant) {
+  const std::uint64_t seed = 5150;
+  const Model base = base_model(seed);
+  auto base_bytes = encode(base, "default");
+
+  auto kinds_of = [&](const Model& succ) {
+    auto delta =
+        encode_delta_model(base_bytes, encode(succ, "default"),
+                           DeltaOptions{});
+    std::map<std::string, LayerKind> kinds;
+    for (const auto& st : delta.stats) kinds[st.layer] = st.kind;
+    return kinds;
+  };
+
+  auto k1 = kinds_of(perturbed(base, seed));
+  EXPECT_EQ(k1.at("fc1"), LayerKind::kDelta);
+  auto k2 = kinds_of(extra_layer(base, seed));
+  EXPECT_EQ(k2.at("fc4"), LayerKind::kFull);
+  EXPECT_EQ(k2.at("fc1"), LayerKind::kSame);
+  auto k3 = kinds_of(reshaped(base, seed));
+  EXPECT_EQ(k3.at("fc3"), LayerKind::kFull);
+  auto k4 = kinds_of(bias_only(base, seed));
+  EXPECT_EQ(k4.at("fc1"), LayerKind::kDelta);
+}
+
+TEST(DeltaRoundtrip, ChainedBaseResolvesThroughTwoHops) {
+  // A -> B (delta) -> C (delta against B): decoding C through the chain
+  // must reproduce C's direct encoding bit-exactly.
+  const std::uint64_t seed = 6001;
+  const Model a = base_model(seed);
+  const Model b = perturbed(a, seed + 1);
+  const Model c = perturbed(b, seed + 2);
+  auto a_bytes = encode(a, "default");
+  auto b_bytes = encode(b, "default");
+  auto c_bytes = encode(c, "default");
+
+  auto delta_b = encode_delta_model(a_bytes, b_bytes, DeltaOptions{});
+  auto reader_a = std::make_shared<ContainerReader>(a_bytes);
+  auto reader_b = std::make_shared<ContainerReader>(delta_b.bytes);
+  reader_b->set_base(reader_a);
+  EXPECT_EQ(reader_b->chain_depth(), 1);
+
+  auto delta_c = encode_delta_model(*reader_b, c_bytes, DeltaOptions{});
+  ContainerReader reader_c(delta_c.bytes);
+  reader_c.set_base(reader_b);
+  EXPECT_EQ(reader_c.chain_depth(), 2);
+
+  ContainerReader target(c_bytes);
+  for (std::size_t i = 0; i < target.num_layers(); ++i) {
+    const std::string& name = target.entry(i).name;
+    expect_bits_equal(reader_c.decode_layer(name), target.decode_layer(name),
+                      name);
+    EXPECT_EQ(reader_c.decode_bias(name), target.decode_bias(name));
+  }
+}
+
+}  // namespace
+}  // namespace deepsz::core

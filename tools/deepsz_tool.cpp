@@ -15,6 +15,8 @@
 //   deepsz_tool pack          <in> <out> [byte-codec-spec]
 //   deepsz_tool unpack        <in> <out>
 //   deepsz_tool model-info    <model.dszc>
+//   deepsz_tool diff          <base.dszc> <new.dszc> <out.dszc> ...
+//   deepsz_tool inspect       <model.dszc>
 //   deepsz_tool serve-bench   <model.dszc> [requests] [batch] [cache-mb]
 //   deepsz_tool serve         --model name=path ... [--port N] ...
 //   deepsz_tool trace         <model.dszc> <out.json> [requests] [rows]
@@ -31,6 +33,8 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -41,6 +45,7 @@
 #include "compress/finetune.h"
 #include "compress/registry.h"
 #include "compress/session.h"
+#include "core/delta_codec.h"
 #include "core/model_codec.h"
 #include "data/synthetic_mnist.h"
 #include "modelzoo/pretrained.h"
@@ -136,6 +141,12 @@ constexpr Subcommand kSubcommands[] = {
     {"pack", "<in> <out> [codec=zstd]", "lossless-pack any file"},
     {"unpack", "<in> <out>", "restore a packed file"},
     {"model-info", "<model.dszc>", "inspect a compressed model container"},
+    {"diff",
+     "<base.dszc> <new.dszc> <out.dszc> [--residual-codec <spec>]\n"
+     "        [--lossless <spec>] [--eb X] [--base-id <id>]",
+     "emit a delta container shipping only the layers that changed"},
+    {"inspect", "<model.dszc>",
+     "per-layer record kinds and the delta base chain"},
     {"serve-bench",
      "<model.dszc> [requests=64] [batch=8] [cache-mb=64] [--native]",
      "cold/warm serving latency + cache counters (per serving form)"},
@@ -249,6 +260,79 @@ ToolModel load_tool_model(const std::string& key) {
   }
   throw std::invalid_argument("unknown model \"" + key +
                               "\" (expected tiny|lenet300|lenet5)");
+}
+
+const char* kind_name(deepsz::core::LayerKind kind) {
+  switch (kind) {
+    case deepsz::core::LayerKind::kFull: return "full";
+    case deepsz::core::LayerKind::kSame: return "same";
+    case deepsz::core::LayerKind::kDelta: return "delta";
+  }
+  return "?";
+}
+
+const char* mask_name(deepsz::core::MaskMode mode) {
+  switch (mode) {
+    case deepsz::core::MaskMode::kSameAsBase: return "same-as-base";
+    case deepsz::core::MaskMode::kXorDelta: return "xor-delta";
+    case deepsz::core::MaskMode::kFullIndex: return "full-index";
+  }
+  return "?";
+}
+
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Resolves a base_id the way the server's cold fallback does: as given,
+/// then relative to the referring container's directory.
+std::string resolve_base_path(const std::string& referrer,
+                              const std::string& base_id) {
+  if (file_exists(base_id)) return base_id;
+  const std::string dir = dir_of(referrer);
+  return dir.empty() ? base_id : dir + "/" + base_id;
+}
+
+/// A container file plus its resolved base chain, every hop's bytes kept
+/// alive for the readers that view them.
+struct OpenedContainer {
+  std::string path;
+  std::vector<std::uint8_t> bytes;
+  std::unique_ptr<deepsz::core::ContainerReader> reader;
+  std::shared_ptr<OpenedContainer> base;
+};
+
+std::shared_ptr<OpenedContainer> open_container_chain(
+    const std::string& path, std::set<std::uint32_t>& visited, int depth) {
+  if (depth <= 0) {
+    throw std::runtime_error(path + ": base chain deeper than " +
+                             std::to_string(
+                                 deepsz::core::ContainerReader::
+                                     kMaxChainDepth));
+  }
+  auto oc = std::make_shared<OpenedContainer>();
+  oc->path = path;
+  oc->bytes = read_file(path);
+  oc->reader = std::make_unique<deepsz::core::ContainerReader>(oc->bytes);
+  if (!visited.insert(oc->reader->container_crc()).second) {
+    throw std::runtime_error(path + ": base chain cycle");
+  }
+  if (oc->reader->is_delta()) {
+    oc->base = open_container_chain(
+        resolve_base_path(path, oc->reader->base_id()), visited, depth - 1);
+    oc->reader->set_base(std::shared_ptr<const deepsz::core::ContainerReader>(
+        oc->base, oc->base->reader.get()));
+  }
+  return oc;
 }
 
 volatile std::sig_atomic_t g_serve_stop = 0;
@@ -617,6 +701,104 @@ int run(int argc, char** argv) {
     std::printf("decode: %.1f ms (lossless %.1f, SZ %.1f)\n",
                 decoded.timing.total_ms(), decoded.timing.lossless_ms,
                 decoded.timing.sz_ms);
+    return kExitOk;
+  }
+  if (cmd == "diff" && argc >= 5) {
+    deepsz::core::DeltaOptions dopts;
+    dopts.base_id = argv[2];  // how consumers locate the base, by default
+    for (int i = 5; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("diff: " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--residual-codec") {
+        dopts.residual_codec = next();
+      } else if (arg == "--lossless") {
+        dopts.lossless_codec = next();
+      } else if (arg == "--eb") {
+        dopts.residual_eb = parse_double(next(), "error bound");
+      } else if (arg == "--base-id") {
+        dopts.base_id = next();
+      } else {
+        return usage();
+      }
+    }
+    // The base may itself be a delta: resolve its whole file chain so the
+    // new delta diffs against the fully reconstructed base.
+    std::set<std::uint32_t> visited;
+    auto base = open_container_chain(
+        argv[2], visited, deepsz::core::ContainerReader::kMaxChainDepth);
+    auto target_bytes = read_file(argv[3]);
+    auto delta =
+        deepsz::core::encode_delta_model(*base->reader, target_bytes, dopts);
+    write_file(argv[4], delta.bytes);
+
+    std::printf("%-10s %-6s %-13s %12s %12s\n", "layer", "kind", "mask",
+                "delta-bytes", "full-bytes");
+    for (const auto& st : delta.stats) {
+      std::printf("%-10s %-6s %-13s %12zu %12zu\n", st.layer.c_str(),
+                  kind_name(st.kind),
+                  st.kind == deepsz::core::LayerKind::kDelta
+                      ? mask_name(st.mask_mode)
+                      : "-",
+                  st.payload_bytes(), st.target_bytes);
+    }
+    using deepsz::core::LayerKind;
+    std::printf("%zu layer(s): %zu full, %zu same, %zu delta\n",
+                delta.stats.size(), delta.count(LayerKind::kFull),
+                delta.count(LayerKind::kSame), delta.count(LayerKind::kDelta));
+    std::printf("shipped %zu bytes instead of %zu (%.1fx fewer) -> %s\n",
+                delta.bytes.size(), delta.target_container_bytes,
+                delta.shipped_ratio(), argv[4]);
+    return kExitOk;
+  }
+  if (cmd == "inspect" && argc == 3) {
+    // Walk the base chain hop by hop, resolving base_id like the serving
+    // daemon's cold fallback; the top container gets the per-layer table.
+    std::set<std::uint32_t> visited;
+    std::string path = argv[2];
+    for (int depth = 0;; ++depth) {
+      auto bytes = read_file(path);
+      deepsz::core::ContainerReader reader(bytes);
+      std::printf("%s%s: DSZC v%u, %zu layer(s), %zu bytes, crc 0x%08x\n",
+                  depth ? "  base -> " : "", path.c_str(), reader.version(),
+                  reader.num_layers(), bytes.size(), reader.container_crc());
+      if (depth == 0) {
+        for (const auto& e : reader.entries()) {
+          std::printf("  %-10s %-6s %lld x %lld, %zu payload byte(s)%s%s\n",
+                      e.name.c_str(), kind_name(e.kind),
+                      static_cast<long long>(e.rows),
+                      static_cast<long long>(e.cols), e.payload_bytes(),
+                      e.kind == deepsz::core::LayerKind::kDelta ? ", mask "
+                                                                : "",
+                      e.kind == deepsz::core::LayerKind::kDelta
+                          ? mask_name(e.mask_mode)
+                          : "");
+        }
+      }
+      if (!reader.is_delta()) break;
+      std::printf("  declares base \"%s\" (crc 0x%08x)\n",
+                  reader.base_id().c_str(), reader.base_crc());
+      if (!visited.insert(reader.container_crc()).second) {
+        std::printf("  chain stops: cycle detected\n");
+        break;
+      }
+      if (depth + 1 >= deepsz::core::ContainerReader::kMaxChainDepth) {
+        std::printf("  chain stops: deeper than %d\n",
+                    deepsz::core::ContainerReader::kMaxChainDepth);
+        break;
+      }
+      const std::string next_path =
+          resolve_base_path(path, reader.base_id());
+      if (!file_exists(next_path)) {
+        std::printf("  chain stops: base file not found\n");
+        break;
+      }
+      path = next_path;
+    }
     return kExitOk;
   }
   if (cmd == "serve-bench" && argc >= 3 && argc <= 7) {

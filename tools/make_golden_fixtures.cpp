@@ -18,6 +18,12 @@
 //   ckpt_v1.dszk     a DSZK training checkpoint (fc6 weight/index/bias plus
 //                    velocity streams, sz-coded data, zstd lossless),
 //                    pinning the checkpoint decode path
+//   delta_base_v3.dszc  a version-3 container whose fc6 values are a
+//                    deterministic perturbation of the standard fixture
+//                    layers (fc7 identical) — the base of the delta fixture
+//   delta_v3.dszc    a version-4 DELTA container: indexed_v3's layers diffed
+//                    against delta_base_v3 (fc6 -> delta record, fc7 ->
+//                    same record), pinning the chain-resolving decode path
 //
 // Set DEEPSZ_NO_AVX2=1 when regenerating: v2 *encoding* may differ across
 // hosts with different SIMD support (decoding never does).
@@ -31,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta_codec.h"
 #include "core/model_codec.h"
 #include "data/weight_synthesis.h"
 #include "lossless/codec.h"
@@ -104,6 +111,30 @@ std::vector<std::uint8_t> encode_indexed_v3() {
       .bytes;
 }
 
+/// The delta fixture's base: fc6's values deterministically nudged (same
+/// sparsity pattern, so the delta record's mask is same-as-base), fc7
+/// untouched (so its record is a zero-byte same reference).
+std::vector<std::uint8_t> encode_delta_base_v3() {
+  auto layers = fixture_layers();
+  for (std::size_t i = 0; i < layers[0].data.size(); ++i) {
+    layers[0].data[i] +=
+        0.0005f * static_cast<float>(static_cast<int>(i % 7) - 3);
+  }
+  std::map<std::string, double> ebs = {{"fc6", 1e-3}, {"fc7", 5e-4}};
+  std::map<std::string, std::vector<float>> biases = {
+      {"fc6", fixture_bias()}};
+  return core::encode_model(layers, ebs, core::ContainerOptions{}, biases)
+      .bytes;
+}
+
+std::vector<std::uint8_t> encode_delta_v3(
+    const std::vector<std::uint8_t>& base,
+    const std::vector<std::uint8_t>& target) {
+  core::DeltaOptions opts;
+  opts.base_id = "delta_base_v3.dszc";
+  return core::encode_delta_model(base, target, opts).bytes;
+}
+
 std::vector<std::uint8_t> encode_dc_v3() {
   const auto layers = fixture_layers();
   std::map<std::string, std::vector<float>> biases = {
@@ -139,6 +170,28 @@ void report(const char* label, const std::vector<std::uint8_t>& bytes) {
     std::printf("  %-4s entries %zu  data crc 0x%08x  index crc 0x%08x\n",
                 l.name.c_str(), l.stored_entries(), float_crc(l.data),
                 util::crc32(l.index));
+  }
+}
+
+/// Decodes the delta fixture through its chain and prints the per-layer
+/// CRCs delta_golden_test pins — which must equal indexed_v3's, since a
+/// delta container reconstructs its target bit-exactly.
+void report_delta(const char* label, const std::vector<std::uint8_t>& base,
+                  const std::vector<std::uint8_t>& delta) {
+  auto base_reader = std::make_shared<core::ContainerReader>(base);
+  core::ContainerReader reader(delta);
+  reader.set_base(base_reader);
+  std::printf("%s: %zu bytes, file crc 0x%08x (base crc 0x%08x)\n", label,
+              delta.size(), util::crc32(delta), util::crc32(base));
+  for (std::size_t i = 0; i < reader.num_layers(); ++i) {
+    const auto& e = reader.entry(i);
+    auto l = reader.decode_layer(i);
+    auto b = reader.decode_bias(i);
+    std::printf(
+        "  %-4s kind %u  data crc 0x%08x  index crc 0x%08x  bias crc "
+        "0x%08x\n",
+        e.name.c_str(), static_cast<unsigned>(e.kind), float_crc(l.data),
+        util::crc32(l.index), float_crc(b));
   }
 }
 
@@ -276,17 +329,23 @@ int main(int argc, char** argv) {
   auto sz_v2 = encode_sz_stream(2);
   auto dc = encode_dc_v3();
   auto ckpt = encode_ckpt_v1();
+  auto delta_base = encode_delta_base_v3();
+  auto delta = encode_delta_v3(delta_base, indexed);
   write_file(dir + "/legacy_v2.dszc", legacy);
   write_file(dir + "/indexed_v3.dszc", indexed);
   write_file(dir + "/sz_v1.szs", sz_v1);
   write_file(dir + "/sz_v2.szs", sz_v2);
   write_file(dir + "/dc_v3.dszc", dc);
   write_file(dir + "/ckpt_v1.dszk", ckpt);
+  write_file(dir + "/delta_base_v3.dszc", delta_base);
+  write_file(dir + "/delta_v3.dszc", delta);
   report("legacy_v2.dszc", legacy);
   report("indexed_v3.dszc", indexed);
   report_sz("sz_v1.szs", sz_v1);
   report_sz("sz_v2.szs", sz_v2);
   report_dc("dc_v3.dszc", dc);
   report_ckpt("ckpt_v1.dszk", ckpt);
+  report("delta_base_v3.dszc", delta_base);
+  report_delta("delta_v3.dszc", delta_base, delta);
   return 0;
 }
